@@ -1,0 +1,26 @@
+"""Extension: administrative renumbering detection (Section 8).
+
+The paper found exactly one instance of mass prefix migration all year.
+The scenario plants one too (EU-Renum-Cable migrates every customer to a
+reserve prefix in late July); this benchmark times the detector and checks
+it recovers that event — and nothing else — from 50k+ ordinary changes.
+"""
+
+from repro.experiments.registry import get_experiment
+from repro.util import timeutil
+
+
+def test_ext_administrative_renumbering(results, benchmark):
+    driver = get_experiment("ext-admin")
+    output = benchmark.pedantic(lambda: driver(results), rounds=1,
+                                iterations=1)
+    print("\n" + output.text)
+
+    events = output.data["events"]
+    assert len(events) == 1, "expected exactly one administrative event"
+    event = events[0]
+    assert results.as_names.get(event.asn) == "EU-Renum-Cable"
+    # Planted on day 206 (events carry 0-based day indices).
+    assert abs((event.day_index + 1) - 206) <= 1
+    assert event.changed_fraction > 0.6
+    assert len(event.novel_prefixes) == 1

@@ -1,0 +1,28 @@
+"""Extension: DHCP lease-duration inference (Section 5.4's aside).
+
+The paper reads LGI's Figure 9 panel as "consistent with a DHCP lease
+duration on the order of a few hours."  This benchmark times the inference
+over every DHCP-looking AS and checks LGI gets a finite bound of at most a
+day while the PPP ISPs are excluded (no lease semantics to infer).
+"""
+
+from repro.experiments import scenarios
+from repro.experiments.registry import get_experiment
+from repro.util.timeutil import HOUR
+
+
+def test_ext_lease_inference(results, benchmark):
+    driver = get_experiment("ext-lease")
+    output = benchmark.pedantic(lambda: driver(results), rounds=1,
+                                iterations=1)
+    print("\n" + output.text)
+
+    estimates = output.data["estimates"]
+    # PPP ISPs renumber on short outages and never yield a lease signal.
+    assert scenarios.ORANGE not in estimates
+    assert scenarios.DTAG not in estimates
+    # LGI is the paper's DHCP reference: a bound exists and is short.
+    assert scenarios.LGI in estimates
+    bound = estimates[scenarios.LGI]
+    assert bound is not None
+    assert bound <= 24 * HOUR

@@ -1,0 +1,40 @@
+"""Figure 1: total-time-fraction CDF by continent.
+
+Times the geographic aggregation and checks the paper's shape: Europe,
+Asia, Africa and South America show modes at multiples of 24 h; North
+America and Oceania are mode-free with most time in multi-week durations.
+"""
+
+from repro.core.report import render_group_durations
+from repro.util.stats import cdf_fraction_at, cdf_mass_at
+from repro.util.timeutil import DAY, HOUR
+
+
+def test_figure1_continent_durations(results, benchmark):
+    groups = benchmark.pedantic(results.figure1_groups, rounds=3,
+                                iterations=1)
+    print("\n" + render_group_durations(groups, title="Figure 1"))
+
+    by_label = {group.label: group for group in groups}
+    assert {"EU", "NA", "AS", "AF", "SA", "OC"} <= set(by_label)
+
+    # Europe contributes by far the most address time (paper: 784 years
+    # against 127 for North America).
+    assert by_label["EU"].total_years == max(g.total_years for g in groups)
+
+    # 24-hour modes on the periodic continents.
+    for continent in ("EU", "AS", "AF"):
+        cdf = by_label[continent].cdf()
+        assert cdf_mass_at(cdf, 24 * HOUR) > 0.04, continent
+
+    # South America's multi-mode structure: 12 h and 28 h modes exist.
+    sa = by_label["SA"].cdf()
+    assert cdf_mass_at(sa, 12 * HOUR) > 0.03
+    assert cdf_mass_at(sa, 28 * HOUR) > 0.03
+
+    # North America and Oceania: no 24 h mode, long-lived addresses.
+    for continent in ("NA", "OC"):
+        cdf = by_label[continent].cdf()
+        assert cdf_mass_at(cdf, 24 * HOUR) < 0.04, continent
+        # More than half the time in durations beyond 50 days.
+        assert cdf_fraction_at(cdf, 50 * DAY) < 0.5, continent

@@ -1,0 +1,38 @@
+"""Figure 2: duration CDFs for the ASes with the most probes.
+
+Checks the paper's contrast: Orange spends over half its time in exactly
+one-week durations, DTAG in 24-hour durations, BT shows a two-week mode,
+while LGI and Verizon have no mode at all and long-lived addresses.
+"""
+
+from repro.core.report import render_group_durations
+from repro.experiments import scenarios
+from repro.util.stats import cdf_fraction_at, cdf_mass_at
+from repro.util.timeutil import DAY, HOUR
+
+
+def test_figure2_top_as_durations(results, benchmark):
+    def build():
+        return {asn: results.as_group_durations(asn)
+                for asn in scenarios.TOP_FIVE}
+
+    groups = benchmark.pedantic(build, rounds=3, iterations=1)
+    print("\n" + render_group_durations(list(groups.values()),
+                                        title="Figure 2"))
+
+    orange = groups[scenarios.ORANGE].cdf()
+    assert cdf_mass_at(orange, 168 * HOUR) > 0.4  # paper: 55%
+
+    dtag = groups[scenarios.DTAG].cdf()
+    assert cdf_mass_at(dtag, 24 * HOUR) > 0.5     # paper: 76%
+
+    bt = groups[scenarios.BT].cdf()
+    two_week_mass = (cdf_mass_at(bt, 336 * HOUR)
+                     + cdf_mass_at(bt, 337 * HOUR))
+    assert two_week_mass > 0.05                   # paper: 13%
+
+    # LGI and Verizon: no periodic mode, most time in long durations.
+    for asn in (scenarios.LGI, scenarios.VERIZON):
+        cdf = groups[asn].cdf()
+        assert cdf_mass_at(cdf, 24 * HOUR) < 0.1, asn
+        assert cdf_fraction_at(cdf, 7 * DAY) < 0.5, asn

@@ -1,0 +1,34 @@
+"""Figure 3: duration CDFs for German ISPs.
+
+Checks the paper's Germany picture: DTAG and both Telefonicas renumber
+every 24 hours (with the pooled 'others' also showing a 24 h mode), while
+the cable ISPs Kabel Deutschland and Kabel BW spend >90% of their time in
+durations longer than two weeks.
+"""
+
+from repro.core.report import render_group_durations
+from repro.util.stats import cdf_fraction_at, cdf_mass_at
+from repro.util.timeutil import HOUR, WEEK
+
+
+def test_figure3_german_isps(results, benchmark):
+    groups = benchmark.pedantic(lambda: results.figure3_groups("DE"),
+                                rounds=3, iterations=1)
+    print("\n" + render_group_durations(groups, title="Figure 3"))
+
+    by_label = {group.label: group for group in groups}
+    assert "DTAG" in by_label
+
+    for periodic in ("DTAG", "Telefonica DE 1", "Telefonica DE 2"):
+        if periodic not in by_label:
+            continue
+        cdf = by_label[periodic].cdf()
+        assert cdf_mass_at(cdf, 24 * HOUR) > 0.4, periodic
+
+    for stable in ("Kabel Deutschland", "Kabel BW"):
+        if stable not in by_label:
+            continue
+        cdf = by_label[stable].cdf()
+        assert cdf_mass_at(cdf, 24 * HOUR) < 0.1, stable
+        # >90% of total time in durations longer than two weeks.
+        assert cdf_fraction_at(cdf, 2 * WEEK) < 0.1, stable

@@ -1,0 +1,25 @@
+"""Figure 4: Orange's periodic changes by hour of day.
+
+Orange's fleet free-runs, so weekly renumberings spread over the whole
+day rather than concentrating in a night window.
+"""
+
+from repro.core.report import render_hour_histogram
+from repro.experiments import scenarios
+from repro.util.timeutil import HOUR
+
+
+def test_figure4_orange_hours(results, benchmark):
+    counts = benchmark.pedantic(
+        lambda: results.figure45_histogram(scenarios.ORANGE, 168 * HOUR),
+        rounds=3, iterations=1)
+    print("\n" + render_hour_histogram(counts, title="Figure 4: Orange"))
+
+    total = sum(counts)
+    assert total > 100
+    # No strong night concentration: the 0-6 GMT window holds roughly its
+    # proportional quarter of changes, far from DTAG's three quarters.
+    night = sum(counts[0:6]) / total
+    assert night < 0.5
+    # Every hour of the day sees changes.
+    assert all(count > 0 for count in counts)

@@ -1,0 +1,25 @@
+"""Figure 5: DTAG's periodic changes concentrate in night hours.
+
+Most DTAG CPEs schedule their daily reconnect between 0 and 6 GMT (the
+paper observes almost three quarters of periodic changes there), while a
+minority free-runs across the rest of the day.
+"""
+
+from repro.core.report import render_hour_histogram
+from repro.experiments import scenarios
+from repro.util.timeutil import HOUR
+
+
+def test_figure5_dtag_hours(results, benchmark):
+    counts = benchmark.pedantic(
+        lambda: results.figure45_histogram(scenarios.DTAG, 24 * HOUR),
+        rounds=3, iterations=1)
+    print("\n" + render_hour_histogram(counts, title="Figure 5: DTAG"))
+
+    total = sum(counts)
+    assert total > 1000
+    night = sum(counts[0:6]) / total
+    # Paper: ~3/4 of periodic changes between hours 0 and 6 GMT.
+    assert night > 0.6
+    # But not all: some CPEs lack the sync feature.
+    assert night < 0.98

@@ -1,0 +1,32 @@
+"""Figure 7: CDF of P(address change | network outage) per AS.
+
+The PPP ASes (Orange, DTAG, BT) renumber on most network outages — around
+half their probes on every one — while LGI and Verizon probes rarely do.
+"""
+
+from repro.core.report import render_probability_cdfs
+from repro.experiments import scenarios
+from repro.util.stats import cdf_fraction_at
+
+
+def test_figure7_network_outage_cdfs(results, benchmark):
+    def build():
+        return {results.as_names[asn]: results.figure7_cdf(asn)
+                for asn in scenarios.TOP_FIVE}
+
+    series = benchmark.pedantic(build, rounds=3, iterations=1)
+    print("\n" + render_probability_cdfs(series, title="Figure 7"))
+
+    for name in ("Orange", "DTAG", "BT"):
+        points = series[name]
+        assert points, "%s has no qualifying probes" % name
+        # Most probes have high P(ac|nw): little mass below 0.6.
+        assert cdf_fraction_at(points, 0.6) < 0.45, name
+        # A large share sits exactly at 1.0 (paper: ~half for Orange/DTAG).
+        assert 1.0 - cdf_fraction_at(points, 0.99) > 0.3, name
+
+    for name in ("LGI", "Verizon"):
+        points = series[name]
+        assert points, "%s has no qualifying probes" % name
+        # Most probes renumber on few or no network outages.
+        assert cdf_fraction_at(points, 0.4) > 0.6, name

@@ -1,0 +1,30 @@
+"""Figure 8: CDF of P(address change | power outage) per AS, v3 probes.
+
+Same AS-level contrast as Figure 7 for power outages, with the power
+probabilities slightly depressed by false-positive probe-only reboots.
+"""
+
+from repro.core.report import render_probability_cdfs
+from repro.experiments import scenarios
+from repro.util.stats import cdf_fraction_at
+
+
+def test_figure8_power_outage_cdfs(results, benchmark):
+    def build():
+        return {results.as_names[asn]: results.figure8_cdf(asn)
+                for asn in scenarios.TOP_FIVE}
+
+    series = benchmark.pedantic(build, rounds=3, iterations=1)
+    print("\n" + render_probability_cdfs(series, title="Figure 8"))
+
+    for name in ("Orange", "DTAG"):
+        points = series[name]
+        assert points, "%s has no qualifying probes" % name
+        # Probes mostly renumber on power outages.
+        assert cdf_fraction_at(points, 0.5) < 0.5, name
+
+    for name in ("LGI", "Verizon"):
+        points = series[name]
+        if not points:
+            continue  # few v3 probes with 3+ power outages at small scale
+        assert cdf_fraction_at(points, 0.4) > 0.6, name

@@ -1,0 +1,45 @@
+"""Figure 9: renumbering likelihood vs outage duration, LGI and Orange.
+
+The paper's sharpest DHCP-vs-PPP contrast: LGI renumbers on under 3% of
+sub-hour outages but on more than a quarter of 12-hour-plus ones, while
+Orange renumbers on the overwhelming majority of even the shortest
+outages.
+"""
+
+from repro.core.report import render_figure9
+from repro.experiments import scenarios
+from repro.util.timeutil import HOUR
+
+
+def _pooled(buckets, low_hours, high_hours):
+    total = changed = 0
+    for bucket in buckets:
+        if bucket.low >= low_hours * HOUR and bucket.high <= high_hours * HOUR:
+            total += bucket.total
+            changed += bucket.renumbered
+    return total, changed
+
+
+def test_figure9_outage_duration_buckets(results, benchmark):
+    def build():
+        return (results.figure9_buckets(scenarios.LGI),
+                results.figure9_buckets(scenarios.ORANGE))
+
+    lgi, orange = benchmark.pedantic(build, rounds=3, iterations=1)
+    print("\n" + render_figure9(lgi, title="Figure 9 (left): LGI"))
+    print("\n" + render_figure9(orange, title="Figure 9 (right): Orange"))
+
+    # LGI: short outages almost never renumber...
+    total, changed = _pooled(lgi, 0, 1)
+    assert total > 50
+    assert changed / total < 0.10
+    # ...but half-day-plus outages often do (paper: >25%).
+    long_total = sum(b.total for b in lgi if b.low >= 12 * HOUR)
+    long_changed = sum(b.renumbered for b in lgi if b.low >= 12 * HOUR)
+    assert long_total > 0
+    assert long_changed / long_total > 0.25
+
+    # Orange: even sub-hour outages renumber (paper: 75-91%).
+    total, changed = _pooled(orange, 0, 1)
+    assert total > 50
+    assert changed / total > 0.7

@@ -1,0 +1,17 @@
+"""Table 4: SOS-uptime sample and reboot inference.
+
+Uses the paper's literal Table 4 counter values and checks the inferred
+reboot instant matches the paper's 17:50:36.
+"""
+
+from repro.experiments.tables import table4
+from repro.util import timeutil
+
+
+def test_table4_uptime_reboot_inference(benchmark):
+    output = benchmark.pedantic(table4, rounds=10, iterations=1)
+    print("\n" + output.text)
+
+    assert output.data["reboots"] == 1
+    assert output.data["reboot_time"] == timeutil.epoch(
+        2015, 1, 1, 17, 50, 36)

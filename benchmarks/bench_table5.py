@@ -1,0 +1,51 @@
+"""Table 5: periodic renumbering per AS.
+
+Times the periodicity classification over all AS-level probes and checks
+the paper's headline rows: Orange periodic at 168 h, DTAG at 24 h, BT
+weakly at ~2 weeks, and the stable DHCP ISPs absent.  Weekly renumberers
+rarely exceed their period; daily ones often show harmonics.
+"""
+
+from repro.core.report import render_table5
+from repro.experiments import scenarios
+
+
+def find_row(rows, asn, period_hours=None):
+    for row in rows:
+        if row.asn == asn and (period_hours is None
+                               or row.period_hours == period_hours):
+            return row
+    return None
+
+
+def test_table5_periodic_renumbering(results, benchmark):
+    rows = benchmark.pedantic(results.table5_rows, rounds=3, iterations=1)
+    all_rows = results.table5_all_rows()
+    print("\n" + render_table5(rows, all_rows))
+
+    orange = find_row(rows, scenarios.ORANGE)
+    assert orange is not None
+    assert orange.period_hours == 168
+    assert orange.n_periodic / orange.n_changed > 0.7
+
+    dtag = find_row(rows, scenarios.DTAG)
+    assert dtag is not None
+    assert dtag.period_hours == 24
+    assert dtag.pct_over_75 > 0.6
+
+    bt = find_row(rows, scenarios.BT)
+    assert bt is not None
+    assert bt.period_hours in (336, 337)
+    # BT is weakly periodic: only ~a fifth of its probes.
+    assert bt.n_periodic / bt.n_changed < 0.45
+
+    # Stable DHCP ISPs never qualify as periodic.
+    assert find_row(rows, scenarios.LGI) is None
+    assert find_row(rows, scenarios.VERIZON) is None
+    assert find_row(rows, scenarios.COMCAST) is None
+
+    # Weekly probes almost never exceed the period; daily probes show
+    # harmonics more often (the paper's 94% vs 44% MAX<=d contrast).
+    daily_all, weekly_all = all_rows
+    assert weekly_all.pct_max_le_d > daily_all.pct_max_le_d
+    assert daily_all.n_periodic > 0 and weekly_all.n_periodic > 0

@@ -1,0 +1,37 @@
+"""Table 6: ASes whose probes renumber upon outages.
+
+Times the conditional-probability table and checks the paper's findings:
+the qualifying ASes are European PPP deployments (Orange, DTAG, Telecom
+Italia, ...), and the power-outage columns run below the network columns
+because power detection has false positives.
+"""
+
+from repro.core.report import render_table6
+from repro.experiments import scenarios
+
+
+def test_table6_outage_renumbering(results, benchmark):
+    rows = benchmark.pedantic(results.table6_rows, rounds=3, iterations=1)
+    print("\n" + render_table6(rows))
+
+    assert rows, "no AS qualified - outage association is broken"
+    by_asn = {row.asn: row for row in rows}
+    assert scenarios.ORANGE in by_asn
+
+    # Every listed AS renumbers on most outages by construction of the
+    # qualification rule, and power-outage behaviour agrees broadly with
+    # network-outage behaviour (the paper's second observation).
+    for row in rows:
+        assert row.pct_network_over_80 >= 0.4
+        assert row.pct_power_over_80 >= 0.3
+    # In aggregate P(ac|pw)=1 runs below P(ac|nw)=1 because power-outage
+    # detection has false positives (Section 5.1); individual ASes can
+    # deviate (the paper's ISKON does too).
+    mean_nw_eq1 = sum(r.pct_network_eq_1 for r in rows) / len(rows)
+    mean_pw_eq1 = sum(r.pct_power_eq_1 for r in rows) / len(rows)
+    assert mean_pw_eq1 <= mean_nw_eq1 + 0.05
+
+    # The stable DHCP ISPs never qualify.
+    assert scenarios.LGI not in by_asn
+    assert scenarios.VERIZON not in by_asn
+    assert scenarios.COMCAST not in by_asn

@@ -1,0 +1,36 @@
+"""Table 7: address changes across prefixes.
+
+Times the prefix comparison over every observed change and checks the
+paper's headline numbers: roughly half of all changes cross BGP prefixes,
+a third cross /8s; Orange scatters widely, DTAG and Verizon are the
+stickiest, and BT's 'Diff /16' exceeds its 'Diff BGP' because its routed
+prefixes are wider than a /16.
+"""
+
+from repro.core.report import render_table7
+from repro.experiments import scenarios
+
+
+def test_table7_prefix_changes(results, benchmark):
+    overall, rows = benchmark.pedantic(lambda: results.table7(top=10),
+                                       rounds=1, iterations=1)
+    print("\n" + render_table7(overall, rows))
+
+    assert overall.total_changes > 1000
+    # Paper: 48.9% across BGP prefixes, 33.5% across /8s.
+    assert 0.35 < overall.pct_bgp < 0.65
+    assert 0.20 < overall.pct_slash8 < 0.50
+
+    by_asn = {row.asn: row for row in rows}
+    orange = by_asn[scenarios.ORANGE]
+    dtag = by_asn[scenarios.DTAG]
+    assert orange.pct_bgp > 0.55
+    assert dtag.pct_bgp < 0.35
+    assert orange.pct_bgp > dtag.pct_bgp
+
+    # Even /8-level blacklist widening fails for a fifth of DTAG changes.
+    assert dtag.pct_slash8 > 0.15
+
+    if scenarios.BT in by_asn:
+        bt = by_asn[scenarios.BT]
+        assert bt.pct_slash16 > bt.pct_bgp

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+The paper scenario is simulated once per pytest session (the expensive
+part) and every per-table/figure benchmark times its *analysis* stage over
+those shared datasets, then prints rows comparable to the paper and
+asserts the qualitative shape the paper reports.
+
+Set ``REPRO_BENCH_SCALE`` to trade fidelity for speed (default 0.5).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.pipeline import pipeline_for_world
+from repro.experiments.scenarios import paper_results, paper_world
+
+
+def bench_scale() -> float:
+    """Scenario scale for benchmarks, from the environment."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def world():
+    """The simulated 2015 world (built once)."""
+    return paper_world(scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def results(world):
+    """Full pipeline results over the shared world (run once)."""
+    return paper_results(scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def pipeline(world):
+    """A fresh pipeline instance for benchmarks that time full stages."""
+    return pipeline_for_world(world)

@@ -1,0 +1,100 @@
+"""Infer each ISP's access technology from observed renumbering behaviour.
+
+Section 5.3 of the paper closes with: *"We expect that this property can
+be used as evidence in inferring a device's link type."*  This example
+implements that inference: an ISP whose probes renumber periodically or on
+outages of any duration behaves like a PPP/Radius plant; one that
+preserves addresses through short outages and renumbers mostly after long
+ones behaves like DHCP with RFC 2131 preservation.
+
+The simulation's ground-truth access technology is known, so the script
+also reports the inference's accuracy.
+
+Run with::
+
+    python examples/isp_policy_survey.py [scale]
+"""
+
+import sys
+from collections import defaultdict
+
+from repro.core.association import GapCause
+from repro.core.periodicity import classify_probe
+from repro.experiments.scenarios import paper_results, paper_world
+from repro.isp.spec import AccessTechnology
+from repro.util.stats import fraction
+from repro.util.tables import render_table
+from repro.util.timeutil import HOUR
+
+
+def infer_access(periodic_share: float, short_outage_change: float,
+                 outage_samples: int) -> str:
+    """Classify an ISP's plant from its observable behaviour."""
+    if periodic_share > 0.3:
+        return "ppp"
+    if outage_samples >= 10 and short_outage_change > 0.5:
+        return "ppp"
+    if outage_samples >= 10 and short_outage_change < 0.2:
+        return "dhcp"
+    return "unclear"
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+    world = paper_world(scale=scale)
+    results = paper_results(scale=scale)
+    truth_by_asn = {profile.spec.asn: profile.spec.access
+                    for profile in world.config.profiles}
+
+    # Per-AS evidence: share of periodic probes, and how often short
+    # (< 1 h) outages changed the address.
+    periodic = defaultdict(int)
+    changed_probes = defaultdict(int)
+    short_total = defaultdict(int)
+    short_changed = defaultdict(int)
+    for pid, asn in results.asn_by_probe.items():
+        durations = results.as_level_durations().get(pid, [])
+        changed_probes[asn] += 1
+        if durations and classify_probe(pid, durations).is_periodic:
+            periodic[asn] += 1
+        for event in results.gap_events_by_probe.get(pid, []):
+            if event.cause is GapCause.NONE:
+                continue
+            if event.outage_duration < 1 * HOUR:
+                short_total[asn] += 1
+                short_changed[asn] += event.address_changed
+
+    rows = []
+    correct = total = 0
+    for asn in sorted(truth_by_asn):
+        if changed_probes.get(asn, 0) < 5:
+            continue
+        periodic_share = fraction(periodic[asn], changed_probes[asn])
+        short_change = fraction(short_changed[asn], short_total[asn])
+        verdict = infer_access(periodic_share, short_change,
+                               short_total[asn])
+        actual = truth_by_asn[asn].value
+        if verdict != "unclear":
+            total += 1
+            correct += verdict == actual
+        rows.append([
+            results.as_names.get(asn, "AS%d" % asn),
+            "%.0f%%" % (periodic_share * 100),
+            "%.0f%%" % (short_change * 100),
+            verdict, actual,
+            "ok" if verdict == actual else
+            ("?" if verdict == "unclear" else "WRONG"),
+        ])
+
+    print(render_table(
+        ["ISP", "periodic probes", "short-outage changes", "inferred",
+         "actual", ""],
+        rows, title="Access-technology inference from renumbering behaviour"))
+    print()
+    if total:
+        print("Accuracy on confident verdicts: %d/%d (%.0f%%)"
+              % (correct, total, 100 * correct / total))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""RIPE Atlas substrate: dataset record types, containers, probe archive."""
+
+from repro.atlas.archive import (
+    CONTINENTS,
+    COUNTRY_TO_CONTINENT,
+    ProbeArchive,
+    continent_of,
+)
+from repro.atlas.connlog import ConnectionLog
+from repro.atlas.kroot import (
+    DEFAULT_CADENCE,
+    HEALTHY_LTS,
+    KRootDataset,
+    KRootSeries,
+)
+from repro.atlas.sosuptime import UptimeDataset
+from repro.atlas.types import (
+    FILTERED_TAGS,
+    ConnectionLogEntry,
+    KRootPingRecord,
+    ProbeMeta,
+    ProbeVersion,
+    UptimeRecord,
+)
+
+__all__ = [
+    "CONTINENTS",
+    "COUNTRY_TO_CONTINENT",
+    "ConnectionLog",
+    "ConnectionLogEntry",
+    "DEFAULT_CADENCE",
+    "FILTERED_TAGS",
+    "HEALTHY_LTS",
+    "KRootDataset",
+    "KRootPingRecord",
+    "KRootSeries",
+    "ProbeArchive",
+    "ProbeMeta",
+    "ProbeVersion",
+    "UptimeDataset",
+    "UptimeRecord",
+    "continent_of",
+]

@@ -1,0 +1,143 @@
+"""Simulated RIPE Atlas web API and the scraping client.
+
+The paper's connection logs were acquired by (1) listing active probes via
+the probe-archive API and (2) scraping each probe's per-month
+``connection-history/<yyyy>/<mm>`` page (Section 3.1).  This module
+recreates both sides offline:
+
+* :class:`AtlasApi` serves paginated probe-archive records and per-month
+  connection-history pages out of simulated datasets;
+* :func:`scrape_connection_log` is the client the paper effectively wrote —
+  it walks the archive, fetches every month, parses the pages and
+  reassembles a :class:`~repro.atlas.connlog.ConnectionLog`.
+
+Running the analysis on a scraped log and on the in-memory log must agree
+exactly; a test asserts that.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.atlas.archive import ProbeArchive
+from repro.atlas.connlog import ConnectionLog
+from repro.atlas.types import ConnectionLogEntry, ProbeMeta
+from repro.errors import DatasetError, ParseError
+from repro.net.ipv4 import IPv4Address
+from repro.util import timeutil
+
+DEFAULT_PAGE_SIZE = 100
+
+
+class AtlasApi:
+    """Read-only API over a world's archive and connection log."""
+
+    def __init__(self, archive: ProbeArchive, connlog: ConnectionLog) -> None:
+        self._archive = archive
+        self._connlog = connlog
+
+    # -- probe archive (paginated) ----------------------------------------
+
+    def probe_archive_page(self, page: int = 1,
+                           page_size: int = DEFAULT_PAGE_SIZE) -> dict:
+        """Return one page of probe-archive records.
+
+        Mirrors the RIPE API shape: ``count``, ``next`` (the next page
+        number or None), and ``results`` with probe metadata dicts.
+        """
+        if page < 1 or page_size < 1:
+            raise DatasetError("page and page_size must be positive")
+        probe_ids = self._archive.probe_ids()
+        start = (page - 1) * page_size
+        chunk = probe_ids[start:start + page_size]
+        results = [self._meta_dict(self._archive.get(pid)) for pid in chunk]
+        has_next = start + page_size < len(probe_ids)
+        return {
+            "count": len(probe_ids),
+            "next": page + 1 if has_next else None,
+            "results": results,
+        }
+
+    @staticmethod
+    def _meta_dict(meta: ProbeMeta) -> dict:
+        return {
+            "id": meta.probe_id,
+            "country_code": meta.country,
+            "continent": meta.continent,
+            "firmware": "v%d" % meta.version.value,
+            "tags": list(meta.tags),
+        }
+
+    # -- per-month connection history ---------------------------------------
+
+    def connection_history(self, probe_id: int, year: int,
+                           month: int) -> str:
+        """Return the probe's connection-history page for one month.
+
+        An entry is listed in the month containing its start time; the
+        page format is ``start<TAB>end<TAB>address`` per line.
+        """
+        if not 1 <= month <= 12:
+            raise DatasetError("month out of range: %r" % (month,))
+        if not self._archive.has_probe(probe_id):
+            raise DatasetError("unknown probe %d" % probe_id)
+        lines = []
+        for entry in self._connlog.entries(probe_id):
+            if timeutil.month_of(entry.start) != (year, month):
+                continue
+            address = (entry.ipv6_address if entry.is_ipv6
+                       else str(entry.address))
+            lines.append("%.0f\t%.0f\t%s" % (entry.start, entry.end, address))
+        return "\n".join(lines)
+
+
+def scrape_probe_ids(api: AtlasApi,
+                     page_size: int = DEFAULT_PAGE_SIZE) -> list[int]:
+    """Walk the probe archive pagination and collect every probe id."""
+    probe_ids: list[int] = []
+    page: int | None = 1
+    while page is not None:
+        payload = api.probe_archive_page(page, page_size)
+        probe_ids.extend(record["id"] for record in payload["results"])
+        page = payload["next"]
+    return probe_ids
+
+
+def parse_history_page(probe_id: int, text: str) -> list[ConnectionLogEntry]:
+    """Parse one connection-history page into entries."""
+    entries: list[ConnectionLogEntry] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        fields = line.split("\t")
+        if len(fields) != 3:
+            raise ParseError(
+                "history line %d: expected 3 fields" % line_number)
+        try:
+            start = float(fields[0])
+            end = float(fields[1])
+        except ValueError:
+            raise ParseError(
+                "history line %d: malformed timestamps" % line_number
+            ) from None
+        if ":" in fields[2]:
+            entries.append(ConnectionLogEntry(probe_id, start, end, None,
+                                              ipv6_address=fields[2]))
+        else:
+            entries.append(ConnectionLogEntry(
+                probe_id, start, end, IPv4Address.parse(fields[2])))
+    return entries
+
+
+def scrape_connection_log(api: AtlasApi, probe_ids: Iterable[int],
+                          start: float, end: float) -> ConnectionLog:
+    """Fetch and reassemble connection logs for a window of months."""
+    log = ConnectionLog()
+    months = [(year, month) for year, month, _ in
+              timeutil.iter_month_starts(start, end)]
+    for probe_id in probe_ids:
+        for year, month in months:
+            page = api.connection_history(probe_id, year, month)
+            for entry in parse_history_page(probe_id, page):
+                log.add(entry)
+    return log

@@ -1,0 +1,124 @@
+"""The RIPE Atlas connection-logs dataset (Section 3.1 of the paper).
+
+:class:`ConnectionLog` stores per-probe sequences of
+:class:`~repro.atlas.types.ConnectionLogEntry` in time order, serializes to
+a tab-separated text format, and renders samples in the paper's Table 1
+style.  Address changes are *detected* from these logs by
+:mod:`repro.core.changes`; this module only stores and transports them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, TextIO
+
+from repro.atlas.types import ConnectionLogEntry
+from repro.errors import DatasetError, ParseError
+from repro.net.ipv4 import IPv4Address
+from repro.util import timeutil
+
+
+class ConnectionLog:
+    """Per-probe, time-ordered connection log entries."""
+
+    def __init__(self, entries: Iterable[ConnectionLogEntry] = ()) -> None:
+        self._by_probe: dict[int, list[ConnectionLogEntry]] = {}
+        for entry in entries:
+            self.add(entry)
+
+    def add(self, entry: ConnectionLogEntry) -> None:
+        """Append an entry; rejects overlaps/out-of-order per probe."""
+        log = self._by_probe.setdefault(entry.probe_id, [])
+        if log and entry.start < log[-1].end:
+            raise DatasetError(
+                "probe %d: connection starting %s overlaps previous one"
+                % (entry.probe_id, entry.start)
+            )
+        log.append(entry)
+
+    def probe_ids(self) -> list[int]:
+        """All probe ids present, sorted."""
+        return sorted(self._by_probe)
+
+    def entries(self, probe_id: int) -> list[ConnectionLogEntry]:
+        """Entries for one probe in time order (empty when unknown)."""
+        return list(self._by_probe.get(probe_id, ()))
+
+    def entry_count(self) -> int:
+        """Total entries across all probes."""
+        return sum(len(log) for log in self._by_probe.values())
+
+    def total_connected_time(self, probe_id: int) -> float:
+        """Aggregate connected duration for a probe.
+
+        The paper restricts analysis to probes connected for more than
+        30 days in 2015; this is the quantity that threshold applies to.
+        """
+        return sum(e.duration for e in self._by_probe.get(probe_id, ()))
+
+    def __iter__(self) -> Iterator[ConnectionLogEntry]:
+        for probe_id in self.probe_ids():
+            yield from self._by_probe[probe_id]
+
+    # -- serialization -----------------------------------------------------
+
+    def write(self, stream: TextIO) -> None:
+        """Serialize as ``probe_id<TAB>start<TAB>end<TAB>address`` lines."""
+        for entry in self:
+            address = (entry.ipv6_address if entry.is_ipv6
+                       else str(entry.address))
+            stream.write("%d\t%.0f\t%.0f\t%s\n"
+                         % (entry.probe_id, entry.start, entry.end, address))
+
+    @classmethod
+    def read(cls, stream: TextIO) -> "ConnectionLog":
+        """Parse the text format produced by :meth:`write`."""
+        log = cls()
+        for line_number, line in enumerate(stream, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            fields = text.split("\t")
+            if len(fields) != 4:
+                raise ParseError(
+                    "connection log line %d: expected 4 fields, got %d"
+                    % (line_number, len(fields))
+                )
+            probe_text, start_text, end_text, address_text = fields
+            try:
+                probe_id = int(probe_text)
+                start = float(start_text)
+                end = float(end_text)
+            except ValueError:
+                raise ParseError(
+                    "connection log line %d: malformed numbers" % line_number
+                ) from None
+            if ":" in address_text:
+                entry = ConnectionLogEntry(probe_id, start, end, None,
+                                           ipv6_address=address_text)
+            else:
+                entry = ConnectionLogEntry(
+                    probe_id, start, end, IPv4Address.parse(address_text))
+            log.add(entry)
+        return log
+
+    # -- presentation ------------------------------------------------------
+
+    def render_paper_style(self, probe_id: int, limit: int | None = None) -> str:
+        """Render a probe's log like the paper's Table 1.
+
+        Columns: probe id, start time, end time, address.
+        """
+        lines = ["ID\tStart time\tEnd time\tIP Address"]
+        entries = self._by_probe.get(probe_id, [])
+        if limit is not None:
+            entries = entries[:limit]
+        for entry in entries:
+            address = (entry.ipv6_address if entry.is_ipv6
+                       else str(entry.address))
+            lines.append("%d\t%s\t%s\t%s" % (
+                entry.probe_id,
+                timeutil.format_log_time(entry.start),
+                timeutil.format_log_time(entry.end),
+                address,
+            ))
+        return "\n".join(lines)

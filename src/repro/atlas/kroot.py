@@ -1,0 +1,179 @@
+"""The k-root ping dataset (Section 3.4 of the paper).
+
+Every ~4 minutes a probe sends three pings to the k-root DNS server and
+reports the result together with its LTS ("last time synchronised") value.
+The paper detects a *network outage* as a run of all-pings-lost rounds with
+growing LTS; a *power outage* shows up as rounds missing entirely (the
+probe was off) bracketing an uptime-counter reset.
+
+Storing a year of 4-minute rounds for thousands of probes is infeasible, so
+:class:`KRootSeries` stores the generative state — the power-off and
+network-down interval sets — and materializes
+:class:`~repro.atlas.types.KRootPingRecord` rounds on demand for any query
+window.  The analysis code consumes only the materialized records, exactly
+as it would consume the real dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.atlas.types import KRootPingRecord
+from repro.errors import DatasetError
+from repro.util.intervals import IntervalSet
+
+#: Measurement/reporting cadence in seconds (the paper's ~4 minutes).
+DEFAULT_CADENCE = 240.0
+
+#: Baseline LTS for a healthy probe, comfortably under the 240 s bound.
+HEALTHY_LTS = 120.0
+
+
+class KRootSeries:
+    """Generative k-root ping timeline for one probe."""
+
+    def __init__(self, probe_id: int, observed_start: float,
+                 observed_end: float,
+                 power_off: IntervalSet | None = None,
+                 network_down: IntervalSet | None = None,
+                 cadence: float = DEFAULT_CADENCE,
+                 phase: float | None = None,
+                 pings_per_round: int = 3) -> None:
+        if observed_end <= observed_start:
+            raise DatasetError("observation window is empty")
+        if cadence <= 0:
+            raise DatasetError("cadence must be positive")
+        self.probe_id = probe_id
+        self.observed_start = observed_start
+        self.observed_end = observed_end
+        self.power_off = power_off or IntervalSet()
+        self.network_down = network_down or IntervalSet()
+        self.cadence = cadence
+        # Deterministic per-probe phase so probes are not tick-aligned.
+        self.phase = (probe_id * 37.0) % cadence if phase is None else phase
+        self.pings_per_round = pings_per_round
+
+    def _tick_index(self, timestamp: float) -> int:
+        """Index of the last tick at or before ``timestamp``."""
+        return int((timestamp - self.observed_start - self.phase)
+                   // self.cadence)
+
+    def _tick_time(self, index: int) -> float:
+        return self.observed_start + self.phase + index * self.cadence
+
+    def _record_at(self, tick: float) -> KRootPingRecord | None:
+        """Materialize the round at tick time, or None while powered off."""
+        if self.power_off.contains(tick):
+            return None
+        outage = self.network_down.at(tick)
+        if outage is not None:
+            # All pings lost and the probe cannot sync: LTS grows from the
+            # start of the outage.
+            return KRootPingRecord(
+                self.probe_id, tick, self.pings_per_round, 0,
+                lts=HEALTHY_LTS + (tick - outage.start),
+            )
+        return KRootPingRecord(
+            self.probe_id, tick, self.pings_per_round, self.pings_per_round,
+            lts=HEALTHY_LTS,
+        )
+
+    def records(self, window_start: float,
+                window_end: float) -> list[KRootPingRecord]:
+        """Materialize all rounds with tick times in the window."""
+        start = max(window_start, self.observed_start)
+        end = min(window_end, self.observed_end)
+        if end <= start:
+            return []
+        first = self._tick_index(start)
+        if self._tick_time(first) < start:
+            first += 1
+        out: list[KRootPingRecord] = []
+        index = first
+        while True:
+            tick = self._tick_time(index)
+            if tick >= end:
+                break
+            record = self._record_at(tick)
+            if record is not None:
+                out.append(record)
+            index += 1
+        return out
+
+    def iter_all_records(self) -> Iterator[KRootPingRecord]:
+        """Iterate every round in the observation window (small sims only)."""
+        index = 0
+        while True:
+            tick = self._tick_time(index)
+            if tick >= self.observed_end:
+                return
+            if tick >= self.observed_start:
+                record = self._record_at(tick)
+                if record is not None:
+                    yield record
+            index += 1
+
+    def ping_gap_around(self, timestamp: float,
+                        max_scan: int = 10_000) -> tuple[float | None, float | None]:
+        """Return timestamps of the reported rounds bracketing ``timestamp``.
+
+        The paper estimates a power outage's duration as the difference
+        between the successive ping rounds around the reboot; rounds during
+        the power-off window are missing, so the bracketing rounds straddle
+        the outage.  Scanning is bounded by ``max_scan`` ticks each way.
+        """
+        base = self._tick_index(timestamp)
+        previous: float | None = None
+        index = base
+        for _ in range(max_scan):
+            tick = self._tick_time(index)
+            if tick < self.observed_start:
+                break
+            if tick <= timestamp and not self.power_off.contains(tick):
+                previous = tick
+                break
+            index -= 1
+        following: float | None = None
+        index = base + 1
+        for _ in range(max_scan):
+            tick = self._tick_time(index)
+            if tick >= self.observed_end:
+                break
+            if tick > timestamp and not self.power_off.contains(tick):
+                following = tick
+                break
+            index += 1
+        return previous, following
+
+
+class KRootDataset:
+    """All probes' k-root series, addressable by probe id."""
+
+    def __init__(self) -> None:
+        self._series: dict[int, KRootSeries] = {}
+
+    def add_series(self, series: KRootSeries) -> None:
+        """Register a probe's series (one per probe)."""
+        if series.probe_id in self._series:
+            raise DatasetError("probe %d already present" % series.probe_id)
+        self._series[series.probe_id] = series
+
+    def probe_ids(self) -> list[int]:
+        """All probe ids present, sorted."""
+        return sorted(self._series)
+
+    def series(self, probe_id: int) -> KRootSeries:
+        """Return the series for a probe; raises when absent."""
+        try:
+            return self._series[probe_id]
+        except KeyError:
+            raise DatasetError("no k-root series for probe %d" % probe_id) from None
+
+    def has_probe(self, probe_id: int) -> bool:
+        """True when the probe has a series."""
+        return probe_id in self._series
+
+    def records(self, probe_id: int, window_start: float,
+                window_end: float) -> list[KRootPingRecord]:
+        """Materialized rounds for a probe inside a window."""
+        return self.series(probe_id).records(window_start, window_end)

@@ -1,0 +1,80 @@
+"""The SOS-uptime dataset (Section 3.5 of the paper).
+
+Probes report their uptime counter — seconds since boot — every time they
+establish a new TCP connection to the controller.  A counter value smaller
+than the previous one means the probe rebooted; the reboot instant is the
+report timestamp minus the counter value (the paper's Table 4 example).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, TextIO
+
+from repro.atlas.types import UptimeRecord
+from repro.errors import DatasetError, ParseError
+
+
+class UptimeDataset:
+    """Per-probe, time-ordered SOS-uptime records."""
+
+    def __init__(self, records: Iterable[UptimeRecord] = ()) -> None:
+        self._by_probe: dict[int, list[UptimeRecord]] = {}
+        for record in records:
+            self.add(record)
+
+    def add(self, record: UptimeRecord) -> None:
+        """Append a record, enforcing per-probe time order."""
+        log = self._by_probe.setdefault(record.probe_id, [])
+        if log and record.timestamp < log[-1].timestamp:
+            raise DatasetError(
+                "probe %d: uptime record at %s out of order"
+                % (record.probe_id, record.timestamp)
+            )
+        log.append(record)
+
+    def probe_ids(self) -> list[int]:
+        """All probe ids present, sorted."""
+        return sorted(self._by_probe)
+
+    def records(self, probe_id: int) -> list[UptimeRecord]:
+        """All records for a probe in time order."""
+        return list(self._by_probe.get(probe_id, ()))
+
+    def records_in(self, probe_id: int, window_start: float,
+                   window_end: float) -> list[UptimeRecord]:
+        """Records with timestamps inside ``[window_start, window_end)``."""
+        return [r for r in self._by_probe.get(probe_id, ())
+                if window_start <= r.timestamp < window_end]
+
+    def __iter__(self) -> Iterator[UptimeRecord]:
+        for probe_id in self.probe_ids():
+            yield from self._by_probe[probe_id]
+
+    def write(self, stream: TextIO) -> None:
+        """Serialize as ``probe_id<TAB>timestamp<TAB>uptime`` lines."""
+        for record in self:
+            stream.write("%d\t%.0f\t%.0f\n"
+                         % (record.probe_id, record.timestamp, record.uptime))
+
+    @classmethod
+    def read(cls, stream: TextIO) -> "UptimeDataset":
+        """Parse the text format produced by :meth:`write`."""
+        dataset = cls()
+        for line_number, line in enumerate(stream, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            fields = text.split("\t")
+            if len(fields) != 3:
+                raise ParseError(
+                    "uptime line %d: expected 3 fields, got %d"
+                    % (line_number, len(fields))
+                )
+            try:
+                dataset.add(UptimeRecord(int(fields[0]), float(fields[1]),
+                                         float(fields[2])))
+            except ValueError:
+                raise ParseError(
+                    "uptime line %d: malformed numbers" % line_number
+                ) from None
+        return dataset

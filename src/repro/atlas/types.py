@@ -1,0 +1,136 @@
+"""Record types for the three RIPE Atlas datasets the paper uses.
+
+Connection-log entries (Section 3.1), k-root ping records (Section 3.4) and
+SOS-uptime records (Section 3.5) are plain frozen dataclasses; the dataset
+containers in sibling modules enforce ordering and provide queries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError
+from repro.net.ipv4 import IPv4Address
+
+
+class ProbeVersion(enum.Enum):
+    """RIPE Atlas probe hardware versions.
+
+    v1/v2 probes are vulnerable to memory fragmentation and may reboot when
+    they create new TCP connections (Section 5.1), so the paper discards
+    them from power-outage analysis; v3 is the ~75% majority.
+    """
+
+    V1 = 1
+    V2 = 2
+    V3 = 3
+
+
+#: Probe tags the paper filters on (Section 3.2).
+FILTERED_TAGS = frozenset({"multihomed", "datacentre", "core"})
+
+
+@dataclass(frozen=True)
+class ConnectionLogEntry:
+    """One TCP connection from a probe to its central controller.
+
+    ``address`` is the publicly visible peer address (the CPE's address).
+    Dual-stack probes sometimes connect over IPv6; those entries carry
+    ``ipv6_address`` text instead of an IPv4 ``address``.
+    """
+
+    probe_id: int
+    start: float
+    end: float
+    address: IPv4Address | None
+    ipv6_address: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ParseError(
+                "connection for probe %d ends before it starts" % self.probe_id
+            )
+        if (self.address is None) == (self.ipv6_address is None):
+            raise ParseError(
+                "entry must carry exactly one of IPv4 or IPv6 address"
+            )
+
+    @property
+    def is_ipv6(self) -> bool:
+        """True for connections made over IPv6."""
+        return self.ipv6_address is not None
+
+    @property
+    def duration(self) -> float:
+        """Length of the connection in seconds."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class KRootPingRecord:
+    """One built-in measurement round: pings to the k-root DNS server.
+
+    ``lts`` is the probe's "last time synchronised" in seconds; in healthy
+    operation it stays below ~240 s (the reporting interval).
+    """
+
+    probe_id: int
+    timestamp: float
+    sent: int
+    success: int
+    lts: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.success <= self.sent:
+            raise ParseError(
+                "ping record success %d outside 0..%d" % (self.success, self.sent)
+            )
+        if self.lts < 0:
+            raise ParseError("negative LTS %r" % (self.lts,))
+
+    @property
+    def all_lost(self) -> bool:
+        """True when every ping in the round was lost."""
+        return self.sent > 0 and self.success == 0
+
+
+@dataclass(frozen=True)
+class UptimeRecord:
+    """One SOS-uptime report: seconds since the probe last booted."""
+
+    probe_id: int
+    timestamp: float
+    uptime: float
+
+    def __post_init__(self) -> None:
+        if self.uptime < 0:
+            raise ParseError("negative uptime %r" % (self.uptime,))
+
+    @property
+    def boot_time(self) -> float:
+        """The boot instant implied by the counter value."""
+        return self.timestamp - self.uptime
+
+
+@dataclass(frozen=True)
+class ProbeMeta:
+    """Probe metadata from the (simulated) RIPE Atlas probe archive."""
+
+    probe_id: int
+    country: str
+    continent: str
+    version: ProbeVersion = ProbeVersion.V3
+    tags: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if len(self.country) != 2 or not self.country.isupper():
+            raise ParseError(
+                "country must be an ISO 3166 alpha-2 code, got %r"
+                % (self.country,)
+            )
+
+    @property
+    def has_filtered_tag(self) -> bool:
+        """True when tagged multihomed / datacentre / core (Section 3.2)."""
+        return any(tag in FILTERED_TAGS for tag in self.tags)

@@ -1,0 +1,142 @@
+"""Analysis core: the paper's address-change attribution pipeline."""
+
+from repro.core.association import GapCause, GapEvent, associate_probe_gaps
+from repro.core.changes import (
+    AddressChange,
+    AddressSpan,
+    extract_changes,
+    extract_spans,
+    known_durations,
+    strip_testing_entry,
+)
+from repro.core.conditional import (
+    OutageRenumberingRow,
+    ProbeOutageStats,
+    conditional_cdf_network,
+    conditional_cdf_power,
+    outage_renumbering_table,
+    probe_outage_stats,
+)
+from repro.core.filtering import (
+    FilterReport,
+    ProbeCategory,
+    ProbeFilter,
+    ProbeVerdict,
+    looks_multihomed,
+)
+from repro.core.geography import (
+    GroupDurations,
+    country_as_breakdown,
+    durations_by_continent,
+    durations_by_country,
+)
+from repro.core.hourofday import (
+    concentration,
+    hour_histogram,
+    periodic_change_hours,
+)
+from repro.core.outage_buckets import (
+    BUCKETS,
+    DurationBucket,
+    bucket_outages,
+)
+from repro.core.outages import NetworkOutage, detect_network_outages
+from repro.core.periodicity import (
+    PeriodicityRow,
+    ProbePeriodicity,
+    all_probes_row,
+    as_periodicity_table,
+    classify_probe,
+    detect_probe_period,
+    is_harmonic,
+    max_within,
+)
+from repro.core.pipeline import (
+    AnalysisPipeline,
+    AnalysisResults,
+    pipeline_for_world,
+)
+from repro.core.prefixes import (
+    PrefixChangeRow,
+    PrefixComparison,
+    compare_change,
+    prefix_change_table,
+)
+from repro.core.reboots import (
+    Reboot,
+    detect_all_reboots,
+    detect_firmware_days,
+    detect_reboots,
+    firmware_filtered_reboots,
+    reboots_per_day,
+    remove_firmware_reboots,
+)
+from repro.core.timefraction import (
+    bin_duration,
+    binned_time,
+    dominant_duration,
+    time_fraction_cdf,
+    total_time_fraction,
+)
+
+__all__ = [
+    "AddressChange",
+    "AddressSpan",
+    "AnalysisPipeline",
+    "AnalysisResults",
+    "BUCKETS",
+    "DurationBucket",
+    "FilterReport",
+    "GapCause",
+    "GapEvent",
+    "GroupDurations",
+    "NetworkOutage",
+    "OutageRenumberingRow",
+    "PeriodicityRow",
+    "PrefixChangeRow",
+    "PrefixComparison",
+    "ProbeCategory",
+    "ProbeFilter",
+    "ProbeOutageStats",
+    "ProbePeriodicity",
+    "ProbeVerdict",
+    "Reboot",
+    "all_probes_row",
+    "as_periodicity_table",
+    "associate_probe_gaps",
+    "bin_duration",
+    "binned_time",
+    "bucket_outages",
+    "classify_probe",
+    "compare_change",
+    "concentration",
+    "conditional_cdf_network",
+    "conditional_cdf_power",
+    "country_as_breakdown",
+    "detect_all_reboots",
+    "detect_firmware_days",
+    "detect_network_outages",
+    "detect_probe_period",
+    "detect_reboots",
+    "dominant_duration",
+    "durations_by_continent",
+    "durations_by_country",
+    "extract_changes",
+    "extract_spans",
+    "firmware_filtered_reboots",
+    "hour_histogram",
+    "is_harmonic",
+    "known_durations",
+    "looks_multihomed",
+    "max_within",
+    "outage_renumbering_table",
+    "periodic_change_hours",
+    "pipeline_for_world",
+    "prefix_change_table",
+    "probe_outage_stats",
+    "reboots_per_day",
+    "remove_firmware_reboots",
+    "strip_testing_entry",
+    "time_fraction_cdf",
+    "total_time_fraction",
+]

@@ -1,0 +1,108 @@
+"""Associating inter-connection gaps with outage events (Section 3.6).
+
+Each pair of consecutive connections leaves a gap.  The paper's priority
+order attributes the gap to a *network outage* when the k-root data shows
+one, else to a *power outage* when an uptime reset coincides with missing
+ping rounds, else to *no outage* (e.g. a periodic renumbering or a benign
+TCP break).  The gap's address-change flag comes from comparing the peer
+addresses on either side.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.atlas.kroot import DEFAULT_CADENCE, KRootSeries
+from repro.atlas.types import ConnectionLogEntry
+from repro.core.outages import detect_network_outages
+from repro.core.reboots import Reboot
+
+#: How far beyond the gap we look for corroborating measurements.
+WINDOW_MARGIN = 2 * DEFAULT_CADENCE
+
+
+class GapCause(enum.Enum):
+    """What a gap between connections was attributed to."""
+
+    NETWORK = "network outage"
+    POWER = "power outage"
+    NONE = "no outage"
+
+
+@dataclass(frozen=True)
+class GapEvent:
+    """One classified inter-connection gap."""
+
+    probe_id: int
+    gap_start: float
+    gap_end: float
+    cause: GapCause
+    address_changed: bool
+    #: Estimated outage duration (0 for no-outage gaps).
+    outage_duration: float
+
+
+def _missing_rounds_around(series: KRootSeries, timestamp: float
+                           ) -> tuple[bool, float]:
+    """Check for a ping-round hole around ``timestamp``.
+
+    Returns (rounds were missing, estimated outage duration).  The paper
+    estimates a power outage's length as the spacing between the reported
+    rounds bracketing the reboot.  The boot instant itself may coincide
+    with a round tick, so we bracket the instant just before boot.
+    """
+    previous, following = series.ping_gap_around(timestamp - 1.0)
+    if previous is None or following is None:
+        return False, 0.0
+    spacing = following - previous
+    if spacing > 1.5 * series.cadence:
+        return True, spacing
+    return False, 0.0
+
+
+def classify_gap(previous: ConnectionLogEntry, current: ConnectionLogEntry,
+                 series: KRootSeries,
+                 reboots: Sequence[Reboot]) -> GapEvent:
+    """Attribute one gap using the paper's priority order."""
+    gap_start = previous.end
+    gap_end = current.start
+    address_changed = (not previous.is_ipv6 and not current.is_ipv6
+                       and previous.address != current.address)
+
+    records = series.records(gap_start - WINDOW_MARGIN,
+                             gap_end + WINDOW_MARGIN)
+    outages = detect_network_outages(records)
+    for outage in outages:
+        if outage.overlaps(gap_start, gap_end):
+            return GapEvent(previous.probe_id, gap_start, gap_end,
+                            GapCause.NETWORK, address_changed,
+                            outage.duration)
+
+    for reboot in reboots:
+        if gap_start - WINDOW_MARGIN <= reboot.time <= gap_end:
+            missing, duration = _missing_rounds_around(series, reboot.time)
+            if missing:
+                return GapEvent(previous.probe_id, gap_start, gap_end,
+                                GapCause.POWER, address_changed, duration)
+
+    return GapEvent(previous.probe_id, gap_start, gap_end, GapCause.NONE,
+                    address_changed, 0.0)
+
+
+def associate_probe_gaps(entries: Sequence[ConnectionLogEntry],
+                         series: KRootSeries,
+                         reboots: Sequence[Reboot]) -> list[GapEvent]:
+    """Classify every gap in one probe's connection log.
+
+    ``reboots`` should already be firmware-filtered (Section 5.2).
+    Gaps bounded by IPv6 connections are classified, but their
+    address-change flag is False since no IPv4 comparison exists.
+    """
+    events: list[GapEvent] = []
+    ordered_reboots = sorted(reboots, key=lambda r: r.time)
+    for previous, current in zip(entries, entries[1:]):
+        events.append(classify_gap(previous, current, series,
+                                   ordered_reboots))
+    return events

@@ -1,0 +1,141 @@
+"""Address spans and address changes from connection logs (Section 3.1).
+
+The paper infers an address change when consecutive connection-log entries
+carry different peer addresses; the *duration* of an address is measured
+from the first connection start using it to the last connection end using
+it, and is only known when the span is bounded by observed changes on both
+sides (the first and last spans of a probe have unknown duration —
+Table 1's ``NA`` rows).
+
+IPv6 entries interrupt IPv4 visibility: a dual-stack probe that connects
+over IPv6 hides when its IPv4 address changed, so spans adjacent to IPv6
+entries get unknown boundaries (Section 3.2's motivation for dropping
+dual-stack probes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.atlas.types import ConnectionLogEntry
+from repro.net.ipv4 import IPv4Address
+
+
+@dataclass(frozen=True)
+class AddressSpan:
+    """One contiguous tenure of an address at a probe."""
+
+    probe_id: int
+    address: IPv4Address
+    start: float
+    end: float
+    #: True when the span began with an observed address change.
+    complete_start: bool
+    #: True when the span ended with an observed address change.
+    complete_end: bool
+
+    @property
+    def duration(self) -> float:
+        """Tenure length; meaningful only when :attr:`has_known_duration`."""
+        return self.end - self.start
+
+    @property
+    def has_known_duration(self) -> bool:
+        """True when both boundaries are observed changes."""
+        return self.complete_start and self.complete_end
+
+
+@dataclass(frozen=True)
+class AddressChange:
+    """One observed change between consecutive IPv4 connections."""
+
+    probe_id: int
+    old_address: IPv4Address
+    new_address: IPv4Address
+    #: End of the last connection using the old address.
+    gap_start: float
+    #: Start of the first connection using the new address.
+    gap_end: float
+
+    @property
+    def time(self) -> float:
+        """The instant we first observe the new address."""
+        return self.gap_end
+
+
+def extract_spans(entries: Sequence[ConnectionLogEntry]) -> list[AddressSpan]:
+    """Group a probe's entries into address spans.
+
+    Consecutive IPv4 entries with the same address merge into one span.
+    An IPv6 entry closes the current span with an unknown boundary and the
+    following IPv4 span opens with one.
+    """
+    spans: list[AddressSpan] = []
+    current: dict | None = None
+    after_v6 = False
+    for entry in entries:
+        if entry.is_ipv6:
+            if current is not None:
+                spans.append(AddressSpan(complete_end=False, **current))
+                current = None
+            after_v6 = True
+            continue
+        if current is not None and entry.address == current["address"]:
+            current["end"] = entry.end
+            continue
+        if current is not None:
+            # Address differs: the old span ends with an observed change.
+            spans.append(AddressSpan(complete_end=True, **current))
+        current = dict(
+            probe_id=entry.probe_id,
+            address=entry.address,
+            start=entry.start,
+            end=entry.end,
+            complete_start=(current is not None) and not after_v6,
+        )
+        if after_v6:
+            after_v6 = False
+    if current is not None:
+        spans.append(AddressSpan(complete_end=False, **current))
+    return spans
+
+
+def extract_changes(entries: Sequence[ConnectionLogEntry]
+                    ) -> list[AddressChange]:
+    """Find address changes between consecutive IPv4 entries.
+
+    IPv6 entries break adjacency: a change across an intervening IPv6
+    connection cannot be timed and is not reported.
+    """
+    changes: list[AddressChange] = []
+    previous: ConnectionLogEntry | None = None
+    for entry in entries:
+        if entry.is_ipv6:
+            previous = None
+            continue
+        if previous is not None and entry.address != previous.address:
+            changes.append(AddressChange(
+                entry.probe_id, previous.address, entry.address,
+                previous.end, entry.start))
+        previous = entry
+    return changes
+
+
+def known_durations(spans: Iterable[AddressSpan]) -> list[float]:
+    """Durations of the spans bounded by observed changes on both sides."""
+    return [span.duration for span in spans if span.has_known_duration]
+
+
+def strip_testing_entry(entries: Sequence[ConnectionLogEntry],
+                        testing_address: IPv4Address
+                        ) -> tuple[list[ConnectionLogEntry], bool]:
+    """Drop a leading connection from the RIPE testing address.
+
+    Returns the remaining entries and whether a testing entry was removed
+    (Section 3.3: 427 probes began from 193.0.0.78).
+    """
+    if (entries and not entries[0].is_ipv6
+            and entries[0].address == testing_address):
+        return list(entries[1:]), True
+    return list(entries), False

@@ -1,0 +1,170 @@
+"""Address-space churn and administrative renumbering (Section 8).
+
+The paper's conclusion flags two follow-ups we implement here:
+
+* **daily churn** — Richter et al. report the active IPv4 address set at a
+  large CDN shifts ~8% day over day; :func:`churn_series` computes the
+  equivalent appear/disappear series from observed address spans;
+* **administrative renumbering** — reassignment of addresses en masse from
+  one prefix to another, of which the paper found a single instance.
+  :func:`detect_administrative_renumbering` flags, per AS, days where most
+  probes changed address *and* the new addresses land in routed prefixes
+  the AS's customers had never been seen in before.  The prefix-novelty
+  condition is what separates an administrative migration from ordinary
+  periodic renumbering, where every prefix recurs daily.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.changes import AddressChange, AddressSpan
+from repro.net.ipv4 import IPv4Prefix
+from repro.net.pfx2as import IpToAsDataset
+from repro.util.stats import fraction
+from repro.util.timeutil import DAY
+
+
+@dataclass(frozen=True)
+class ChurnPoint:
+    """Day-over-day active-address-set delta."""
+
+    day_index: int
+    active: int
+    appeared: int
+    disappeared: int
+
+    @property
+    def churn_fraction(self) -> float:
+        """(appeared + disappeared) relative to the previous day's set."""
+        return fraction(self.appeared + self.disappeared, self.active)
+
+
+def daily_active_addresses(spans_by_probe: Mapping[int, Sequence[AddressSpan]],
+                           start: float, end: float
+                           ) -> dict[int, set[int]]:
+    """Addresses observed active on each day (0-based day index).
+
+    A span contributes its address to every day it overlaps.
+    """
+    total_days = int((end - start) // DAY) + 1
+    active: dict[int, set[int]] = defaultdict(set)
+    for spans in spans_by_probe.values():
+        for span in spans:
+            first = max(0, int((span.start - start) // DAY))
+            last = min(total_days - 1, int((span.end - start) // DAY))
+            for day in range(first, last + 1):
+                active[day].add(span.address.value)
+    return dict(active)
+
+
+def churn_series(daily: Mapping[int, set[int]]) -> list[ChurnPoint]:
+    """Day-over-day appear/disappear counts (the Richter-style series)."""
+    points: list[ChurnPoint] = []
+    days = sorted(daily)
+    for previous_day, day in zip(days, days[1:]):
+        before = daily[previous_day]
+        after = daily[day]
+        points.append(ChurnPoint(
+            day_index=day,
+            active=len(before),
+            appeared=len(after - before),
+            disappeared=len(before - after),
+        ))
+    return points
+
+
+def mean_churn(points: Iterable[ChurnPoint]) -> float:
+    """Average churn fraction across the series (0 when empty)."""
+    values = [p.churn_fraction for p in points]
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+@dataclass(frozen=True)
+class AdministrativeRenumbering:
+    """One detected mass prefix migration."""
+
+    asn: int
+    day_index: int
+    probes_changed: int
+    probes_total: int
+    novel_prefixes: tuple[IPv4Prefix, ...]
+
+    @property
+    def changed_fraction(self) -> float:
+        """Share of the AS's probes renumbered on the day."""
+        return fraction(self.probes_changed, self.probes_total)
+
+
+def detect_administrative_renumbering(
+        changes_by_probe: Mapping[int, Sequence[AddressChange]],
+        asn_by_probe: Mapping[int, int],
+        ip2as: IpToAsDataset,
+        start: float,
+        min_probes: int = 5,
+        change_fraction: float = 0.6,
+        novelty_fraction: float = 0.8,
+        warmup_days: int = 30) -> list[AdministrativeRenumbering]:
+    """Find days where an AS migrated its customers to fresh prefixes.
+
+    For each AS with at least ``min_probes`` changed probes, a day
+    qualifies when at least ``change_fraction`` of the AS's probes changed
+    address and at least ``novelty_fraction`` of those changes landed in
+    BGP prefixes never seen for this AS before that day.  The first
+    ``warmup_days`` of the observation window are never flagged: the
+    prefix universe is still filling in, so novelty is meaningless.
+    """
+    by_asn: dict[int, list[AddressChange]] = defaultdict(list)
+    probes_by_asn: dict[int, set[int]] = defaultdict(set)
+    for probe_id, changes in changes_by_probe.items():
+        asn = asn_by_probe.get(probe_id)
+        if asn is None or not changes:
+            continue
+        probes_by_asn[asn].add(probe_id)
+        by_asn[asn].extend(changes)
+
+    events: list[AdministrativeRenumbering] = []
+    for asn, changes in by_asn.items():
+        if len(probes_by_asn[asn]) < min_probes:
+            continue
+        changes.sort(key=lambda change: change.time)
+        seen_prefixes: set[IPv4Prefix] = set()
+        by_day: dict[int, list[tuple[int, IPv4Prefix | None,
+                                     IPv4Prefix | None]]] = defaultdict(list)
+        for change in changes:
+            day = int((change.time - start) // DAY)
+            new_prefix = ip2as.bgp_prefix(change.new_address, change.time)
+            old_prefix = ip2as.bgp_prefix(change.old_address, change.time)
+            by_day[day].append((change.probe_id, new_prefix, old_prefix))
+        for day in sorted(by_day):
+            entries = by_day[day]
+            day_probes = {probe_id for probe_id, _, _ in entries}
+            day_prefixes = [p for _, p, _ in entries if p is not None]
+            # Old addresses were in use before today; their prefixes are
+            # prior knowledge even on an AS's first observed change day.
+            seen_prefixes.update(
+                p for _, _, p in entries if p is not None)
+            novel = [p for p in day_prefixes if p not in seen_prefixes]
+            changed_share = fraction(len(day_probes),
+                                     len(probes_by_asn[asn]))
+            novelty = fraction(len(novel), len(day_prefixes))
+            # Warm-up: early in the window, 'novel' prefixes are just the
+            # universe filling in.
+            warmed_up = day >= warmup_days
+            if (warmed_up
+                    and changed_share >= change_fraction
+                    and day_prefixes
+                    and novelty >= novelty_fraction):
+                events.append(AdministrativeRenumbering(
+                    asn=asn, day_index=day,
+                    probes_changed=len(day_probes),
+                    probes_total=len(probes_by_asn[asn]),
+                    novel_prefixes=tuple(sorted(set(novel))),
+                ))
+            seen_prefixes.update(day_prefixes)
+    events.sort(key=lambda event: (event.day_index, event.asn))
+    return events

@@ -1,0 +1,153 @@
+"""Conditional probabilities of address change given outages (Section 5.3).
+
+Per probe, ``P(ac|nw)`` is the fraction of its network outages that were
+accompanied by an address change, and ``P(ac|pw)`` the same for power
+outages.  Power statistics only use v3 probes: v1/v2 hardware can reboot
+*because of* an address change (memory fragmentation), inverting the
+causality (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.association import GapCause, GapEvent
+from repro.util.stats import CdfPoint, empirical_cdf, fraction
+
+
+@dataclass(frozen=True)
+class ProbeOutageStats:
+    """Outage/change tallies for one probe."""
+
+    probe_id: int
+    network_outages: int
+    network_changes: int
+    power_outages: int
+    power_changes: int
+
+    @property
+    def p_change_given_network(self) -> float:
+        """P(ac|nw); zero when the probe saw no network outages."""
+        return fraction(self.network_changes, self.network_outages)
+
+    @property
+    def p_change_given_power(self) -> float:
+        """P(ac|pw); zero when the probe saw no power outages."""
+        return fraction(self.power_changes, self.power_outages)
+
+
+def probe_outage_stats(probe_id: int,
+                       events: Iterable[GapEvent]) -> ProbeOutageStats:
+    """Tally one probe's classified gaps."""
+    nw = nw_changed = pw = pw_changed = 0
+    for event in events:
+        if event.cause is GapCause.NETWORK:
+            nw += 1
+            nw_changed += event.address_changed
+        elif event.cause is GapCause.POWER:
+            pw += 1
+            pw_changed += event.address_changed
+    return ProbeOutageStats(probe_id, nw, nw_changed, pw, pw_changed)
+
+
+def conditional_cdf_network(stats: Iterable[ProbeOutageStats],
+                            min_outages: int = 3) -> list[CdfPoint]:
+    """Figure 7 series: CDF of P(ac|nw) over qualifying probes.
+
+    Qualification follows the paper: at least ``min_outages`` network
+    outage events.  (Callers restrict to probes with >= 1 address change.)
+    """
+    values = [s.p_change_given_network for s in stats
+              if s.network_outages >= min_outages]
+    return empirical_cdf(values)
+
+
+def conditional_cdf_power(stats: Iterable[ProbeOutageStats],
+                          min_outages: int = 3) -> list[CdfPoint]:
+    """Figure 8 series: CDF of P(ac|pw); pass v3-only stats."""
+    values = [s.p_change_given_power for s in stats
+              if s.power_outages >= min_outages]
+    return empirical_cdf(values)
+
+
+@dataclass(frozen=True)
+class OutageRenumberingRow:
+    """One Table 6 row: an AS whose probes renumber on most outages."""
+
+    as_name: str
+    asn: int
+    country: str
+    n: int
+    pct_network_over_80: float
+    pct_network_eq_1: float
+    pct_power_over_80: float
+    pct_power_eq_1: float
+
+
+def outage_renumbering_table(stats_by_probe: Mapping[int, ProbeOutageStats],
+                             asn_by_probe: Mapping[int, int],
+                             as_names: Mapping[int, str],
+                             as_countries: Mapping[int, str] | None = None,
+                             min_outages: int = 3,
+                             min_qualifying_probes: int = 5,
+                             probability_bar: float = 0.8
+                             ) -> list[OutageRenumberingRow]:
+    """Build Table 6.
+
+    ``N`` counts probes with at least ``min_outages`` network *and* power
+    outages; an AS is listed when at least ``min_qualifying_probes`` of
+    them have P(ac|nw) above ``probability_bar``.  Pass v3-only stats so
+    the power columns are trustworthy.
+    """
+    by_asn: dict[int, list[ProbeOutageStats]] = defaultdict(list)
+    for probe_id, stats in stats_by_probe.items():
+        if (stats.network_outages >= min_outages
+                and stats.power_outages >= min_outages):
+            by_asn[asn_by_probe[probe_id]].append(stats)
+
+    rows: list[OutageRenumberingRow] = []
+    for asn, members in by_asn.items():
+        qualifying = [s for s in members
+                      if s.p_change_given_network > probability_bar]
+        if len(qualifying) < min_qualifying_probes:
+            continue
+        n = len(members)
+        rows.append(OutageRenumberingRow(
+            as_name=as_names.get(asn, "AS%d" % asn), asn=asn,
+            country=(as_countries or {}).get(asn, ""),
+            n=n,
+            pct_network_over_80=fraction(
+                sum(1 for s in members
+                    if s.p_change_given_network > probability_bar), n),
+            pct_network_eq_1=fraction(
+                sum(1 for s in members
+                    if s.network_outages and s.network_changes ==
+                    s.network_outages), n),
+            pct_power_over_80=fraction(
+                sum(1 for s in members
+                    if s.p_change_given_power > probability_bar), n),
+            pct_power_eq_1=fraction(
+                sum(1 for s in members
+                    if s.power_outages and s.power_changes ==
+                    s.power_outages), n),
+        ))
+    rows.sort(key=lambda row: -row.n)
+    return rows
+
+
+def stats_for_asn(stats_by_probe: Mapping[int, ProbeOutageStats],
+                  asn_by_probe: Mapping[int, int],
+                  asn: int,
+                  changed_probes: set[int] | None = None
+                  ) -> list[ProbeOutageStats]:
+    """Stats of one AS's probes, optionally requiring >= 1 address change."""
+    out: list[ProbeOutageStats] = []
+    for probe_id, stats in stats_by_probe.items():
+        if asn_by_probe.get(probe_id) != asn:
+            continue
+        if changed_probes is not None and probe_id not in changed_probes:
+            continue
+        out.append(stats)
+    return out

@@ -1,0 +1,95 @@
+"""Geographic aggregation of address durations (Section 4.2, Figures 1, 3).
+
+Durations are aggregated by the probe's country and continent using the
+probe archive, producing per-continent total-time-fraction CDFs (Figure 1)
+and per-AS CDFs within one country (Figure 3 for Germany).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.atlas.archive import ProbeArchive
+from repro.core.timefraction import DEFAULT_BIN, time_fraction_cdf
+from repro.util.stats import CdfPoint
+
+#: One "total address duration" year, the unit Figure 1's legend uses.
+YEAR_SECONDS = 365.0 * 24 * 3600
+
+
+@dataclass(frozen=True)
+class GroupDurations:
+    """Pooled durations for one geographic or AS group."""
+
+    label: str
+    durations: tuple[float, ...]
+
+    @property
+    def total_years(self) -> float:
+        """Total address time in years (the legend's parenthetical)."""
+        return sum(self.durations) / YEAR_SECONDS
+
+    def cdf(self, bin_width: float = DEFAULT_BIN) -> list[CdfPoint]:
+        """Total-time-fraction CDF for the group."""
+        return time_fraction_cdf(self.durations, bin_width)
+
+
+def durations_by_continent(durations_by_probe: Mapping[int, Sequence[float]],
+                           archive: ProbeArchive) -> list[GroupDurations]:
+    """Pool durations per continent, largest total first (Figure 1)."""
+    pooled: dict[str, list[float]] = defaultdict(list)
+    for probe_id, durations in durations_by_probe.items():
+        meta = archive.get(probe_id)
+        pooled[meta.continent].extend(durations)
+    groups = [GroupDurations(continent, tuple(durations))
+              for continent, durations in pooled.items()]
+    groups.sort(key=lambda group: -group.total_years)
+    return groups
+
+
+def durations_by_country(durations_by_probe: Mapping[int, Sequence[float]],
+                         archive: ProbeArchive) -> dict[str, GroupDurations]:
+    """Pool durations per country code."""
+    pooled: dict[str, list[float]] = defaultdict(list)
+    for probe_id, durations in durations_by_probe.items():
+        pooled[archive.get(probe_id).country].extend(durations)
+    return {country: GroupDurations(country, tuple(durations))
+            for country, durations in pooled.items()}
+
+
+def country_as_breakdown(durations_by_probe: Mapping[int, Sequence[float]],
+                         asn_by_probe: Mapping[int, int],
+                         archive: ProbeArchive,
+                         country: str,
+                         as_names: Mapping[int, str],
+                         min_total_years: float = 3.0
+                         ) -> list[GroupDurations]:
+    """Figure 3's per-AS view inside one country.
+
+    ASes contributing less than ``min_total_years`` of address time pool
+    into an 'others' group, as the paper does for Germany.
+    """
+    pooled: dict[int, list[float]] = defaultdict(list)
+    for probe_id, durations in durations_by_probe.items():
+        if archive.get(probe_id).country != country:
+            continue
+        asn = asn_by_probe.get(probe_id)
+        if asn is None:
+            continue
+        pooled[asn].extend(durations)
+
+    groups: list[GroupDurations] = []
+    others: list[float] = []
+    for asn, durations in pooled.items():
+        group = GroupDurations(as_names.get(asn, "AS%d" % asn),
+                               tuple(durations))
+        if group.total_years >= min_total_years:
+            groups.append(group)
+        else:
+            others.extend(durations)
+    groups.sort(key=lambda group: -group.total_years)
+    if others:
+        groups.append(GroupDurations("others", tuple(others)))
+    return groups

@@ -1,0 +1,71 @@
+"""Renumbering likelihood by outage duration (Section 5.4, Figure 9).
+
+Buckets detected outage durations into the paper's twelve ranges (<5 min up
+to >1 week) and reports, per bucket, how many outages were accompanied by
+an address change.  DHCP ISPs (LGI) show renumbering probability growing
+with duration; PPP ISPs (Orange) renumber even on the shortest outages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.association import GapCause, GapEvent
+from repro.util.stats import fraction
+from repro.util.timeutil import DAY, HOUR, MINUTE, WEEK
+
+#: The paper's Figure 9 bucket boundaries (seconds), with labels.
+BUCKETS: tuple[tuple[str, float, float], ...] = (
+    ("< 5m", 0.0, 5 * MINUTE),
+    ("5-10m", 5 * MINUTE, 10 * MINUTE),
+    ("10-20m", 10 * MINUTE, 20 * MINUTE),
+    ("20-30m", 20 * MINUTE, 30 * MINUTE),
+    ("30-60m", 30 * MINUTE, 60 * MINUTE),
+    ("1-3h", HOUR, 3 * HOUR),
+    ("3-6h", 3 * HOUR, 6 * HOUR),
+    ("6-12h", 6 * HOUR, 12 * HOUR),
+    ("12-24h", 12 * HOUR, 24 * HOUR),
+    ("1-3d", DAY, 3 * DAY),
+    ("3d-7d", 3 * DAY, WEEK),
+    ("> 1w", WEEK, float("inf")),
+)
+
+
+@dataclass(frozen=True)
+class DurationBucket:
+    """One Figure 9 bar: outages in a duration range."""
+
+    label: str
+    low: float
+    high: float
+    total: int
+    renumbered: int
+
+    @property
+    def renumbered_fraction(self) -> float:
+        """Share of the bucket's outages that changed the address."""
+        return fraction(self.renumbered, self.total)
+
+
+def bucket_outages(events: Iterable[GapEvent]) -> list[DurationBucket]:
+    """Histogram outage-attributed gaps into the Figure 9 buckets.
+
+    Pass only the gap events you want counted (e.g. network outages from
+    all probes plus power outages from v3 probes, for one AS).
+    """
+    totals = [0] * len(BUCKETS)
+    renumbered = [0] * len(BUCKETS)
+    for event in events:
+        if event.cause is GapCause.NONE:
+            continue
+        duration = event.outage_duration
+        for index, (_label, low, high) in enumerate(BUCKETS):
+            if low <= duration < high:
+                totals[index] += 1
+                renumbered[index] += event.address_changed
+                break
+    return [
+        DurationBucket(label, low, high, totals[index], renumbered[index])
+        for index, (label, low, high) in enumerate(BUCKETS)
+    ]

@@ -1,0 +1,217 @@
+"""Periodic-renumbering classification (Sections 4.3-4.4, Table 5).
+
+A probe is *periodic* at duration ``d`` when its total time fraction at
+``d`` exceeds 0.25 (the paper's threshold, chosen so outage-truncated and
+occasionally skipped cycles don't hide the period).  An AS appears in
+Table 5 when at least five of its probes yielded an address change and at
+least three are periodic at some common ``d``.
+
+Persistence columns report how many of the periodic probes have
+``f_d > 0.5`` / ``f_d > 0.75``; ``MAX <= d`` reports how many never held
+an address longer than ``d`` (with 5% slack); ``Harmonic`` loosens that to
+durations near integer multiples of ``d`` — a skipped renumbering or a
+by-chance re-grant of the same address.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.timefraction import (
+    DEFAULT_BIN,
+    bin_duration,
+    binned_time,
+    total_time_fraction,
+)
+from repro.util.stats import fraction
+from repro.util.timeutil import HOUR
+
+PERIODIC_THRESHOLD = 0.25
+#: Ignore candidate periods below this; the paper's shortest is 12 hours,
+#: and shorter modes come from outage clustering, not ISP schedules.
+MIN_PERIOD = 6 * HOUR
+#: A probe needs at least this many measured durations before a period is
+#: inferred: with one or two samples, a total time fraction above any
+#: threshold is vacuous (a single duration always has f = 1).
+MIN_DURATIONS = 3
+#: Slack applied to d for the MAX <= d and harmonic columns (the paper
+#: adjusted d to d + 5%).
+DURATION_SLACK = 1.05
+
+
+@dataclass(frozen=True)
+class ProbePeriodicity:
+    """Per-probe periodicity verdict."""
+
+    probe_id: int
+    period: float | None
+    fraction_at_period: float
+
+    @property
+    def is_periodic(self) -> bool:
+        """True when a period with f_d above threshold was found."""
+        return self.period is not None
+
+
+def detect_probe_period(durations: Sequence[float],
+                        threshold: float = PERIODIC_THRESHOLD,
+                        bin_width: float = DEFAULT_BIN,
+                        min_period: float = MIN_PERIOD,
+                        min_durations: int = MIN_DURATIONS
+                        ) -> tuple[float, float] | None:
+    """Find the duration bin holding more than ``threshold`` of total time.
+
+    Returns ``(d, f_d)`` for the strongest qualifying bin, or None.
+    Probes with fewer than ``min_durations`` measured durations are never
+    periodic — the fraction is statistically vacuous.
+    """
+    if len(durations) < min_durations:
+        return None
+    total = sum(durations)
+    if total == 0:
+        return None
+    best: tuple[float, float] | None = None
+    for d, time_at in binned_time(durations, bin_width).items():
+        if d < min_period:
+            continue
+        f = time_at / total
+        if f > threshold and (best is None or f > best[1]):
+            best = (d, f)
+    return best
+
+
+def classify_probe(probe_id: int, durations: Sequence[float],
+                   threshold: float = PERIODIC_THRESHOLD,
+                   bin_width: float = DEFAULT_BIN) -> ProbePeriodicity:
+    """Classify one probe; non-periodic probes carry period None."""
+    found = detect_probe_period(durations, threshold, bin_width)
+    if found is None:
+        return ProbePeriodicity(probe_id, None, 0.0)
+    return ProbePeriodicity(probe_id, found[0], found[1])
+
+
+def max_within(durations: Sequence[float], period: float,
+               slack: float = DURATION_SLACK) -> bool:
+    """True when no duration exceeds ``period * slack`` (MAX <= d column)."""
+    return all(duration <= period * slack for duration in durations)
+
+
+def is_harmonic(durations: Sequence[float], period: float,
+                slack: float = DURATION_SLACK,
+                rel_tol: float = 0.05) -> bool:
+    """True when every duration is <= d or near an integer multiple of d."""
+    for duration in durations:
+        if duration <= period * slack:
+            continue
+        multiple = round(duration / period)
+        if multiple < 1 or abs(duration - multiple * period) > \
+                rel_tol * multiple * period:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class PeriodicityRow:
+    """One Table 5 row: an (AS, period) pair and its probe statistics."""
+
+    as_name: str
+    asn: int | None
+    country: str
+    period: float
+    n_changed: int
+    n_periodic: int
+    pct_over_50: float
+    pct_over_75: float
+    pct_max_le_d: float
+    pct_harmonic: float
+
+    @property
+    def period_hours(self) -> float:
+        """The period in hours, as Table 5 prints it."""
+        return self.period / HOUR
+
+
+def _row_for_group(as_name: str, asn: int | None, country: str,
+                   period: float, n_changed: int,
+                   member_durations: Sequence[Sequence[float]],
+                   bin_width: float) -> PeriodicityRow:
+    over_50 = over_75 = max_le = harmonic = 0
+    for durations in member_durations:
+        f = total_time_fraction(durations, period, bin_width)
+        if f > 0.5:
+            over_50 += 1
+        if f > 0.75:
+            over_75 += 1
+        if max_within(durations, period):
+            max_le += 1
+        if is_harmonic(durations, period):
+            harmonic += 1
+    n_periodic = len(member_durations)
+    return PeriodicityRow(
+        as_name=as_name, asn=asn, country=country, period=period,
+        n_changed=n_changed, n_periodic=n_periodic,
+        pct_over_50=fraction(over_50, n_periodic),
+        pct_over_75=fraction(over_75, n_periodic),
+        pct_max_le_d=fraction(max_le, n_periodic),
+        pct_harmonic=fraction(harmonic, n_periodic),
+    )
+
+
+def as_periodicity_table(durations_by_probe: Mapping[int, Sequence[float]],
+                         asn_by_probe: Mapping[int, int],
+                         as_names: Mapping[int, str],
+                         as_countries: Mapping[int, str] | None = None,
+                         min_probes: int = 5,
+                         min_periodic: int = 3,
+                         threshold: float = PERIODIC_THRESHOLD,
+                         bin_width: float = DEFAULT_BIN
+                         ) -> list[PeriodicityRow]:
+    """Build Table 5: one row per (AS, period) with enough periodic probes.
+
+    ``durations_by_probe`` should contain only probes with at least one
+    known duration (i.e. at least two address changes).
+    """
+    probes_by_asn: dict[int, list[int]] = defaultdict(list)
+    for probe_id, asn in asn_by_probe.items():
+        if probe_id in durations_by_probe:
+            probes_by_asn[asn].append(probe_id)
+
+    rows: list[PeriodicityRow] = []
+    for asn, probe_ids in probes_by_asn.items():
+        changed = [pid for pid in probe_ids
+                   if len(durations_by_probe[pid]) >= 1]
+        if len(changed) < min_probes:
+            continue
+        by_period: dict[float, list[int]] = defaultdict(list)
+        for pid in changed:
+            verdict = classify_probe(pid, durations_by_probe[pid],
+                                     threshold, bin_width)
+            if verdict.is_periodic:
+                by_period[verdict.period].append(pid)
+        for period, members in by_period.items():
+            if len(members) < min_periodic:
+                continue
+            rows.append(_row_for_group(
+                as_names.get(asn, "AS%d" % asn), asn,
+                (as_countries or {}).get(asn, ""),
+                period, len(changed),
+                [durations_by_probe[pid] for pid in members], bin_width))
+    rows.sort(key=lambda row: -row.n_periodic)
+    return rows
+
+
+def all_probes_row(durations_by_probe: Mapping[int, Sequence[float]],
+                   period: float,
+                   threshold: float = PERIODIC_THRESHOLD,
+                   bin_width: float = DEFAULT_BIN) -> PeriodicityRow:
+    """The Table 5 'All' summary row for one period (24 h and 168 h)."""
+    target = bin_duration(period, bin_width)
+    members = []
+    for pid, durations in durations_by_probe.items():
+        verdict = classify_probe(pid, durations, threshold, bin_width)
+        if verdict.is_periodic and verdict.period == target:
+            members.append(durations)
+    return _row_for_group("All", None, "", target,
+                          len(durations_by_probe), members, bin_width)

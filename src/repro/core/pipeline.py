@@ -1,0 +1,340 @@
+"""End-to-end analysis pipeline.
+
+Stitches the stages together in the paper's order: filter probes (Table 2),
+extract spans/changes/durations, detect reboots and firmware campaigns,
+associate gaps with outages, and compute per-probe outage statistics.
+:class:`AnalysisResults` then exposes one method per table/figure, which
+the experiment drivers and benchmarks call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.atlas.archive import ProbeArchive
+from repro.atlas.connlog import ConnectionLog
+from repro.atlas.kroot import KRootDataset
+from repro.atlas.sosuptime import UptimeDataset
+from repro.atlas.types import ProbeVersion
+from repro.core import geography
+from repro.core.association import GapEvent, associate_probe_gaps
+from repro.core.changes import (
+    AddressChange,
+    AddressSpan,
+    extract_spans,
+    known_durations,
+)
+from repro.core.conditional import (
+    OutageRenumberingRow,
+    ProbeOutageStats,
+    conditional_cdf_network,
+    conditional_cdf_power,
+    outage_renumbering_table,
+    probe_outage_stats,
+    stats_for_asn,
+)
+from repro.core.filtering import FilterReport, ProbeFilter
+from repro.core.hourofday import hour_histogram, periodic_change_hours
+from repro.core.outage_buckets import DurationBucket, bucket_outages
+from repro.core.periodicity import (
+    PeriodicityRow,
+    all_probes_row,
+    as_periodicity_table,
+    classify_probe,
+)
+from repro.core.prefixes import PrefixChangeRow, prefix_change_table
+from repro.core.reboots import (
+    detect_all_reboots,
+    detect_firmware_days,
+    firmware_filtered_reboots,
+    reboots_per_day,
+)
+from repro.core.timefraction import DEFAULT_BIN
+from repro.net.pfx2as import IpToAsDataset
+from repro.util import timeutil
+from repro.util.stats import CdfPoint
+
+
+@dataclass
+class AnalysisResults:
+    """All per-stage outputs plus table/figure builders."""
+
+    filter_report: FilterReport
+    archive: ProbeArchive
+    ip2as: IpToAsDataset
+    as_names: dict[int, str]
+    as_countries: dict[int, str]
+    #: Spans per analyzable (geography) probe, testing entry removed.
+    spans_by_probe: dict[int, list[AddressSpan]]
+    #: Known durations per analyzable (geography) probe.
+    durations_by_probe: dict[int, list[float]]
+    #: All changes per single-AS (AS-level) probe.
+    changes_by_probe: dict[int, list[AddressChange]]
+    #: Home AS per single-AS probe.
+    asn_by_probe: dict[int, int]
+    #: Classified gaps per single-AS probe.
+    gap_events_by_probe: dict[int, list[GapEvent]]
+    #: Outage statistics per single-AS probe.
+    stats_by_probe: dict[int, ProbeOutageStats]
+    #: Unique probes rebooting per day of year (raw, Figure 6).
+    reboot_day_counts: dict[int, int]
+    #: Inferred firmware distribution days (day of year).
+    firmware_days: list[int]
+    _v3_probes: set[int] = field(default_factory=set)
+
+    # -- subsets -----------------------------------------------------------
+
+    def as_level_durations(self) -> dict[int, list[float]]:
+        """Durations restricted to single-AS probes (Table 5 input)."""
+        return {pid: durations
+                for pid, durations in self.durations_by_probe.items()
+                if pid in self.asn_by_probe}
+
+    def changed_probes(self) -> set[int]:
+        """Single-AS probes with at least one address change."""
+        return {pid for pid, changes in self.changes_by_probe.items()
+                if changes}
+
+    def v3_stats(self) -> dict[int, ProbeOutageStats]:
+        """Outage stats restricted to v3 probes (power analysis)."""
+        return {pid: stats for pid, stats in self.stats_by_probe.items()
+                if pid in self._v3_probes}
+
+    # -- tables -------------------------------------------------------------
+
+    def table2_rows(self) -> list[tuple[str, int]]:
+        """Table 2: probe filtering summary."""
+        return self.filter_report.table2_rows()
+
+    def table5_rows(self, min_probes: int = 5,
+                    min_periodic: int = 3) -> list[PeriodicityRow]:
+        """Table 5: per-(AS, period) periodicity rows."""
+        return as_periodicity_table(
+            self.as_level_durations(), self.asn_by_probe, self.as_names,
+            self.as_countries, min_probes=min_probes,
+            min_periodic=min_periodic)
+
+    def table5_all_rows(self) -> list[PeriodicityRow]:
+        """Table 5's 'All' rows at 24 h and 168 h."""
+        durations = self.as_level_durations()
+        return [all_probes_row(durations, 24 * timeutil.HOUR),
+                all_probes_row(durations, 168 * timeutil.HOUR)]
+
+    def table6_rows(self, min_outages: int = 3,
+                    min_qualifying_probes: int = 5
+                    ) -> list[OutageRenumberingRow]:
+        """Table 6: ASes renumbering on most outages (v3 probes)."""
+        return outage_renumbering_table(
+            self.v3_stats(), self.asn_by_probe, self.as_names,
+            self.as_countries, min_outages=min_outages,
+            min_qualifying_probes=min_qualifying_probes)
+
+    def table7(self, top: int | None = 10
+               ) -> tuple[PrefixChangeRow, list[PrefixChangeRow]]:
+        """Table 7: cross-prefix change counts ('All' row + per-AS rows)."""
+        return prefix_change_table(
+            self.changes_by_probe, self.asn_by_probe, self.ip2as,
+            self.as_names, self.as_countries, top=top)
+
+    # -- figures ------------------------------------------------------------
+
+    def figure1_groups(self) -> list[geography.GroupDurations]:
+        """Figure 1: pooled durations per continent."""
+        return geography.durations_by_continent(self.durations_by_probe,
+                                                self.archive)
+
+    def figure2_cdf(self, asn: int,
+                    bin_width: float = DEFAULT_BIN) -> list[CdfPoint]:
+        """Figures 2-3 series: one AS's total-time-fraction CDF."""
+        group = self.as_group_durations(asn)
+        return group.cdf(bin_width)
+
+    def as_group_durations(self, asn: int) -> geography.GroupDurations:
+        """Pooled durations of one AS's single-AS probes."""
+        pooled: list[float] = []
+        for pid, durations in self.as_level_durations().items():
+            if self.asn_by_probe[pid] == asn:
+                pooled.extend(durations)
+        return geography.GroupDurations(
+            self.as_names.get(asn, "AS%d" % asn), tuple(pooled))
+
+    def figure3_groups(self, country: str = "DE",
+                       min_total_years: float = 3.0
+                       ) -> list[geography.GroupDurations]:
+        """Figure 3: per-AS breakdown inside one country."""
+        return geography.country_as_breakdown(
+            self.as_level_durations(), self.asn_by_probe, self.archive,
+            country, self.as_names, min_total_years=min_total_years)
+
+    def figure45_histogram(self, asn: int, period: float) -> list[int]:
+        """Figures 4-5: hour-of-day histogram of periodic changes."""
+        hours: list[int] = []
+        for pid, spans in self.spans_by_probe.items():
+            if self.asn_by_probe.get(pid) != asn:
+                continue
+            verdict = classify_probe(pid,
+                                     self.durations_by_probe.get(pid, []))
+            if verdict.is_periodic and verdict.period == period:
+                hours.extend(periodic_change_hours(spans, period))
+        return hour_histogram(hours)
+
+    def figure6_series(self) -> tuple[dict[int, int], list[int]]:
+        """Figure 6: reboots per day plus inferred firmware days."""
+        return self.reboot_day_counts, self.firmware_days
+
+    def figure7_cdf(self, asn: int, min_outages: int = 3) -> list[CdfPoint]:
+        """Figure 7: CDF of P(ac|nw) for one AS's changed probes."""
+        stats = stats_for_asn(self.stats_by_probe, self.asn_by_probe, asn,
+                              changed_probes=self.changed_probes())
+        return conditional_cdf_network(stats, min_outages=min_outages)
+
+    def figure8_cdf(self, asn: int, min_outages: int = 3) -> list[CdfPoint]:
+        """Figure 8: CDF of P(ac|pw) for one AS's v3 changed probes."""
+        stats = stats_for_asn(self.v3_stats(), self.asn_by_probe, asn,
+                              changed_probes=self.changed_probes())
+        return conditional_cdf_power(stats, min_outages=min_outages)
+
+    def churn_series(self, start: float, end: float):
+        """Daily active-address churn (Section 8 / Richter et al.)."""
+        from repro.core.churn import churn_series, daily_active_addresses
+        daily = daily_active_addresses(self.spans_by_probe, start, end)
+        return churn_series(daily)
+
+    def administrative_renumberings(self, start: float,
+                                    min_probes: int = 5):
+        """Mass prefix migrations detected per AS (Section 8)."""
+        from repro.core.churn import detect_administrative_renumbering
+        return detect_administrative_renumbering(
+            self.changes_by_probe, self.asn_by_probe, self.ip2as, start,
+            min_probes=min_probes)
+
+    def figure9_buckets(self, asn: int) -> list[DurationBucket]:
+        """Figure 9: renumbering by outage duration for one AS.
+
+        Network outages come from probes of all versions; power outages
+        only from v3 probes, per Section 5.4.
+        """
+        events: list[GapEvent] = []
+        from repro.core.association import GapCause
+        for pid, gaps in self.gap_events_by_probe.items():
+            if self.asn_by_probe.get(pid) != asn:
+                continue
+            is_v3 = pid in self._v3_probes
+            for event in gaps:
+                if event.cause is GapCause.NETWORK or (
+                        event.cause is GapCause.POWER and is_v3):
+                    events.append(event)
+        return bucket_outages(events)
+
+
+class AnalysisPipeline:
+    """Runs the full analysis over one set of input datasets."""
+
+    def __init__(self, connlog: ConnectionLog, archive: ProbeArchive,
+                 kroot: KRootDataset, uptime: UptimeDataset,
+                 ip2as: IpToAsDataset,
+                 as_names: Mapping[int, str] | None = None,
+                 as_countries: Mapping[int, str] | None = None,
+                 min_connected: float = 30 * timeutil.DAY) -> None:
+        self._connlog = connlog
+        self._archive = archive
+        self._kroot = kroot
+        self._uptime = uptime
+        self._ip2as = ip2as
+        self._as_names = dict(as_names or {})
+        self._as_countries = dict(as_countries or {})
+        self._min_connected = min_connected
+
+    def run(self) -> AnalysisResults:
+        """Execute all stages and return the results object."""
+        filter_report = ProbeFilter(self._connlog, self._archive,
+                                    self._ip2as,
+                                    min_connected=self._min_connected).run()
+
+        spans_by_probe: dict[int, list[AddressSpan]] = {}
+        durations_by_probe: dict[int, list[float]] = {}
+        for probe_id in filter_report.analyzable_geo():
+            verdict = filter_report.verdicts[probe_id]
+            spans = extract_spans(verdict.entries)
+            spans_by_probe[probe_id] = spans
+            durations = known_durations(spans)
+            if durations:
+                durations_by_probe[probe_id] = durations
+
+        changes_by_probe: dict[int, list[AddressChange]] = {}
+        asn_by_probe: dict[int, int] = {}
+        for probe_id in filter_report.analyzable_as():
+            verdict = filter_report.verdicts[probe_id]
+            if verdict.asn is None:
+                continue
+            changes_by_probe[probe_id] = verdict.changes
+            asn_by_probe[probe_id] = verdict.asn
+
+        raw_reboots = detect_all_reboots(self._uptime)
+        day_counts = reboots_per_day(raw_reboots)
+        firmware_days = detect_firmware_days(day_counts)
+        campaign_times = [timeutil.YEAR_2015_START
+                          + (day - 1) * timeutil.DAY
+                          for day in firmware_days]
+        filtered_reboots = firmware_filtered_reboots(raw_reboots,
+                                                     campaign_times)
+
+        gap_events_by_probe: dict[int, list[GapEvent]] = {}
+        stats_by_probe: dict[int, ProbeOutageStats] = {}
+        for probe_id in filter_report.analyzable_as():
+            verdict = filter_report.verdicts[probe_id]
+            if not self._kroot.has_probe(probe_id):
+                continue
+            events = associate_probe_gaps(
+                verdict.entries, self._kroot.series(probe_id),
+                filtered_reboots.get(probe_id, []))
+            gap_events_by_probe[probe_id] = events
+            stats_by_probe[probe_id] = probe_outage_stats(probe_id, events)
+
+        v3_probes = {
+            pid for pid in asn_by_probe
+            if self._archive.has_probe(pid)
+            and self._archive.get(pid).version is ProbeVersion.V3
+        }
+
+        return AnalysisResults(
+            filter_report=filter_report,
+            archive=self._archive,
+            ip2as=self._ip2as,
+            as_names=self._as_names,
+            as_countries=self._as_countries,
+            spans_by_probe=spans_by_probe,
+            durations_by_probe=durations_by_probe,
+            changes_by_probe=changes_by_probe,
+            asn_by_probe=asn_by_probe,
+            gap_events_by_probe=gap_events_by_probe,
+            stats_by_probe=stats_by_probe,
+            reboot_day_counts=day_counts,
+            firmware_days=firmware_days,
+            _v3_probes=v3_probes,
+        )
+
+
+def pipeline_for_world(world,
+                       min_connected: float | None = None
+                       ) -> AnalysisPipeline:
+    """Convenience: build a pipeline from a simulated WorldData.
+
+    AS names and countries come from the scenario's ISP specs, mirroring
+    how the paper labels its tables.  ``min_connected`` defaults to the
+    paper's 30 days, capped at a tenth of the scenario window so short
+    test scenarios keep their probes.
+    """
+    as_names: dict[int, str] = {}
+    as_countries: dict[int, str] = {}
+    for profile in world.config.profiles:
+        as_names[profile.spec.asn] = profile.spec.name
+        as_countries[profile.spec.asn] = profile.spec.country
+    if min_connected is None:
+        window = world.config.end - world.config.start
+        min_connected = min(30 * timeutil.DAY, window / 10)
+    return AnalysisPipeline(world.connlog, world.archive, world.kroot,
+                            world.uptime, world.ip2as,
+                            as_names=as_names, as_countries=as_countries,
+                            min_connected=min_connected)

@@ -1,0 +1,135 @@
+"""Text rendering of the paper's tables and figure series.
+
+Benchmarks and examples call these to print rows directly comparable to
+the paper; everything renders through :mod:`repro.util.tables`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.conditional import OutageRenumberingRow
+from repro.core.geography import GroupDurations
+from repro.core.outage_buckets import DurationBucket
+from repro.core.periodicity import PeriodicityRow
+from repro.core.prefixes import PrefixChangeRow
+from repro.util.stats import CdfPoint, cdf_fraction_at
+from repro.util.tables import percent, render_table
+from repro.util.timeutil import HOUR
+
+#: Duration grid (hours) used when rendering CDF series as rows.
+CDF_GRID_HOURS = (1, 6, 12, 24, 72, 168, 336, 720, 1440)
+
+
+def render_table2(rows: Sequence[tuple[str, int]]) -> str:
+    """Table 2: probe filtering summary."""
+    return render_table(["Category", "Probes"], list(rows),
+                        title="Table 2: probe filtering")
+
+
+def render_table5(rows: Sequence[PeriodicityRow],
+                  all_rows: Sequence[PeriodicityRow] = ()) -> str:
+    """Table 5: periodic renumbering per AS."""
+    body = []
+    for row in list(all_rows) + list(rows):
+        body.append([
+            row.as_name, row.asn if row.asn is not None else "-",
+            row.country or "-", "%.0f" % row.period_hours,
+            row.n_changed, row.n_periodic,
+            percent(row.pct_over_50), percent(row.pct_over_75),
+            percent(row.pct_max_le_d), percent(row.pct_harmonic),
+        ])
+    return render_table(
+        ["AS", "ASN", "Country", "d(h)", "N", "f>0.25", "f>0.5",
+         "f>0.75", "MAX<=d", "Harmonic"],
+        body, title="Table 5: periodic renumbering")
+
+
+def render_table6(rows: Sequence[OutageRenumberingRow]) -> str:
+    """Table 6: renumbering upon outages per AS."""
+    body = [[row.as_name, row.asn, row.country or "-", row.n,
+             percent(row.pct_network_over_80), percent(row.pct_network_eq_1),
+             percent(row.pct_power_over_80), percent(row.pct_power_eq_1)]
+            for row in rows]
+    return render_table(
+        ["AS", "ASN", "Country", "N", "P(ac|nw)>0.8", "P(ac|nw)=1",
+         "P(ac|pw)>0.8", "P(ac|pw)=1"],
+        body, title="Table 6: address changes upon outages")
+
+
+def render_table7(overall: PrefixChangeRow,
+                  rows: Sequence[PrefixChangeRow]) -> str:
+    """Table 7: address changes across prefixes."""
+    body = []
+    for row in [overall] + list(rows):
+        body.append([
+            row.as_name, row.asn if row.asn is not None else "-",
+            row.country or "-", row.total_changes,
+            row.diff_bgp, percent(row.pct_bgp),
+            row.diff_slash16, percent(row.pct_slash16),
+            row.diff_slash8, percent(row.pct_slash8),
+        ])
+    return render_table(
+        ["AS", "ASN", "Country", "Changes", "Diff BGP", "%", "Diff /16",
+         "%", "Diff /8", "%"],
+        body, title="Table 7: address changes across prefixes")
+
+
+def render_cdf_series(series: Mapping[str, Sequence[CdfPoint]],
+                      grid_hours: Sequence[float] = CDF_GRID_HOURS,
+                      title: str = "") -> str:
+    """Render CDF curves as one row per group, sampled on a duration grid."""
+    headers = ["Group"] + ["<=%gh" % h for h in grid_hours]
+    body = []
+    for label, points in series.items():
+        body.append([label] + [
+            "%.2f" % cdf_fraction_at(points, h * HOUR) for h in grid_hours
+        ])
+    return render_table(headers, body, title=title)
+
+
+def render_probability_cdfs(series: Mapping[str, Sequence[CdfPoint]],
+                            title: str = "") -> str:
+    """Render P(ac|outage) CDFs sampled at fixed probability points."""
+    grid = (0.0, 0.2, 0.4, 0.6, 0.8, 0.99)
+    headers = ["AS"] + ["P<=%.2f" % p for p in grid]
+    body = []
+    for label, points in series.items():
+        body.append([label] + [
+            "%.2f" % cdf_fraction_at(points, p) for p in grid
+        ])
+    return render_table(headers, body, title=title)
+
+
+def render_hour_histogram(counts: Sequence[int], title: str = "") -> str:
+    """Figures 4-5: address changes per GMT hour."""
+    body = [[hour, counts[hour]] for hour in range(24)]
+    return render_table(["Hour (GMT)", "Address changes"], body, title=title)
+
+
+def render_figure6(day_counts: Mapping[int, int],
+                   firmware_days: Sequence[int]) -> str:
+    """Figure 6: reboot spikes and inferred firmware days."""
+    spikes = sorted(day_counts.items(), key=lambda kv: -kv[1])[:10]
+    body = [[day, count, "firmware" if day in firmware_days else ""]
+            for day, count in sorted(spikes)]
+    table = render_table(["Day of year", "Rebooted probes", "Inferred"],
+                         body, title="Figure 6: top reboot days")
+    return table + "\nInferred firmware days: %s" % list(firmware_days)
+
+
+def render_figure9(buckets: Sequence[DurationBucket],
+                   title: str = "") -> str:
+    """Figure 9: renumbering likelihood per outage-duration bucket."""
+    body = [[b.label, b.total, b.renumbered,
+             percent(b.renumbered_fraction)] for b in buckets]
+    return render_table(["Outage duration", "Outages", "Renumbered", "%"],
+                        body, title=title)
+
+
+def render_group_durations(groups: Sequence[GroupDurations],
+                           title: str = "") -> str:
+    """Figures 1/3 legend info plus sampled CDFs."""
+    series = {("%s (%.1fy)" % (g.label, g.total_years)): g.cdf()
+              for g in groups}
+    return render_cdf_series(series, title=title)

@@ -1,0 +1,22 @@
+"""DHCP substrate: messages, leases, preserving server, client FSM."""
+
+from repro.dhcp.client import ClientState, DhcpClient
+from repro.dhcp.lease import T1_FRACTION, T2_FRACTION, Lease
+from repro.dhcp.messages import DhcpMessage, DhcpMessageType, Op
+from repro.dhcp.protocol import DhcpMessageHandler, run_dora
+from repro.dhcp.server import DhcpServer, ReconnectResult
+
+__all__ = [
+    "ClientState",
+    "DhcpClient",
+    "DhcpMessage",
+    "DhcpMessageHandler",
+    "DhcpMessageType",
+    "DhcpServer",
+    "Lease",
+    "Op",
+    "ReconnectResult",
+    "T1_FRACTION",
+    "T2_FRACTION",
+    "run_dora",
+]

@@ -1,0 +1,124 @@
+"""DHCP client state machine (RFC 2131 timer behaviour).
+
+The simulator mostly drives the server through event-level shortcuts, but
+the client FSM exists so the protocol semantics the paper relies on —
+renew at T1, rebind at T2, restart from INIT after expiry — are implemented
+and testable, not just asserted in prose.
+
+States follow RFC 2131 Figure 5, reduced to the address-lifecycle subset
+that matters for churn analysis: INIT, BOUND, RENEWING, REBINDING.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.dhcp.lease import Lease
+from repro.dhcp.server import DhcpServer
+from repro.errors import SimulationError
+
+
+class ClientState(enum.Enum):
+    """RFC 2131 client states relevant to address lifetime."""
+
+    INIT = "init"
+    BOUND = "bound"
+    RENEWING = "renewing"
+    REBINDING = "rebinding"
+
+
+class DhcpClient:
+    """A client that obtains and maintains a lease from one server.
+
+    Drive it with :meth:`boot` and :meth:`advance_to`.  ``advance_to`` walks
+    the timer events (T1, T2, expiry) between the current clock and the
+    target time; ``reachable=False`` simulates a network outage in which
+    renewal traffic cannot reach the server, so the lease runs out and the
+    client falls back to INIT.
+    """
+
+    def __init__(self, client_id: str, server: DhcpServer) -> None:
+        self._client_id = client_id
+        self._server = server
+        self._state = ClientState.INIT
+        self._lease: Lease | None = None
+        self._clock = float("-inf")
+
+    @property
+    def state(self) -> ClientState:
+        """Current FSM state."""
+        return self._state
+
+    @property
+    def lease(self) -> Lease | None:
+        """The currently held lease, or None in INIT."""
+        return self._lease
+
+    @property
+    def address(self):
+        """The currently held address, or None in INIT."""
+        return None if self._lease is None else self._lease.address
+
+    def boot(self, now: float) -> Lease:
+        """(Re)start the client: request a lease from INIT.
+
+        Per the server's RFC 2131 preservation, a rebooting client usually
+        gets its previous address back.
+        """
+        self._advance_clock(now)
+        self._lease = self._server.request(self._client_id, now)
+        self._state = ClientState.BOUND
+        return self._lease
+
+    def release(self, now: float) -> None:
+        """Gracefully release the lease and return to INIT."""
+        self._advance_clock(now)
+        if self._lease is None:
+            raise SimulationError("client %r holds no lease" % self._client_id)
+        self._server.release(self._client_id, now)
+        self._lease = None
+        self._state = ClientState.INIT
+
+    def advance_to(self, now: float, reachable: bool = True) -> None:
+        """Process all timer events up to ``now``.
+
+        With ``reachable=True`` the client renews at T1 (staying BOUND from
+        the caller's perspective after the round trip).  With
+        ``reachable=False`` renewal attempts fail: the client passes through
+        RENEWING and REBINDING and, once the lease expires, returns to INIT
+        with no address — it must :meth:`boot` again when service returns.
+        """
+        self._advance_clock(now)
+        if self._state is ClientState.INIT or self._lease is None:
+            return
+        while True:
+            lease = self._lease
+            if lease is None:
+                return
+            if reachable and now >= lease.t1:
+                # Renew as soon as T1 passes; the server restarts the clock.
+                self._state = ClientState.RENEWING
+                self._lease = self._server.renew(self._client_id, lease.t1)
+                self._state = ClientState.BOUND
+                continue
+            break
+        lease = self._lease
+        if lease is None:
+            return
+        if not reachable:
+            if now >= lease.expires_at:
+                # Lease ran out with the server unreachable: RFC 2131 says
+                # the client must halt use of the address.
+                self._lease = None
+                self._state = ClientState.INIT
+            elif now >= lease.t2:
+                self._state = ClientState.REBINDING
+            elif now >= lease.t1:
+                self._state = ClientState.RENEWING
+
+    def _advance_clock(self, now: float) -> None:
+        if now < self._clock:
+            raise SimulationError(
+                "time went backwards: %r after %r" % (now, self._clock)
+            )
+        self._clock = now

@@ -1,0 +1,181 @@
+"""DHCP message model with binary wire encoding (RFC 2131 / RFC 2132).
+
+The simulator drives the DHCP server through its Python API, but the
+protocol itself is implemented: messages carry the fixed BOOTP-style
+header fields the lease lifecycle needs (op, xid, ciaddr, yiaddr) plus a
+TLV option area behind the magic cookie, and encode/decode to bytes.
+
+Supported options are the address-lifecycle subset: message type (53),
+requested IP address (50), lease time (51), server identifier (54), and
+client identifier (61).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import ParseError
+from repro.net.ipv4 import IPv4Address
+
+#: RFC 2131 magic cookie introducing the options area.
+MAGIC_COOKIE = b"\x63\x82\x53\x63"
+
+_HEADER = struct.Struct("!BBBBIHHIIII16s64s128s")
+
+OPT_PAD = 0
+OPT_REQUESTED_IP = 50
+OPT_LEASE_TIME = 51
+OPT_MESSAGE_TYPE = 53
+OPT_SERVER_ID = 54
+OPT_CLIENT_ID = 61
+OPT_END = 255
+
+
+class Op(enum.IntEnum):
+    """BOOTP op field."""
+
+    REQUEST = 1
+    REPLY = 2
+
+
+class DhcpMessageType(enum.IntEnum):
+    """Option 53 values (RFC 2132 section 9.6)."""
+
+    DISCOVER = 1
+    OFFER = 2
+    REQUEST = 3
+    DECLINE = 4
+    ACK = 5
+    NAK = 6
+    RELEASE = 7
+    INFORM = 8
+
+
+_REPLY_TYPES = {DhcpMessageType.OFFER, DhcpMessageType.ACK,
+                DhcpMessageType.NAK}
+
+
+@dataclass(frozen=True)
+class DhcpMessage:
+    """One DHCP message; unset addresses are 0.0.0.0 as on the wire."""
+
+    message_type: DhcpMessageType
+    xid: int
+    client_id: str
+    ciaddr: IPv4Address = field(default=IPv4Address(0))
+    yiaddr: IPv4Address = field(default=IPv4Address(0))
+    requested_ip: IPv4Address | None = None
+    lease_time: int | None = None
+    server_id: IPv4Address | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.xid < 2 ** 32:
+            raise ParseError("xid out of range: %r" % (self.xid,))
+        if not self.client_id:
+            raise ParseError("client id must be non-empty")
+        if len(self.client_id.encode("utf-8")) > 254:
+            raise ParseError("client id too long for option encoding")
+        if self.lease_time is not None and not 0 < self.lease_time < 2 ** 32:
+            raise ParseError("lease time out of range: %r" % (self.lease_time,))
+
+    @property
+    def op(self) -> Op:
+        """BOOTP op implied by the message type."""
+        return Op.REPLY if self.message_type in _REPLY_TYPES else Op.REQUEST
+
+    # -- wire format ---------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialize to RFC 2131 wire format."""
+        header = _HEADER.pack(
+            int(self.op), 1, 6, 0,          # op, htype=ethernet, hlen, hops
+            self.xid, 0, 0,                  # xid, secs, flags
+            self.ciaddr.value, self.yiaddr.value, 0, 0,  # siaddr, giaddr
+            b"\x00" * 16, b"\x00" * 64, b"\x00" * 128,   # chaddr, sname, file
+        )
+        options = bytearray(MAGIC_COOKIE)
+        options += bytes([OPT_MESSAGE_TYPE, 1, int(self.message_type)])
+        client_id = self.client_id.encode("utf-8")
+        options += bytes([OPT_CLIENT_ID, len(client_id)]) + client_id
+        if self.requested_ip is not None:
+            options += bytes([OPT_REQUESTED_IP, 4])
+            options += struct.pack("!I", self.requested_ip.value)
+        if self.lease_time is not None:
+            options += bytes([OPT_LEASE_TIME, 4])
+            options += struct.pack("!I", self.lease_time)
+        if self.server_id is not None:
+            options += bytes([OPT_SERVER_ID, 4])
+            options += struct.pack("!I", self.server_id.value)
+        options.append(OPT_END)
+        return header + bytes(options)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "DhcpMessage":
+        """Parse wire format, rejecting malformed input."""
+        if len(data) < _HEADER.size + len(MAGIC_COOKIE) + 1:
+            raise ParseError("DHCP message truncated: %d bytes" % len(data))
+        fields = _HEADER.unpack_from(data, 0)
+        op, _htype, _hlen, _hops, xid = fields[:5]
+        ciaddr_value, yiaddr_value = fields[7], fields[8]
+        cookie_at = _HEADER.size
+        if data[cookie_at:cookie_at + 4] != MAGIC_COOKIE:
+            raise ParseError("bad DHCP magic cookie")
+
+        message_type: DhcpMessageType | None = None
+        client_id: str | None = None
+        requested_ip: IPv4Address | None = None
+        lease_time: int | None = None
+        server_id: IPv4Address | None = None
+        index = cookie_at + 4
+        while index < len(data):
+            code = data[index]
+            index += 1
+            if code == OPT_PAD:
+                continue
+            if code == OPT_END:
+                break
+            if index >= len(data):
+                raise ParseError("option %d missing length" % code)
+            length = data[index]
+            index += 1
+            value = data[index:index + length]
+            if len(value) != length:
+                raise ParseError("option %d truncated" % code)
+            index += length
+            if code == OPT_MESSAGE_TYPE:
+                if length != 1:
+                    raise ParseError("message-type option must be 1 byte")
+                try:
+                    message_type = DhcpMessageType(value[0])
+                except ValueError:
+                    raise ParseError(
+                        "unknown DHCP message type %d" % value[0]) from None
+            elif code == OPT_CLIENT_ID:
+                client_id = value.decode("utf-8", errors="strict")
+            elif code == OPT_REQUESTED_IP:
+                requested_ip = IPv4Address(struct.unpack("!I", value)[0])
+            elif code == OPT_LEASE_TIME:
+                lease_time = struct.unpack("!I", value)[0]
+            elif code == OPT_SERVER_ID:
+                server_id = IPv4Address(struct.unpack("!I", value)[0])
+        else:
+            raise ParseError("options not terminated with END")
+
+        if message_type is None:
+            raise ParseError("missing message-type option")
+        if client_id is None:
+            raise ParseError("missing client-id option")
+        message = cls(
+            message_type=message_type, xid=xid, client_id=client_id,
+            ciaddr=IPv4Address(ciaddr_value), yiaddr=IPv4Address(yiaddr_value),
+            requested_ip=requested_ip, lease_time=lease_time,
+            server_id=server_id,
+        )
+        if int(message.op) != op:
+            raise ParseError(
+                "op %d inconsistent with message type %s"
+                % (op, message_type.name)
+            )
+        return message

@@ -1,0 +1,117 @@
+"""Message-level DHCP server front-end (the DORA exchange).
+
+Wraps :class:`~repro.dhcp.server.DhcpServer` behind RFC 2131 message
+handling: DISCOVER yields an OFFER (the binding is reserved at offer time,
+as production servers do), REQUEST yields an ACK when it matches the
+reserved/active binding and a NAK otherwise, RELEASE frees the binding,
+and INFORM answers configuration-only queries without touching bindings.
+"""
+
+from __future__ import annotations
+
+from repro.dhcp.messages import DhcpMessage, DhcpMessageType
+from repro.dhcp.server import DhcpServer
+from repro.errors import SimulationError
+from repro.net.ipv4 import IPv4Address
+
+
+class DhcpMessageHandler:
+    """Processes client messages against one server."""
+
+    def __init__(self, server: DhcpServer, server_id: IPv4Address) -> None:
+        self._server = server
+        self._server_id = server_id
+
+    @property
+    def server_id(self) -> IPv4Address:
+        """The server-identifier option value this server uses."""
+        return self._server_id
+
+    def handle(self, message: DhcpMessage, now: float) -> DhcpMessage | None:
+        """Handle one client message; returns the reply or None."""
+        handlers = {
+            DhcpMessageType.DISCOVER: self._handle_discover,
+            DhcpMessageType.REQUEST: self._handle_request,
+            DhcpMessageType.RELEASE: self._handle_release,
+            DhcpMessageType.INFORM: self._handle_inform,
+            DhcpMessageType.DECLINE: self._handle_decline,
+        }
+        handler = handlers.get(message.message_type)
+        if handler is None:
+            raise SimulationError(
+                "server cannot handle %s" % message.message_type.name
+            )
+        return handler(message, now)
+
+    def _handle_discover(self, message: DhcpMessage,
+                         now: float) -> DhcpMessage:
+        lease = self._server.request(message.client_id, now)
+        return DhcpMessage(
+            DhcpMessageType.OFFER, message.xid, message.client_id,
+            yiaddr=lease.address, lease_time=int(lease.duration),
+            server_id=self._server_id)
+
+    def _handle_request(self, message: DhcpMessage,
+                        now: float) -> DhcpMessage:
+        binding = self._server.binding_for(message.client_id)
+        wanted = message.requested_ip or (
+            message.ciaddr if message.ciaddr.value else None)
+        if binding is None or wanted is None or binding.address != wanted:
+            # Requesting an address we do not have bound for this client:
+            # the client must restart from DISCOVER.
+            return DhcpMessage(
+                DhcpMessageType.NAK, message.xid, message.client_id,
+                server_id=self._server_id)
+        if message.requested_ip is None and not binding.is_active(now):
+            # A renewal (ciaddr set) of an already expired lease fails.
+            return DhcpMessage(
+                DhcpMessageType.NAK, message.xid, message.client_id,
+                server_id=self._server_id)
+        if binding.is_active(now):
+            lease = self._server.renew(message.client_id, now)
+        else:
+            lease = self._server.request(message.client_id, now)
+            if lease.address != wanted:
+                return DhcpMessage(
+                    DhcpMessageType.NAK, message.xid, message.client_id,
+                    server_id=self._server_id)
+        return DhcpMessage(
+            DhcpMessageType.ACK, message.xid, message.client_id,
+            ciaddr=message.ciaddr, yiaddr=lease.address,
+            lease_time=int(lease.duration), server_id=self._server_id)
+
+    def _handle_release(self, message: DhcpMessage,
+                        now: float) -> None:
+        if self._server.binding_for(message.client_id) is not None:
+            self._server.release(message.client_id, now)
+        return None
+
+    def _handle_decline(self, message: DhcpMessage,
+                        now: float) -> None:
+        # The client found the address in use elsewhere; drop the binding.
+        if self._server.binding_for(message.client_id) is not None:
+            self._server.release(message.client_id, now)
+        return None
+
+    def _handle_inform(self, message: DhcpMessage,
+                       now: float) -> DhcpMessage:
+        del now  # INFORM never touches lease state
+        return DhcpMessage(
+            DhcpMessageType.ACK, message.xid, message.client_id,
+            ciaddr=message.ciaddr, server_id=self._server_id)
+
+
+def run_dora(handler: DhcpMessageHandler, client_id: str, now: float,
+             xid: int = 1) -> DhcpMessage:
+    """Run a full DISCOVER/OFFER/REQUEST/ACK exchange; returns the ACK."""
+    offer = handler.handle(
+        DhcpMessage(DhcpMessageType.DISCOVER, xid, client_id), now)
+    if offer is None or offer.message_type is not DhcpMessageType.OFFER:
+        raise SimulationError("expected OFFER, got %r" % (offer,))
+    ack = handler.handle(
+        DhcpMessage(DhcpMessageType.REQUEST, xid, client_id,
+                    requested_ip=offer.yiaddr, server_id=offer.server_id),
+        now)
+    if ack is None or ack.message_type is not DhcpMessageType.ACK:
+        raise SimulationError("expected ACK, got %r" % (ack,))
+    return ack

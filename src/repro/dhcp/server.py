@@ -1,0 +1,172 @@
+"""A DHCP server with RFC 2131 §4.3.1 binding preservation.
+
+The design goal quoted by the paper — *"a DHCP client should be assigned the
+same address in response to each request, whenever possible"* — is the crux
+of why DHCP-run ISPs rarely renumber: the server remembers the client's
+binding even after the lease expires and re-issues the same address unless
+it has since been reclaimed for another customer.
+
+:class:`DhcpServer` implements that behaviour against any allocator exposing
+the :class:`repro.isp.pool.AddressPool` interface (``try_allocate`` /
+``allocate`` / ``release``).  Address reclamation pressure is modelled by an
+exponential survival process: once a binding has been expired for ``t``
+hours, it survives with probability ``exp(-churn_rate_per_hour * t)``.  The
+paper's Figure 9 (LGI panel) is exactly this mechanism seen from outside:
+short outages never renumber, multi-day outages usually do.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.dhcp.lease import Lease
+from repro.errors import SimulationError
+from repro.net.ipv4 import IPv4Address
+
+
+class Allocator(Protocol):
+    """Address allocator interface (implemented by AddressPool)."""
+
+    def allocate(self, rng: random.Random,
+                 previous: IPv4Address | None = None,
+                 now: float | None = None) -> IPv4Address: ...
+
+    def release(self, address: IPv4Address) -> None: ...
+
+
+@dataclass(frozen=True)
+class ReconnectResult:
+    """Outcome of a client returning after an outage."""
+
+    lease: Lease
+    address_changed: bool
+
+
+class DhcpServer:
+    """Issues and preserves dynamic address bindings for clients."""
+
+    def __init__(self, allocator: Allocator, lease_duration: float,
+                 rng: random.Random,
+                 churn_rate_per_hour: float = 0.0) -> None:
+        if lease_duration <= 0:
+            raise SimulationError("lease duration must be positive")
+        if churn_rate_per_hour < 0:
+            raise SimulationError("churn rate must be non-negative")
+        self._allocator = allocator
+        self._lease_duration = lease_duration
+        self._rng = rng
+        self._churn_rate = churn_rate_per_hour
+        self._bindings: dict[str, Lease] = {}
+
+    @property
+    def lease_duration(self) -> float:
+        """Configured lease duration in seconds."""
+        return self._lease_duration
+
+    def binding_for(self, client_id: str) -> Lease | None:
+        """Return the remembered binding for a client, if any."""
+        return self._bindings.get(client_id)
+
+    def request(self, client_id: str, now: float) -> Lease:
+        """Handle DHCPDISCOVER/REQUEST from a (re)booting client.
+
+        Per RFC 2131 §4.3.1, the server prefers the client's existing
+        binding — active *or* expired — and only allocates a fresh address
+        when that binding's address has been given away.
+        """
+        binding = self._bindings.get(client_id)
+        if binding is not None:
+            if binding.is_active(now) or self._survives_reclaim(
+                    now - binding.expires_at):
+                # Active, or expired but unclaimed: the preferred RFC 2131
+                # outcome — the client keeps its address.
+                return self._renew_binding(client_id, binding, now)
+            self._allocator.release(binding.address)
+            return self._issue_fresh(client_id, now, previous=binding.address)
+        return self._issue_fresh(client_id, now, previous=None)
+
+    def renew(self, client_id: str, now: float) -> Lease:
+        """Handle a renewal (RENEWING/REBINDING states) for an active lease."""
+        binding = self._bindings.get(client_id)
+        if binding is None or not binding.is_active(now):
+            raise SimulationError(
+                "client %r has no active lease to renew" % client_id
+            )
+        return self._renew_binding(client_id, binding, now)
+
+    def release(self, client_id: str, now: float) -> None:
+        """Handle DHCPRELEASE: free the address, forget the binding."""
+        del now  # releases are immediate regardless of remaining lease time
+        binding = self._bindings.pop(client_id, None)
+        if binding is None:
+            raise SimulationError("client %r holds no binding" % client_id)
+        self._allocator.release(binding.address)
+
+    def reconnect_after_outage(self, client_id: str, outage_start: float,
+                               now: float) -> ReconnectResult:
+        """Event-level shortcut: a continuously renewing client went dark.
+
+        While healthy, the client renews at T1, so at ``outage_start`` the
+        lease has between half and the full duration left; we sample that
+        residual uniformly rather than replaying every renewal.  If the
+        outage outlasts the residual lease, the binding survives reclaim
+        with probability ``exp(-churn * hours_expired)``.
+        """
+        if now < outage_start:
+            raise SimulationError("reconnect precedes outage start")
+        binding = self._bindings.get(client_id)
+        if binding is None:
+            lease = self._issue_fresh(client_id, now, previous=None)
+            return ReconnectResult(lease, True)
+
+        residual = self._rng.uniform(0.5, 1.0) * self._lease_duration
+        expiry = outage_start + residual
+        if now < expiry or self._survives_reclaim(now - expiry):
+            return ReconnectResult(
+                self._renew_binding(client_id, binding, now), False
+            )
+        # Reclaimed: the old address went to another customer.
+        self._allocator.release(binding.address)
+        lease = self._issue_fresh(client_id, now, previous=binding.address)
+        return ReconnectResult(lease, True)
+
+    def renumber(self, client_id: str, now: float) -> Lease:
+        """Administratively force a fresh address for a client.
+
+        Used to model the rare DHCP-side changes the paper attributes to
+        reconfiguration or client-identifier churn (a replaced CPE presents
+        a new DUID and the binding no longer matches).
+        """
+        binding = self._bindings.get(client_id)
+        previous: IPv4Address | None = None
+        if binding is not None:
+            self._allocator.release(binding.address)
+            previous = binding.address
+        return self._issue_fresh(client_id, now, previous=previous)
+
+    def _survives_reclaim(self, expired_for: float) -> bool:
+        if expired_for <= 0:
+            return True
+        probability = math.exp(-self._churn_rate * expired_for / 3600.0)
+        return self._rng.random() < probability
+
+    def _renew_binding(self, client_id: str, binding: Lease,
+                       now: float) -> Lease:
+        lease = binding.renewed(now)
+        self._bindings[client_id] = lease
+        return lease
+
+    def _issue(self, client_id: str, address: IPv4Address,
+               now: float) -> Lease:
+        lease = Lease(address, client_id, now, self._lease_duration)
+        self._bindings[client_id] = lease
+        return lease
+
+    def _issue_fresh(self, client_id: str, now: float,
+                     previous: IPv4Address | None) -> Lease:
+        address = self._allocator.allocate(self._rng, previous=previous,
+                                           now=now)
+        return self._issue(client_id, address, now)

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class; parsing and simulation errors are distinguished
+because dataset parsers are exercised against malformed input in tests.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ParseError(ReproError):
+    """A dataset record or address literal could not be parsed."""
+
+
+class DatasetError(ReproError):
+    """A dataset is internally inconsistent (out of order, missing month)."""
+
+
+class SimulationError(ReproError):
+    """A scenario is invalid or the simulator reached an impossible state."""
+
+
+class PoolExhaustedError(SimulationError):
+    """An ISP address pool had no free address to allocate."""

@@ -1,0 +1,28 @@
+"""Experiment drivers: one per paper table and figure, plus scenarios."""
+
+from repro.experiments import (  # noqa: F401  (registration)
+    extensions,
+    figures,
+    tables,
+)
+from repro.experiments.registry import (
+    ExperimentOutput,
+    experiment_ids,
+    get_experiment,
+)
+from repro.experiments.scenarios import (
+    DEFAULT_SCALE,
+    paper_results,
+    paper_world,
+    small_world,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "ExperimentOutput",
+    "experiment_ids",
+    "get_experiment",
+    "paper_results",
+    "paper_world",
+    "small_world",
+]

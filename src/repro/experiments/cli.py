@@ -1,0 +1,68 @@
+"""Command-line entry point: run any table/figure experiment.
+
+Usage::
+
+    repro-experiment table5
+    repro-experiment figure9 --scale 0.3 --seed 11
+    repro-experiment --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import sys
+
+from repro.experiments import (  # noqa: F401  (registration)
+    extensions,
+    figures,
+    tables,
+)
+from repro.experiments.registry import experiment_ids, get_experiment
+from repro.experiments.scenarios import DEFAULT_SCALE, paper_results
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run one experiment and print its rendered output."""
+    parser = argparse.ArgumentParser(
+        description="Reproduce a table or figure from "
+                    "'Reasons Dynamic Addresses Change' (IMC 2016)")
+    parser.add_argument("experiment", nargs="?",
+                        help="experiment id, e.g. table5 or figure9")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiment ids")
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help="scenario scale factor (default %(default)s)")
+    parser.add_argument("--seed", type=int, default=2015,
+                        help="scenario seed (default %(default)s)")
+    parser.add_argument("--data", metavar="DIR", default=None,
+                        help="analyze a dataset bundle written by "
+                             "repro-simulate instead of simulating inline")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+
+    try:
+        driver = get_experiment(args.experiment)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    if inspect.signature(driver).parameters:
+        if args.data is not None:
+            from repro.sim.io import load_bundle, pipeline_for_bundle
+            results = pipeline_for_bundle(load_bundle(args.data)).run()
+        else:
+            results = paper_results(scale=args.scale, seed=args.seed)
+        output = driver(results)
+    else:
+        output = driver()
+    print(output.text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

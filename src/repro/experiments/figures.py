@@ -1,0 +1,119 @@
+"""Drivers for the paper's figures (1-9).
+
+Each driver renders the figure's underlying series as text rows and
+returns the structured series for benchmark assertions.
+"""
+
+from __future__ import annotations
+
+from repro.core import report
+from repro.core.hourofday import concentration
+from repro.core.pipeline import AnalysisResults
+from repro.experiments import scenarios
+from repro.experiments.registry import ExperimentOutput, experiment
+from repro.util.timeutil import HOUR
+
+
+def _as_label(results: AnalysisResults, asn: int) -> str:
+    return results.as_names.get(asn, "AS%d" % asn)
+
+
+@experiment("figure1")
+def figure1(results: AnalysisResults) -> ExperimentOutput:
+    """Figure 1: total-time-fraction CDF by continent."""
+    groups = results.figure1_groups()
+    text = report.render_group_durations(
+        groups, title="Figure 1: duration CDF by continent")
+    return ExperimentOutput("figure1", "Durations by continent", text,
+                            data={"groups": groups})
+
+
+@experiment("figure2")
+def figure2(results: AnalysisResults) -> ExperimentOutput:
+    """Figure 2: duration CDFs for the five largest probe deployments."""
+    groups = [results.as_group_durations(asn) for asn in scenarios.TOP_FIVE]
+    text = report.render_group_durations(
+        groups, title="Figure 2: duration CDF for top ASes")
+    return ExperimentOutput(
+        "figure2", "Durations for top ASes", text,
+        data={"groups": {g.label: g for g in groups}})
+
+
+@experiment("figure3")
+def figure3(results: AnalysisResults) -> ExperimentOutput:
+    """Figure 3: duration CDFs for German ISPs."""
+    groups = results.figure3_groups("DE")
+    text = report.render_group_durations(
+        groups, title="Figure 3: duration CDF for German ASes")
+    return ExperimentOutput(
+        "figure3", "Durations for German ISPs", text,
+        data={"groups": {g.label: g for g in groups}})
+
+
+@experiment("figure4")
+def figure4(results: AnalysisResults) -> ExperimentOutput:
+    """Figure 4: Orange's weekly changes spread across the day."""
+    counts = results.figure45_histogram(scenarios.ORANGE, 168 * HOUR)
+    text = report.render_hour_histogram(
+        counts, title="Figure 4: Orange periodic changes per GMT hour")
+    return ExperimentOutput(
+        "figure4", "Orange change hours", text,
+        data={"counts": counts,
+              "night_fraction": concentration(counts, (0, 6))})
+
+
+@experiment("figure5")
+def figure5(results: AnalysisResults) -> ExperimentOutput:
+    """Figure 5: DTAG's daily changes concentrate in night hours."""
+    counts = results.figure45_histogram(scenarios.DTAG, 24 * HOUR)
+    text = report.render_hour_histogram(
+        counts, title="Figure 5: DTAG periodic changes per GMT hour")
+    return ExperimentOutput(
+        "figure5", "DTAG change hours", text,
+        data={"counts": counts,
+              "night_fraction": concentration(counts, (0, 6))})
+
+
+@experiment("figure6")
+def figure6(results: AnalysisResults) -> ExperimentOutput:
+    """Figure 6: probes rebooting per day, with firmware spikes."""
+    day_counts, firmware_days = results.figure6_series()
+    text = report.render_figure6(day_counts, firmware_days)
+    return ExperimentOutput(
+        "figure6", "Reboots per day and firmware campaigns", text,
+        data={"day_counts": day_counts, "firmware_days": firmware_days})
+
+
+@experiment("figure7")
+def figure7(results: AnalysisResults) -> ExperimentOutput:
+    """Figure 7: CDF of P(ac|nw) for the five top ASes."""
+    series = {_as_label(results, asn): results.figure7_cdf(asn)
+              for asn in scenarios.TOP_FIVE}
+    text = report.render_probability_cdfs(
+        series, title="Figure 7: P(address change | network outage)")
+    return ExperimentOutput("figure7", "P(ac|nw) CDFs", text,
+                            data={"series": series})
+
+
+@experiment("figure8")
+def figure8(results: AnalysisResults) -> ExperimentOutput:
+    """Figure 8: CDF of P(ac|pw) for the five top ASes (v3 probes)."""
+    series = {_as_label(results, asn): results.figure8_cdf(asn)
+              for asn in scenarios.TOP_FIVE}
+    text = report.render_probability_cdfs(
+        series, title="Figure 8: P(address change | power outage)")
+    return ExperimentOutput("figure8", "P(ac|pw) CDFs", text,
+                            data={"series": series})
+
+
+@experiment("figure9")
+def figure9(results: AnalysisResults) -> ExperimentOutput:
+    """Figure 9: renumbering by outage duration for LGI and Orange."""
+    lgi = results.figure9_buckets(scenarios.LGI)
+    orange = results.figure9_buckets(scenarios.ORANGE)
+    text = "\n\n".join([
+        report.render_figure9(lgi, title="Figure 9 (left): LGI"),
+        report.render_figure9(orange, title="Figure 9 (right): Orange"),
+    ])
+    return ExperimentOutput("figure9", "Renumbering by outage duration",
+                            text, data={"LGI": lgi, "Orange": orange})

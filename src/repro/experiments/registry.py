@@ -1,0 +1,52 @@
+"""Experiment registry: one driver per paper table/figure.
+
+Each driver is a function taking an :class:`AnalysisResults` (or nothing,
+for the sample-log tables) and returning an :class:`ExperimentOutput` with
+rendered text plus the structured data the benchmarks assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class ExperimentOutput:
+    """Result of running one experiment driver."""
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+
+_REGISTRY: dict[str, Callable[..., ExperimentOutput]] = {}
+
+
+def experiment(experiment_id: str):
+    """Decorator registering a driver under an experiment id."""
+
+    def wrap(func: Callable[..., ExperimentOutput]):
+        if experiment_id in _REGISTRY:
+            raise ValueError("duplicate experiment id %r" % experiment_id)
+        _REGISTRY[experiment_id] = func
+        return func
+
+    return wrap
+
+
+def get_experiment(experiment_id: str) -> Callable[..., ExperimentOutput]:
+    """Look up a driver; raises KeyError with the known ids on miss."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            "unknown experiment %r; known: %s"
+            % (experiment_id, ", ".join(sorted(_REGISTRY)))
+        ) from None
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(_REGISTRY)

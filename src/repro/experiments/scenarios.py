@@ -1,0 +1,101 @@
+"""Shared scenario construction for experiments and benchmarks.
+
+:func:`paper_world` / :func:`paper_results` build (and cache, per process)
+the year-2015 world mirroring the paper's probe populations, so that every
+table and figure driver works off the same simulated dataset — just as the
+paper's sections all analyze one 2015 capture.
+
+Well-known ASNs from the paper are exposed as constants so experiment code
+reads like the paper ("Orange", "DTAG", ...) rather than magic numbers.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.core.pipeline import AnalysisResults, pipeline_for_world
+from repro.isp.pool import PoolPolicy
+from repro.isp.profiles import IspProfile
+from repro.isp.spec import AccessTechnology, IspSpec
+from repro.net.bgpgen import AddressSpacePlan
+from repro.sim.scenario import ScenarioConfig, paper_scenario
+from repro.sim.world import WorldData, build_world
+from repro.util import timeutil
+from repro.util.timeutil import DAY
+
+#: Default scenario scale for experiments: the full paper scenario takes
+#: minutes; 0.5 keeps every per-AS population large enough for the paper's
+#: thresholds while staying fast.
+DEFAULT_SCALE = 0.5
+
+# ASNs from the paper's tables.
+ORANGE = 3215
+DTAG = 3320
+BT = 2856
+LGI = 6830
+VERIZON = 701
+COMCAST = 7922
+PROXIMUS = 5432
+TELECOM_ITALIA = 3269
+VODAFONE_DE = 3209
+TELEFONICA_DE_1 = 13184
+TELEFONICA_DE_2 = 6805
+KABEL_DE = 31334
+KABEL_BW = 29562
+
+#: The five ASes of Figures 2, 7 and 8.
+TOP_FIVE = (ORANGE, DTAG, BT, LGI, VERIZON)
+
+#: The German ASes of Figure 3.
+GERMAN_ASES = (DTAG, VODAFONE_DE, TELEFONICA_DE_1, TELEFONICA_DE_2,
+               KABEL_DE, KABEL_BW)
+
+
+@lru_cache(maxsize=4)
+def paper_world(scale: float = DEFAULT_SCALE,
+                seed: int = 2015) -> WorldData:
+    """Build (once per process) the paper-mirroring world."""
+    return build_world(paper_scenario(scale=scale, seed=seed))
+
+
+@lru_cache(maxsize=4)
+def paper_results(scale: float = DEFAULT_SCALE,
+                  seed: int = 2015) -> AnalysisResults:
+    """Run (once per process) the full pipeline over the paper world."""
+    return pipeline_for_world(paper_world(scale=scale, seed=seed)).run()
+
+
+def small_world(seed: int = 7, days: int = 40) -> WorldData:
+    """A compact world for quickstarts and integration tests.
+
+    One periodic PPP ISP, one reactive PPP ISP and one stable DHCP ISP with
+    a handful of probes each, plus a sprinkle of confounders.
+    """
+    plan = AddressSpacePlan(num_prefixes=4, prefix_length=20,
+                            slash16_groups=2, slash8_groups=2)
+    periodic = IspSpec(
+        name="Daily-DSL", asn=64496, country="DE",
+        access=AccessTechnology.PPP, plan=plan,
+        pool_policy=PoolPolicy(stay_bgp_prob=0.4, stay_slash16_prob=0.6),
+        period=DAY, periodic_fraction=1.0, skip_prob=0.002)
+    reactive = IspSpec(
+        name="Reactive-DSL", asn=64497, country="FR",
+        access=AccessTechnology.PPP, plan=plan,
+        pool_policy=PoolPolicy(stay_bgp_prob=0.3, stay_slash16_prob=0.5),
+        network_outages_per_year=30.0)
+    stable = IspSpec(
+        name="Stable-Cable", asn=64498, country="US",
+        access=AccessTechnology.DHCP, plan=plan,
+        pool_policy=PoolPolicy(stay_bgp_prob=0.7, stay_slash16_prob=0.8),
+        churn_rate_per_hour=0.02, dhcp_change_prob=0.01)
+    config = ScenarioConfig(
+        profiles=(IspProfile(periodic, 8), IspProfile(reactive, 8),
+                  IspProfile(stable, 8)),
+        seed=seed,
+        start=timeutil.YEAR_2015_START,
+        end=timeutil.YEAR_2015_START + days * DAY,
+        static_probes=4, dual_stack_probes=4, ipv6_probes=2,
+        tagged_probes=2, multihomed_probes=2, testing_only_probes=2,
+        mover_probes=2,
+    )
+    return build_world(config)

@@ -1,0 +1,151 @@
+"""Drivers for the paper's tables (1-7).
+
+Tables 1, 3 and 4 are illustrative samples (a connection log, a k-root
+trace around an outage, an SOS-uptime trace around a reboot); we regenerate
+equivalents from purpose-built miniature scenarios.  Tables 2, 5, 6 and 7
+are aggregate results computed from the shared paper world.
+"""
+
+from __future__ import annotations
+
+from repro.atlas.kroot import KRootSeries
+from repro.atlas.types import UptimeRecord
+from repro.core import report
+from repro.core.changes import extract_spans, known_durations
+from repro.core.outages import detect_network_outages
+from repro.core.pipeline import AnalysisResults
+from repro.core.reboots import detect_reboots
+from repro.experiments.registry import ExperimentOutput, experiment
+from repro.isp.pool import PoolPolicy
+from repro.isp.profiles import IspProfile
+from repro.isp.spec import AccessTechnology, IspSpec
+from repro.net.bgpgen import AddressSpacePlan
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.world import build_world
+from repro.util import timeutil
+from repro.util.intervals import Interval, IntervalSet
+from repro.util.timeutil import DAY, HOUR
+
+
+@experiment("table1")
+def table1() -> ExperimentOutput:
+    """Table 1: a daily-renumbered probe's connection log with durations."""
+    plan = AddressSpacePlan(num_prefixes=2, prefix_length=20,
+                            slash16_groups=1, slash8_groups=1)
+    spec = IspSpec(
+        name="DTAG-like", asn=64496, country="DE",
+        access=AccessTechnology.PPP, plan=plan, pool_policy=PoolPolicy(),
+        period=DAY, periodic_fraction=1.0, skip_prob=0.0,
+        offschedule_prob=0.0,
+        power_outages_per_year=60.0, network_outages_per_year=120.0)
+    config = ScenarioConfig(
+        profiles=(IspProfile(spec, 1),), seed=206,
+        start=timeutil.YEAR_2015_START,
+        end=timeutil.YEAR_2015_START + 6 * DAY,
+        firmware_campaigns=())
+    world = build_world(config)
+    probe_id = world.archive.probe_ids()[0]
+    entries = world.connlog.entries(probe_id)
+    spans = extract_spans(entries)
+    durations = known_durations(spans)
+    lines = [world.connlog.render_paper_style(probe_id, limit=10)]
+    lines.append("")
+    lines.append("Known address durations (hours): %s"
+                 % ["%.1f" % (d / HOUR) for d in durations])
+    return ExperimentOutput(
+        "table1", "Connection log sample with address durations",
+        "\n".join(lines),
+        data={"entries": len(entries), "durations_hours":
+              [d / HOUR for d in durations]})
+
+
+@experiment("table2")
+def table2(results: AnalysisResults) -> ExperimentOutput:
+    """Table 2: probe filtering summary."""
+    rows = results.table2_rows()
+    return ExperimentOutput("table2", "Probe filtering",
+                            report.render_table2(rows),
+                            data={"rows": dict(rows)})
+
+
+@experiment("table3")
+def table3() -> ExperimentOutput:
+    """Table 3: k-root ping records across a network outage."""
+    start = timeutil.epoch(2015, 1, 27, 9, 0, 0)
+    outage = Interval(start + 300, start + 1500)
+    series = KRootSeries(16893, start - HOUR, start + 3 * HOUR,
+                         network_down=IntervalSet([outage]), phase=102.0)
+    records = series.records(start, start + 1800)
+    detected = detect_network_outages(records)
+    lines = ["ID\tTimestamp\tN sent\tN success\tLTS"]
+    for record in records:
+        lines.append("%d\t%s\t%d\t%d\t%d" % (
+            record.probe_id, timeutil.format_log_time(record.timestamp),
+            record.sent, record.success, record.lts))
+    lines.append("")
+    for event in detected:
+        lines.append("Detected network outage: %s .. %s (%.0f s)" % (
+            timeutil.format_log_time(event.start),
+            timeutil.format_log_time(event.end), event.duration))
+    return ExperimentOutput(
+        "table3", "k-root ping sample around a network outage",
+        "\n".join(lines),
+        data={"records": len(records), "detected": len(detected),
+              "detected_duration": detected[0].duration if detected else 0})
+
+
+@experiment("table4")
+def table4() -> ExperimentOutput:
+    """Table 4: SOS-uptime records across a reboot."""
+    base = timeutil.epoch(2015, 1, 1, 3, 15, 18)
+    records = [
+        UptimeRecord(206, base, 262531.0),
+        UptimeRecord(206, timeutil.epoch(2015, 1, 1, 17, 50, 26), 315038.0),
+        UptimeRecord(206, timeutil.epoch(2015, 1, 1, 17, 50, 55), 19.0),
+        UptimeRecord(206, timeutil.epoch(2015, 1, 1, 17, 53, 59), 203.0),
+        UptimeRecord(206, timeutil.epoch(2015, 1, 1, 18, 59, 44), 4147.0),
+    ]
+    reboots = detect_reboots(records)
+    lines = ["ID\tTimestamp\tUptime counter value"]
+    for record in records:
+        lines.append("%d\t%s\t%d" % (
+            record.probe_id, timeutil.format_log_time(record.timestamp),
+            record.uptime))
+    lines.append("")
+    for reboot in reboots:
+        lines.append("Inferred reboot at %s"
+                     % timeutil.format_log_time(reboot.time))
+    return ExperimentOutput(
+        "table4", "SOS-uptime sample around a reboot", "\n".join(lines),
+        data={"reboots": len(reboots),
+              "reboot_time": reboots[0].time if reboots else None})
+
+
+@experiment("table5")
+def table5(results: AnalysisResults) -> ExperimentOutput:
+    """Table 5: ISPs that renumber periodically."""
+    rows = results.table5_rows()
+    all_rows = results.table5_all_rows()
+    return ExperimentOutput(
+        "table5", "Periodic renumbering per AS",
+        report.render_table5(rows, all_rows),
+        data={"rows": rows, "all_rows": all_rows})
+
+
+@experiment("table6")
+def table6(results: AnalysisResults) -> ExperimentOutput:
+    """Table 6: ASes that renumber upon outages."""
+    rows = results.table6_rows()
+    return ExperimentOutput(
+        "table6", "Address changes upon outages",
+        report.render_table6(rows), data={"rows": rows})
+
+
+@experiment("table7")
+def table7(results: AnalysisResults) -> ExperimentOutput:
+    """Table 7: address changes across prefixes."""
+    overall, rows = results.table7(top=10)
+    return ExperimentOutput(
+        "table7", "Address changes across prefixes",
+        report.render_table7(overall, rows),
+        data={"overall": overall, "rows": rows})

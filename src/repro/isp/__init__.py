@@ -1,0 +1,35 @@
+"""ISP plant: address pools, assignment policies, paper-matched profiles."""
+
+from repro.isp.policy import (
+    CpeBehavior,
+    DhcpPlant,
+    PppPlant,
+    ReconnectOutcome,
+    build_plant,
+)
+from repro.isp.pool import AddressPool, PoolPolicy
+from repro.isp.profiles import (
+    IspProfile,
+    all_profiles,
+    filler_profiles,
+    paper_profiles,
+    profile_by_name,
+)
+from repro.isp.spec import AccessTechnology, IspSpec
+
+__all__ = [
+    "AccessTechnology",
+    "AddressPool",
+    "CpeBehavior",
+    "DhcpPlant",
+    "IspProfile",
+    "IspSpec",
+    "PoolPolicy",
+    "PppPlant",
+    "ReconnectOutcome",
+    "all_profiles",
+    "build_plant",
+    "filler_profiles",
+    "paper_profiles",
+    "profile_by_name",
+]

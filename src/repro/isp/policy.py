@@ -1,0 +1,243 @@
+"""ISP-side address assignment plants.
+
+A *plant* wires an :class:`~repro.isp.spec.IspSpec` to concrete protocol
+machinery and answers the three questions the simulator asks about a CPE:
+
+1. ``connect`` — what address does a newly attached CPE get?
+2. ``scheduled_cut`` — when will the ISP cut the current session on purpose
+   (the paper's periodic renumbering), if ever?
+3. ``reconnect`` — after an outage, does the CPE come back with the same
+   address or a new one?
+
+:class:`DhcpPlant` preserves bindings per RFC 2131 and only renumbers when
+an outage outlives the lease and the pool has churned (Figure 9, LGI).
+:class:`PppPlant` allocates fresh addresses on every session establishment
+(Figure 9, Orange) and enforces the Radius session timeout, with per-CPE
+behaviour — sync-window reconnects, skipped cuts, state-holding CPEs —
+drawn deterministically from the scenario seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dhcp.server import DhcpServer
+from repro.errors import SimulationError
+from repro.isp.pool import AddressPool
+from repro.isp.spec import AccessTechnology, IspSpec
+from repro.net.ipv4 import IPv4Address
+from repro.ppp.radius import RadiusServer
+from repro.ppp.session import PppoeConcentrator
+from repro.util.rng import lognormal_from_median, substream
+from repro.util.timeutil import DAY, HOUR
+
+#: Shortest session a sync-capable CPE will tolerate before its scheduled
+#: reconnect; prevents pathological seconds-long sessions.
+MIN_SYNC_SESSION = HOUR
+
+
+@dataclass(frozen=True)
+class CpeBehavior:
+    """Per-CPE behavioural traits drawn once from the scenario seed."""
+
+    periodic: bool
+    #: The session-length limit applying to this CPE (may be the spec's
+    #: ``alt_period``), or None when the CPE is not periodic.
+    period: float | None
+    #: Second-of-day (GMT) at which the CPE reconnects, or None free-running.
+    sync_second: float | None
+    #: True when the CPE's PPP session survives short network drops.
+    holds_state: bool
+    #: Network-outage length (s) beyond which a state-holder gives up.
+    hold_threshold: float
+
+
+@dataclass(frozen=True)
+class ReconnectOutcome:
+    """Result of a CPE re-attaching after an outage."""
+
+    address: IPv4Address
+    changed: bool
+
+
+class _BasePlant:
+    """Shared wiring for both plant kinds."""
+
+    def __init__(self, spec: IspSpec, pool: AddressPool, seed: int) -> None:
+        self.spec = spec
+        self.pool = pool
+        self._behavior_cache: dict[str, CpeBehavior] = {}
+        self._seed = seed
+        self._rng = substream(seed, "isp", spec.asn, "plant")
+
+    def behavior(self, cpe_id: str) -> CpeBehavior:
+        """Return (drawing on first use) the CPE's behavioural traits."""
+        cached = self._behavior_cache.get(cpe_id)
+        if cached is not None:
+            return cached
+        rng = substream(self._seed, "isp", self.spec.asn, "cpe", cpe_id)
+        periodic = (self.spec.is_periodic
+                    and rng.random() < self.spec.periodic_fraction)
+        period: float | None = None
+        if periodic:
+            period = self.spec.period
+            if (self.spec.alt_period is not None
+                    and rng.random() < self.spec.alt_period_fraction):
+                period = self.spec.alt_period
+        sync_second = None
+        if (period is not None and self.spec.sync_window is not None
+                and period % DAY == 0
+                and rng.random() < self.spec.sync_fraction):
+            start_h, end_h = self.spec.sync_window
+            sync_second = rng.uniform(start_h * 3600.0, end_h * 3600.0)
+        holds = rng.random() < self.spec.holds_state_fraction
+        threshold = lognormal_from_median(
+            rng, self.spec.hold_threshold_median,
+            self.spec.hold_threshold_sigma)
+        behavior = CpeBehavior(periodic, period, sync_second, holds, threshold)
+        self._behavior_cache[cpe_id] = behavior
+        return behavior
+
+    # Subclass interface ---------------------------------------------------
+
+    def connect(self, cpe_id: str, now: float) -> IPv4Address:
+        raise NotImplementedError
+
+    def scheduled_cut(self, cpe_id: str, session_start: float) -> float | None:
+        raise NotImplementedError
+
+    def periodic_cut(self, cpe_id: str, now: float) -> None:
+        raise NotImplementedError
+
+    def reconnect(self, cpe_id: str, went_down_at: float, now: float,
+                  lost_power: bool) -> ReconnectOutcome:
+        raise NotImplementedError
+
+    def admin_renumber(self, cpe_id: str, now: float) -> IPv4Address:
+        raise NotImplementedError
+
+
+class DhcpPlant(_BasePlant):
+    """DHCP access: binding preservation, outage-driven renumbering only."""
+
+    def __init__(self, spec: IspSpec, pool: AddressPool, seed: int) -> None:
+        if spec.access is not AccessTechnology.DHCP:
+            raise SimulationError("DhcpPlant requires a DHCP spec")
+        super().__init__(spec, pool, seed)
+        self.server = DhcpServer(
+            pool, spec.lease_duration,
+            substream(seed, "isp", spec.asn, "dhcp"),
+            churn_rate_per_hour=spec.churn_rate_per_hour,
+        )
+
+    def connect(self, cpe_id: str, now: float) -> IPv4Address:
+        """Attach a CPE; RFC 2131 preservation applies across reboots."""
+        return self.server.request(cpe_id, now).address
+
+    def scheduled_cut(self, cpe_id: str, session_start: float) -> float | None:
+        """DHCP deployments in our scenarios never cut on a schedule."""
+        return None
+
+    def periodic_cut(self, cpe_id: str, now: float) -> None:
+        raise SimulationError("DHCP plant has no periodic cuts")
+
+    def reconnect(self, cpe_id: str, went_down_at: float, now: float,
+                  lost_power: bool) -> ReconnectOutcome:
+        """Reconnect after an outage; see DhcpServer for the lease logic."""
+        result = self.server.reconnect_after_outage(cpe_id, went_down_at, now)
+        if not result.address_changed and (
+                self._rng.random() < self.spec.dhcp_change_prob):
+            lease = self.server.renumber(cpe_id, now)
+            return ReconnectOutcome(lease.address, True)
+        return ReconnectOutcome(result.lease.address, result.address_changed)
+
+    def admin_renumber(self, cpe_id: str, now: float) -> IPv4Address:
+        """Server reconfiguration forces the client onto a new subnet."""
+        return self.server.renumber(cpe_id, now).address
+
+
+class PppPlant(_BasePlant):
+    """PPPoE access: fresh address per session, Radius session limits."""
+
+    def __init__(self, spec: IspSpec, pool: AddressPool, seed: int) -> None:
+        if spec.access is not AccessTechnology.PPP:
+            raise SimulationError("PppPlant requires a PPP spec")
+        super().__init__(spec, pool, seed)
+        self.radius = RadiusServer(session_timeout=spec.period)
+        self.concentrator = PppoeConcentrator(
+            pool, self.radius, substream(seed, "isp", spec.asn, "ppp"))
+
+    def connect(self, cpe_id: str, now: float) -> IPv4Address:
+        """Bring up a session; the address is always a fresh allocation."""
+        if self.concentrator.active_session(cpe_id) is not None:
+            raise SimulationError("CPE %r already has a session" % cpe_id)
+        return self.concentrator.connect(cpe_id, now).address
+
+    def scheduled_cut(self, cpe_id: str, session_start: float) -> float | None:
+        """Time at which the session starting now will be cut, or None.
+
+        Applies the CPE's sync schedule when configured, the per-cycle skip
+        probability (producing the paper's harmonic durations at multiples
+        of the period), and the rare off-schedule overlong sessions.
+        """
+        behavior = self.behavior(cpe_id)
+        period = behavior.period
+        if not behavior.periodic or period is None:
+            return None
+        if self._rng.random() < self.spec.offschedule_prob:
+            return session_start + period * self._rng.uniform(1.15, 3.4)
+        skips = 0
+        while self._rng.random() < self.spec.skip_prob:
+            skips += 1
+        if behavior.sync_second is None:
+            return session_start + period * (1 + skips)
+        earliest = session_start + (period - DAY) + MIN_SYNC_SESSION
+        cut = self._next_daily_occurrence(behavior.sync_second, earliest)
+        return cut + skips * period
+
+    @staticmethod
+    def _next_daily_occurrence(sync_second: float, earliest: float) -> float:
+        """First instant >= earliest whose GMT second-of-day matches."""
+        day_start = (earliest // DAY) * DAY
+        candidate = day_start + sync_second
+        while candidate < earliest:
+            candidate += DAY
+        return candidate
+
+    def periodic_cut(self, cpe_id: str, now: float) -> None:
+        """Tear the session down at its scheduled cut time."""
+        self.concentrator.disconnect(cpe_id, now, cause="Session-Timeout")
+
+    def reconnect(self, cpe_id: str, went_down_at: float, now: float,
+                  lost_power: bool) -> ReconnectOutcome:
+        """Re-attach after an outage.
+
+        A power-cycled CPE always loses its session and thus its address.
+        A state-holding CPE rides out network drops shorter than its
+        threshold; everyone else re-establishes and is renumbered.
+        """
+        session = self.concentrator.active_session(cpe_id)
+        if session is None:
+            return ReconnectOutcome(self.connect(cpe_id, now), True)
+        behavior = self.behavior(cpe_id)
+        duration = now - went_down_at
+        if (not lost_power and behavior.holds_state
+                and duration < behavior.hold_threshold):
+            return ReconnectOutcome(session.address, False)
+        self.concentrator.disconnect(cpe_id, went_down_at,
+                                     cause="Lost-Carrier")
+        return ReconnectOutcome(self.connect(cpe_id, now), True)
+
+    def admin_renumber(self, cpe_id: str, now: float) -> IPv4Address:
+        """Admin-Reset: tear the session down and re-establish."""
+        if self.concentrator.active_session(cpe_id) is not None:
+            self.concentrator.disconnect(cpe_id, now, cause="Admin-Reset")
+        return self.connect(cpe_id, now)
+
+
+def build_plant(spec: IspSpec, pool: AddressPool,
+                seed: int) -> DhcpPlant | PppPlant:
+    """Instantiate the right plant kind for a spec."""
+    if spec.access is AccessTechnology.DHCP:
+        return DhcpPlant(spec, pool, seed)
+    return PppPlant(spec, pool, seed)

@@ -1,0 +1,332 @@
+"""ISP profiles mirroring the autonomous systems the paper reports on.
+
+Each profile pairs an :class:`~repro.isp.spec.IspSpec` with a recommended
+probe deployment size.  Parameters are reverse-engineered from the paper's
+evaluation:
+
+* Table 5 fixes each periodic ISP's period ``d``, the fraction of probes
+  that are periodic, and (via MAX <= d and the harmonic column) the skip
+  and off-schedule probabilities;
+* Table 6 and Figures 7-9 fix the outage-renumbering behaviour (PPP ISPs
+  renumber on any outage, DHCP ISPs only after lease loss);
+* Table 7 fixes the pool locality (``stay_bgp``) and prefix geometry
+  (prefixes wider than a /16 let 'Diff /16' exceed 'Diff BGP', as for BT).
+
+Deployment counts approximate the paper's per-AS probe counts; they are the
+*changed-probe* N of Table 5 inflated by the share of probes that never see
+a change.  Filler ISPs populate continents so Figure 1's geography has the
+same qualitative modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isp.pool import PoolPolicy
+from repro.isp.spec import AccessTechnology, IspSpec
+from repro.net.bgpgen import AddressSpacePlan
+from repro.util.timeutil import DAY, HOUR
+
+_DHCP = AccessTechnology.DHCP
+_PPP = AccessTechnology.PPP
+
+
+@dataclass(frozen=True)
+class IspProfile:
+    """An ISP spec plus the probe deployment the paper scenario gives it."""
+
+    spec: IspSpec
+    probes: int
+
+    def __post_init__(self) -> None:
+        if self.probes < 1:
+            raise ValueError("profile needs at least one probe")
+
+
+def _plan(num: int, length: int = 20, per16: int = 2,
+          per8: int = 1) -> AddressSpacePlan:
+    return AddressSpacePlan(num_prefixes=num, prefix_length=length,
+                            slash16_groups=per16, slash8_groups=per8)
+
+
+def _ppp_periodic(name: str, asn: int, country: str, period_hours: float,
+                  probes: int, **overrides) -> IspProfile:
+    """A PPP ISP with a Radius session limit (Table 5 family)."""
+    defaults = dict(
+        plan=_plan(8, per16=4, per8=2),
+        pool_policy=PoolPolicy(stay_bgp_prob=0.4, stay_slash16_prob=0.6),
+        periodic_fraction=0.9,
+        skip_prob=0.002,
+        offschedule_prob=0.0003,
+        holds_state_fraction=0.1,
+        hold_threshold_median=2 * DAY,
+    )
+    defaults.update(overrides)
+    spec = IspSpec(name=name, asn=asn, country=country, access=_PPP,
+                   period=period_hours * HOUR, **defaults)
+    return IspProfile(spec, probes)
+
+
+def _dhcp_stable(name: str, asn: int, country: str, probes: int,
+                 **overrides) -> IspProfile:
+    """A DHCP ISP with RFC 2131 preservation (LGI/Verizon family)."""
+    defaults = dict(
+        plan=_plan(6, per16=3, per8=2),
+        pool_policy=PoolPolicy(stay_bgp_prob=0.5, stay_slash16_prob=0.7),
+        lease_duration=4 * HOUR,
+        churn_rate_per_hour=0.02,
+        dhcp_change_prob=0.01,
+    )
+    defaults.update(overrides)
+    spec = IspSpec(name=name, asn=asn, country=country, access=_DHCP,
+                   **defaults)
+    return IspProfile(spec, probes)
+
+
+def _ppp_reactive(name: str, asn: int, country: str, probes: int,
+                  **overrides) -> IspProfile:
+    """A PPP ISP without periodic limits: renumbers on outages only."""
+    defaults = dict(
+        plan=_plan(8, per16=4, per8=2),
+        pool_policy=PoolPolicy(stay_bgp_prob=0.3, stay_slash16_prob=0.5),
+        holds_state_fraction=0.15,
+        hold_threshold_median=2 * DAY,
+    )
+    defaults.update(overrides)
+    spec = IspSpec(name=name, asn=asn, country=country, access=_PPP,
+                   period=None, **defaults)
+    return IspProfile(spec, probes)
+
+
+def paper_profiles() -> list[IspProfile]:
+    """All named ISPs from the paper's Tables 5-7 and Figures 2-3, 7-9."""
+    return [
+        # --- Table 5: periodic renumberers -------------------------------
+        _ppp_periodic(
+            "Orange", 3215, "FR", 168, probes=130,
+            plan=_plan(12, length=20, per16=6, per8=3),
+            pool_policy=PoolPolicy(stay_bgp_prob=0.32, stay_slash16_prob=0.6),
+            periodic_fraction=0.91, skip_prob=0.0004,
+            offschedule_prob=0.0002, holds_state_fraction=0.12,
+        ),
+        _ppp_periodic(
+            "DTAG", 3320, "DE", 24, probes=70,
+            plan=_plan(4, length=14, per16=4, per8=4),
+            pool_policy=PoolPolicy(stay_bgp_prob=0.76, stay_slash16_prob=0.95),
+            periodic_fraction=0.82, sync_window=(0, 6), sync_fraction=0.75,
+            skip_prob=0.0007, offschedule_prob=0.00006,
+            holds_state_fraction=0.08,
+        ),
+        _ppp_periodic(
+            "Telefonica DE 2", 6805, "DE", 24, probes=18,
+            periodic_fraction=0.88, sync_window=(0, 6), sync_fraction=0.5,
+            skip_prob=0.004, pool_policy=PoolPolicy(0.5, 0.8),
+        ),
+        _ppp_periodic(
+            "Telefonica DE 1", 13184, "DE", 24, probes=15,
+            periodic_fraction=0.95, sync_window=(0, 6), sync_fraction=0.5,
+            skip_prob=0.005, pool_policy=PoolPolicy(0.5, 0.8),
+        ),
+        _ppp_periodic(
+            "PJSC Rostelecom", 8997, "RU", 24, probes=24,
+            periodic_fraction=0.6, skip_prob=0.005,
+        ),
+        _ppp_periodic(
+            "BT", 2856, "GB", 337, probes=72,
+            plan=_plan(6, length=13, per16=6, per8=6),
+            pool_policy=PoolPolicy(stay_bgp_prob=0.56, stay_slash16_prob=0.57),
+            periodic_fraction=0.2, skip_prob=0.01, offschedule_prob=0.02,
+            holds_state_fraction=0.1,
+            network_outages_per_year=25.0, power_outages_per_year=12.0,
+        ),
+        _ppp_periodic(
+            "Proximus", 5432, "BE", 36, probes=44,
+            periodic_fraction=0.4, alt_period=24 * HOUR,
+            alt_period_fraction=0.25, skip_prob=0.02, offschedule_prob=0.01,
+            network_outages_per_year=20.0,
+        ),
+        _ppp_periodic(
+            "A1 Telekom", 8447, "AT", 24, probes=13,
+            periodic_fraction=0.93, skip_prob=0.001,
+        ),
+        _ppp_periodic(
+            "Vodafone GmbH", 3209, "DE", 24, probes=23,
+            periodic_fraction=0.45, sync_window=(0, 6), sync_fraction=0.4,
+            skip_prob=0.01, offschedule_prob=0.004,
+        ),
+        _ppp_periodic("Hrvatski", 5391, "HR", 24, probes=8,
+                      periodic_fraction=0.97, skip_prob=0.003),
+        _ppp_periodic("ISKON", 13046, "HR", 24, probes=7,
+                      periodic_fraction=0.95, skip_prob=0.004,
+                      holds_state_fraction=0.03),
+        _ppp_periodic("ANTEL", 6057, "UY", 12, probes=7,
+                      periodic_fraction=0.95, skip_prob=0.002),
+        _ppp_periodic(
+            "Global Village Telecom", 18881, "BR", 48, probes=7,
+            periodic_fraction=0.95, skip_prob=0.002, offschedule_prob=0.03,
+        ),
+        _ppp_periodic("Mauritius Telecom", 23889, "MU", 24, probes=7,
+                      periodic_fraction=0.85, skip_prob=0.01),
+        _ppp_periodic("JSC Kazakhtelecom", 9198, "KZ", 24, probes=16,
+                      periodic_fraction=0.35, skip_prob=0.004),
+        _ppp_periodic(
+            "Orange Polska", 5617, "PL", 22, probes=11,
+            periodic_fraction=0.92, alt_period=24 * HOUR,
+            alt_period_fraction=0.45, skip_prob=0.001,
+        ),
+        _ppp_periodic("VIPnet", 31012, "HR", 92, probes=8,
+                      periodic_fraction=0.6, skip_prob=0.01),
+        _ppp_periodic("Digi Tavkozlesi", 20845, "HU", 168, probes=5,
+                      periodic_fraction=0.95, skip_prob=0.005),
+        _ppp_periodic("Free SAS", 12322, "FR", 24, probes=13,
+                      periodic_fraction=0.27, skip_prob=0.01),
+        _ppp_periodic("SONATEL-AS", 8346, "SN", 24, probes=8,
+                      periodic_fraction=0.45, skip_prob=0.02,
+                      offschedule_prob=0.02),
+        _ppp_periodic("Net by Net", 12714, "RU", 47, probes=8,
+                      periodic_fraction=0.45, skip_prob=0.003),
+
+        # --- Table 6 / Figure 9: reactive PPP ISPs ------------------------
+        _ppp_reactive(
+            "Telecom Italia", 3269, "IT", probes=32,
+            pool_policy=PoolPolicy(stay_bgp_prob=0.13, stay_slash16_prob=0.4),
+            network_outages_per_year=25.0, power_outages_per_year=12.0,
+        ),
+        _ppp_reactive("Wind Telecomunicazioni", 1267, "IT", probes=14,
+                      network_outages_per_year=22.0),
+        _ppp_reactive(
+            "SFR", 15557, "FR", probes=18,
+            holds_state_fraction=0.5, hold_threshold_median=12 * HOUR,
+            network_outages_per_year=20.0,
+        ),
+
+        # --- non-periodic DHCP ISPs (Figures 2, 7-9, Table 7) ------------
+        _dhcp_stable(
+            "LGI", 6830, "NL", probes=100,
+            pool_policy=PoolPolicy(stay_bgp_prob=0.45, stay_slash16_prob=0.6),
+            lease_duration=6 * HOUR, churn_rate_per_hour=0.03,
+            dhcp_change_prob=0.03,
+            network_outages_per_year=22.0, power_outages_per_year=10.0,
+        ),
+        _dhcp_stable(
+            "Verizon", 701, "US", probes=75,
+            pool_policy=PoolPolicy(stay_bgp_prob=0.77, stay_slash16_prob=0.9),
+            lease_duration=12 * HOUR, churn_rate_per_hour=0.004,
+            dhcp_change_prob=0.05,
+        ),
+        _dhcp_stable(
+            "Comcast", 7922, "US", probes=45,
+            pool_policy=PoolPolicy(stay_bgp_prob=0.63, stay_slash16_prob=0.85),
+            lease_duration=12 * HOUR, churn_rate_per_hour=0.005,
+            dhcp_change_prob=0.05,
+        ),
+        _dhcp_stable(
+            "Kabel Deutschland", 31334, "DE", probes=30,
+            lease_duration=12 * HOUR, churn_rate_per_hour=0.003,
+            dhcp_change_prob=0.04,
+        ),
+        _dhcp_stable(
+            "Kabel BW", 29562, "DE", probes=10,
+            lease_duration=12 * HOUR, churn_rate_per_hour=0.003,
+            dhcp_change_prob=0.04,
+        ),
+        _dhcp_stable(
+            "Ziggo", 9143, "NL", probes=25,
+            pool_policy=PoolPolicy(stay_bgp_prob=0.65, stay_slash16_prob=0.7),
+            churn_rate_per_hour=0.004, dhcp_change_prob=0.02,
+        ),
+        _dhcp_stable(
+            "Virgin Media", 5089, "GB", probes=25,
+            pool_policy=PoolPolicy(stay_bgp_prob=0.16, stay_slash16_prob=0.3),
+            plan=_plan(10, per16=5, per8=4),
+            churn_rate_per_hour=0.006, dhcp_change_prob=0.006,
+        ),
+    ]
+
+
+def filler_profiles() -> list[IspProfile]:
+    """Small ISPs that give Figure 1 its per-continent shape.
+
+    Europe gains extra 24 h and 1-week renumberers; Asia and Africa carry
+    24 h modes; South America shows the paper's 12 h / 28 h / 48 h / 8-day
+    mixture; North America and Oceania stay mode-free with long durations.
+    ASNs here are synthetic (64500+).
+    """
+    profiles = [
+        # Europe
+        _ppp_periodic("EU-DSL-1", 64500, "ES", 24, probes=12,
+                      periodic_fraction=0.7),
+        _ppp_periodic("EU-DSL-2", 64501, "CZ", 168, probes=10,
+                      periodic_fraction=0.8),
+        _dhcp_stable("EU-Cable-1", 64502, "SE", probes=18),
+        _dhcp_stable("EU-Cable-2", 64503, "CH", probes=16,
+                     churn_rate_per_hour=0.004, dhcp_change_prob=0.004),
+        _ppp_reactive("EU-DSL-3", 64504, "PT", probes=10),
+        # One administrative renumbering event all year (Section 8 reports
+        # exactly one such instance): this cable ISP migrates every
+        # customer to a reserve prefix in late July.
+        _dhcp_stable("EU-Renum-Cable", 64505, "RO", probes=12,
+                     plan=_plan(4, per16=2, per8=2),
+                     churn_rate_per_hour=0.004, dhcp_change_prob=0.03,
+                     admin_renumber_day=206),
+        # North America: long-lived, mode-free (durations of many weeks)
+        _dhcp_stable("NA-Cable-1", 64510, "US", probes=40,
+                     lease_duration=24 * HOUR, churn_rate_per_hour=0.002,
+                     dhcp_change_prob=0.06),
+        _dhcp_stable("NA-Cable-2", 64511, "CA", probes=25,
+                     lease_duration=24 * HOUR, churn_rate_per_hour=0.002,
+                     dhcp_change_prob=0.06),
+        _dhcp_stable("NA-DSL-1", 64512, "MX", probes=10,
+                     churn_rate_per_hour=0.008, dhcp_change_prob=0.08),
+        # Asia: mixed, visible 24 h mode
+        _ppp_periodic("AS-DSL-1", 64520, "JP", 24, probes=14,
+                      periodic_fraction=0.5),
+        _ppp_periodic("AS-DSL-2", 64521, "IN", 24, probes=10,
+                      periodic_fraction=0.6, network_outages_per_year=30.0),
+        _dhcp_stable("AS-Cable-1", 64522, "SG", probes=12),
+        _dhcp_stable("AS-Cable-2", 64523, "KR", probes=12,
+                     churn_rate_per_hour=0.005),
+        # Africa: strong 24 h mode
+        _ppp_periodic("AF-DSL-1", 64530, "ZA", 24, probes=10,
+                      periodic_fraction=0.8, network_outages_per_year=25.0),
+        _ppp_periodic("AF-DSL-2", 64531, "KE", 24, probes=7,
+                      periodic_fraction=0.7, network_outages_per_year=30.0),
+        _dhcp_stable("AF-Cable-1", 64532, "EG", probes=6,
+                     churn_rate_per_hour=0.03, dhcp_change_prob=0.02),
+        # South America: 12 h / 28 h / 48 h / 8-day modes
+        _ppp_periodic("SA-DSL-1", 64540, "BR", 12, probes=9,
+                      periodic_fraction=0.8),
+        _ppp_periodic("SA-DSL-2", 64541, "AR", 28, probes=8,
+                      periodic_fraction=0.8),
+        _ppp_periodic("SA-DSL-3", 64542, "CL", 192, probes=7,
+                      periodic_fraction=0.8),
+        _dhcp_stable("SA-Cable-1", 64543, "CO", probes=8,
+                     churn_rate_per_hour=0.02),
+        # Oceania: mode-free, long-lived
+        _dhcp_stable("OC-DSL-1", 64550, "AU", probes=18,
+                     lease_duration=24 * HOUR, churn_rate_per_hour=0.003,
+                     dhcp_change_prob=0.06),
+        _dhcp_stable("OC-Cable-1", 64551, "NZ", probes=10,
+                     lease_duration=24 * HOUR, churn_rate_per_hour=0.003,
+                     dhcp_change_prob=0.06),
+    ]
+    return profiles
+
+
+def all_profiles() -> list[IspProfile]:
+    """Named paper ISPs plus geography fillers; ASNs are unique."""
+    profiles = paper_profiles() + filler_profiles()
+    seen: set[int] = set()
+    for profile in profiles:
+        if profile.spec.asn in seen:
+            raise ValueError("duplicate ASN %d" % profile.spec.asn)
+        seen.add(profile.spec.asn)
+    return profiles
+
+
+def profile_by_name(name: str) -> IspProfile:
+    """Look up a profile by its ISP name; raises KeyError when absent."""
+    for profile in all_profiles():
+        if profile.spec.name == name:
+            return profile
+    raise KeyError(name)

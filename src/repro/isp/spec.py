@@ -1,0 +1,141 @@
+"""Declarative description of a simulated ISP.
+
+An :class:`IspSpec` bundles everything the simulator needs to stand up one
+autonomous system: its access technology (DHCP vs. PPPoE+Radius), address
+pool layout and locality, periodic-renumbering behaviour, DHCP lease and
+churn parameters, and the outage climate its customers experience.
+
+The fields map directly onto mechanisms the paper identifies:
+
+* ``period`` / ``periodic_fraction`` / ``sync_window`` — Section 4's
+  periodic renumbering (Table 5, Figures 4-5);
+* ``holds_state_fraction`` / ``hold_threshold_median`` — the Figure 9
+  heterogeneity where some CPEs survive mid-length outages;
+* ``lease_duration`` / ``churn_rate_per_hour`` — the DHCP reclaim dynamics
+  behind LGI's outage-duration-dependent renumbering;
+* ``plan`` / ``pool_policy`` — Table 7's cross-prefix allocation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.isp.pool import PoolPolicy
+from repro.net.bgpgen import AddressSpacePlan
+from repro.util.timeutil import DAY, HOUR, MINUTE
+
+
+class AccessTechnology(enum.Enum):
+    """How subscribers attach and obtain addresses."""
+
+    DHCP = "dhcp"
+    PPP = "ppp"
+
+
+@dataclass(frozen=True)
+class IspSpec:
+    """Full parameterization of one simulated ISP (see module docstring)."""
+
+    name: str
+    asn: int
+    country: str
+    access: AccessTechnology
+    plan: AddressSpacePlan
+    pool_policy: PoolPolicy = field(default_factory=PoolPolicy)
+
+    # --- PPP periodic renumbering (Section 4) ---------------------------
+    #: Radius Session-Timeout in seconds; None disables periodic cuts.
+    period: float | None = None
+    #: Fraction of CPEs subject to the periodic limit (BT: only ~a fifth).
+    periodic_fraction: float = 1.0
+    #: Optional second period used by part of the fleet (Table 5 shows
+    #: Proximus at 36 h and 24 h, Orange Polska at 22 h and 24 h).
+    alt_period: float | None = None
+    #: Fraction of periodic CPEs using ``alt_period`` instead of ``period``.
+    alt_period_fraction: float = 0.0
+    #: GMT hour range [start, end) in which sync-capable CPEs reconnect.
+    sync_window: tuple[int, int] | None = None
+    #: Fraction of periodic CPEs that honour the sync window.
+    sync_fraction: float = 0.0
+    #: Per-cycle probability a scheduled cut is skipped (harmonic durations).
+    skip_prob: float = 0.0
+    #: Per-session probability of a non-harmonic overlong duration.
+    offschedule_prob: float = 0.0
+
+    # --- outage renumbering behaviour -----------------------------------
+    #: Fraction of CPEs whose PPP session survives short network drops.
+    holds_state_fraction: float = 0.0
+    #: Median outage length (s) beyond which a state-holding CPE gives up.
+    hold_threshold_median: float = DAY
+    #: Log-space sigma of the hold threshold distribution.
+    hold_threshold_sigma: float = 1.0
+
+    # --- DHCP dynamics (Section 2.1, Figure 9 LGI panel) ----------------
+    lease_duration: float = 4 * HOUR
+    #: Exponential reclaim rate for expired bindings, per hour.
+    churn_rate_per_hour: float = 0.02
+    #: Probability an outage changes the address regardless of the lease.
+    dhcp_change_prob: float = 0.01
+
+    # --- administrative renumbering (Section 2.3, Section 8) -------------
+    #: Day of year on which the ISP migrates every customer to its last
+    #: routed prefix (None = never).  Requires a plan with >= 2 prefixes:
+    #: regular allocation uses all but the final prefix, which is held in
+    #: reserve as the migration target.
+    admin_renumber_day: int | None = None
+
+    # --- outage climate per CPE ------------------------------------------
+    power_outages_per_year: float = 8.0
+    network_outages_per_year: float = 15.0
+    power_duration_median: float = 4 * MINUTE
+    power_duration_sigma: float = 2.0
+    network_duration_median: float = 5 * MINUTE
+    network_duration_sigma: float = 2.2
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise SimulationError("ASN must be positive")
+        if self.period is not None and self.period <= 0:
+            raise SimulationError("period must be positive or None")
+        if self.alt_period is not None and self.alt_period <= 0:
+            raise SimulationError("alt_period must be positive or None")
+        if self.alt_period is not None and self.period is None:
+            raise SimulationError("alt_period requires a primary period")
+        for name in ("periodic_fraction", "sync_fraction", "skip_prob",
+                     "alt_period_fraction",
+                     "offschedule_prob", "holds_state_fraction",
+                     "dhcp_change_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(
+                    "%s must be in [0, 1], got %r" % (name, value)
+                )
+        if self.sync_window is not None:
+            start, end = self.sync_window
+            if not (0 <= start < 24 and 0 < end <= 24 and start < end):
+                raise SimulationError(
+                    "sync window must satisfy 0 <= start < end <= 24"
+                )
+        if self.lease_duration <= 0:
+            raise SimulationError("lease duration must be positive")
+        for name in ("churn_rate_per_hour", "power_outages_per_year",
+                     "network_outages_per_year"):
+            if getattr(self, name) < 0:
+                raise SimulationError("%s must be non-negative" % name)
+        for name in ("power_duration_median", "network_duration_median",
+                     "hold_threshold_median"):
+            if getattr(self, name) <= 0:
+                raise SimulationError("%s must be positive" % name)
+        if self.admin_renumber_day is not None:
+            if not 1 <= self.admin_renumber_day <= 365:
+                raise SimulationError("admin_renumber_day outside 1..365")
+            if self.plan.num_prefixes < 2:
+                raise SimulationError(
+                    "administrative renumbering needs a reserve prefix")
+
+    @property
+    def is_periodic(self) -> bool:
+        """True when the ISP enforces a session-length limit."""
+        return self.access is AccessTechnology.PPP and self.period is not None

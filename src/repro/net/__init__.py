@@ -1,0 +1,24 @@
+"""IPv4 addressing substrate: value types, trie, pfx2as, BGP synthesis."""
+
+from repro.net.bgpgen import AddressSpaceAllocator, AddressSpacePlan
+from repro.net.ipv4 import (
+    TESTING_ADDRESS,
+    TESTING_ADDRESS_TEXT,
+    IPv4Address,
+    IPv4Prefix,
+)
+from repro.net.pfx2as import AsMapping, IpToAsDataset, Pfx2AsSnapshot
+from repro.net.trie import PrefixTrie
+
+__all__ = [
+    "AddressSpaceAllocator",
+    "AddressSpacePlan",
+    "AsMapping",
+    "IPv4Address",
+    "IPv4Prefix",
+    "IpToAsDataset",
+    "Pfx2AsSnapshot",
+    "PrefixTrie",
+    "TESTING_ADDRESS",
+    "TESTING_ADDRESS_TEXT",
+]

@@ -1,0 +1,174 @@
+"""Synthetic BGP address-space generation.
+
+The paper maps addresses to ASes via Routeviews-derived pfx2as tables.  With
+no access to a real routing table, we *generate* one: each simulated ISP is
+assigned a set of routed prefixes whose grouping into /16s and /8s is
+controlled by an :class:`AddressSpacePlan`.  Table 7's cross-prefix rates
+then emerge from how the ISP's pool allocator picks among these prefixes.
+
+The allocator hands out address space from genuinely public /8 blocks and
+never overlaps two ASes, so longest-prefix matching behaves like the real
+dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.net.ipv4 import IPv4Prefix
+from repro.net.pfx2as import AsMapping, IpToAsDataset, Pfx2AsSnapshot
+from repro.util import timeutil
+
+#: Public /8 first octets we carve synthetic space from.  Reserved and
+#: special-use ranges (RFC 1122, 1918, 5737, 3927, multicast, class E) are
+#: excluded so generated addresses always look like routable unicast space;
+#: 193/8 is additionally reserved for the RIPE NCC testing address
+#: 193.0.0.78 that Section 3.3 of the paper filters on.
+_PUBLIC_SLASH8_OCTETS: tuple[int, ...] = tuple(
+    octet for octet in range(1, 224)
+    if octet not in (0, 10, 100, 127, 169, 172, 192, 193, 198, 203)
+)
+
+
+@dataclass(frozen=True)
+class AddressSpacePlan:
+    """How an AS's routed prefixes are laid out.
+
+    ``num_prefixes`` routed prefixes of ``prefix_length`` are distributed
+    round-robin over ``slash16_groups`` distinct /16s, which are in turn
+    spread over ``slash8_groups`` distinct /8s.  More groups means address
+    changes are more likely to cross /16 and /8 boundaries.
+    """
+
+    num_prefixes: int
+    prefix_length: int = 20
+    slash16_groups: int = 2
+    slash8_groups: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_prefixes < 1:
+            raise SimulationError("plan needs at least one prefix")
+        if not 9 <= self.prefix_length <= 24:
+            raise SimulationError(
+                "prefix_length %d outside supported 9..24" % self.prefix_length
+            )
+        if self.slash16_groups < 1 or self.slash8_groups < 1:
+            raise SimulationError("group counts must be positive")
+        if self.slash16_groups > self.num_prefixes:
+            raise SimulationError("more /16 groups than prefixes")
+        if self.slash8_groups > self.slash16_groups:
+            raise SimulationError("more /8 groups than /16 groups")
+        per_slash16 = -(-self.num_prefixes // self.slash16_groups)
+        if self.prefix_length >= 16:
+            capacity = 1 << (self.prefix_length - 16)
+            if per_slash16 > capacity:
+                raise SimulationError(
+                    "cannot fit %d /%d prefixes in one /16"
+                    % (per_slash16, self.prefix_length)
+                )
+
+
+class AddressSpaceAllocator:
+    """Hands out non-overlapping routed prefixes for ASes.
+
+    Allocation is deterministic given the allocation order: /8 blocks are
+    consumed in a fixed shuffled order derived from ``seed``, and /16s
+    within a /8 are consumed sequentially.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        from repro.util.rng import substream
+
+        order = list(_PUBLIC_SLASH8_OCTETS)
+        substream(seed, "bgpgen", "slash8-order").shuffle(order)
+        self._slash8_order = order
+        self._next_slash8 = 0
+        self._next_slash16: dict[int, int] = {}
+        self._allocated: dict[int, list[IPv4Prefix]] = {}
+
+    def allocated(self, asn: int) -> list[IPv4Prefix]:
+        """Return prefixes already allocated to ``asn`` (empty when none)."""
+        return list(self._allocated.get(asn, ()))
+
+    def _take_slash8(self) -> int:
+        if self._next_slash8 >= len(self._slash8_order):
+            raise SimulationError("synthetic address space exhausted")
+        octet = self._slash8_order[self._next_slash8]
+        self._next_slash8 += 1
+        return octet
+
+    def _take_slash16(self, slash8_octet: int) -> IPv4Prefix:
+        index = self._next_slash16.get(slash8_octet, 0)
+        if index >= 256:
+            raise SimulationError("/8 %d exhausted of /16s" % slash8_octet)
+        self._next_slash16[slash8_octet] = index + 1
+        network = (slash8_octet << 24) | (index << 16)
+        return IPv4Prefix(network, 16)
+
+    def allocate(self, asn: int, plan: AddressSpacePlan) -> list[IPv4Prefix]:
+        """Allocate the prefixes described by ``plan`` to ``asn``.
+
+        For plans with ``prefix_length < 16`` each prefix occupies its own
+        block and grouping degenerates to one prefix per /16 group.
+        """
+        if asn in self._allocated:
+            raise SimulationError("AS %d already allocated" % asn)
+        slash8s = [self._take_slash8() for _ in range(plan.slash8_groups)]
+        slash16s: list[IPv4Prefix] = []
+        for index in range(plan.slash16_groups):
+            slash16s.append(self._take_slash16(slash8s[index % len(slash8s)]))
+
+        prefixes: list[IPv4Prefix] = []
+        if plan.prefix_length < 16:
+            # Shorter-than-/16 prefixes: one per /16 group, aligned to the
+            # group's /8 at a fresh boundary.  Rare configuration, used for
+            # coarse-pool ISPs.
+            for index in range(plan.num_prefixes):
+                base16 = slash16s[index % len(slash16s)]
+                prefixes.append(
+                    IPv4Prefix.containing(base16.first_address(),
+                                          plan.prefix_length)
+                )
+                # Ensure the next /16 taken from this /8 clears the block.
+                octet = base16.network >> 24
+                span16 = 1 << (16 - plan.prefix_length)
+                used = self._next_slash16.get(octet, 0)
+                base_index = (base16.network >> 16) & 0xFF
+                self._next_slash16[octet] = max(used, base_index + span16)
+            deduped = sorted(set(prefixes))
+            if len(deduped) != len(prefixes):
+                raise SimulationError(
+                    "plan for AS %d produced overlapping prefixes" % asn
+                )
+        else:
+            cursor = [0] * len(slash16s)
+            step = 1 << (32 - plan.prefix_length)
+            for index in range(plan.num_prefixes):
+                group = index % len(slash16s)
+                base = slash16s[group]
+                offset = cursor[group] * step
+                cursor[group] += 1
+                prefixes.append(
+                    IPv4Prefix(base.network + offset, plan.prefix_length)
+                )
+        self._allocated[asn] = prefixes
+        return list(prefixes)
+
+    def build_dataset(self, start: float, end: float) -> IpToAsDataset:
+        """Build an :class:`IpToAsDataset` with one snapshot per month.
+
+        Real pfx2as tables change month to month; ours are stable because
+        the simulated ISPs do not renumber their announcements.  Stability
+        is itself the paper's observation for all but one ISP (Section 8
+        found a single administrative renumbering event all year).
+        """
+        dataset = IpToAsDataset()
+        snapshot = Pfx2AsSnapshot()
+        for asn, prefixes in self._allocated.items():
+            for prefix in prefixes:
+                snapshot.add(AsMapping(prefix, asn))
+        for year, month, _ in timeutil.iter_month_starts(start, end):
+            monthly = Pfx2AsSnapshot(snapshot.mappings())
+            dataset.add_snapshot(year, month, monthly)
+        return dataset

@@ -1,0 +1,149 @@
+"""IP-to-AS mapping with monthly snapshots (CAIDA pfx2as equivalent).
+
+Section 3.3 of the paper maps each newly assigned address to its autonomous
+system using CAIDA's *monthly* Routeviews pfx2as dataset: the snapshot for
+the month in which the address was assigned is the one consulted.
+:class:`IpToAsDataset` reproduces that interface.
+
+Snapshots serialize to the pfx2as text format (``network<TAB>length<TAB>asn``
+per line) so tests can exercise round-trips and malformed-input handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, TextIO
+
+from repro.errors import DatasetError, ParseError
+from repro.net.ipv4 import IPv4Address, IPv4Prefix
+from repro.net.trie import PrefixTrie
+from repro.util import timeutil
+
+
+@dataclass(frozen=True)
+class AsMapping:
+    """One routed prefix and its origin AS number."""
+
+    prefix: IPv4Prefix
+    asn: int
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ParseError("ASN must be positive, got %r" % (self.asn,))
+
+
+class Pfx2AsSnapshot:
+    """A single month's prefix-to-AS table with longest-prefix lookup."""
+
+    def __init__(self, mappings: Iterable[AsMapping] = ()) -> None:
+        self._trie: PrefixTrie[AsMapping] = PrefixTrie()
+        for mapping in mappings:
+            self.add(mapping)
+
+    def __len__(self) -> int:
+        return len(self._trie)
+
+    def add(self, mapping: AsMapping) -> None:
+        """Insert a mapping, replacing any previous entry for the prefix."""
+        self._trie.insert(mapping.prefix, mapping)
+
+    def origin_asn(self, address: IPv4Address) -> int | None:
+        """Return the origin ASN for ``address`` or None when unrouted."""
+        mapping = self._trie.lookup(address)
+        return None if mapping is None else mapping.asn
+
+    def bgp_prefix(self, address: IPv4Address) -> IPv4Prefix | None:
+        """Return the longest routed prefix covering ``address``.
+
+        This is the 'BGP prefix' granularity of Table 7.
+        """
+        mapping = self._trie.lookup(address)
+        return None if mapping is None else mapping.prefix
+
+    def mappings(self) -> Iterator[AsMapping]:
+        """Yield all mappings in address order."""
+        for _prefix, mapping in self._trie.items():
+            yield mapping
+
+    def write(self, stream: TextIO) -> None:
+        """Serialize in pfx2as text format."""
+        for mapping in self.mappings():
+            stream.write(
+                "%s\t%d\t%d\n"
+                % (IPv4Address(mapping.prefix.network), mapping.prefix.length,
+                   mapping.asn)
+            )
+
+    @classmethod
+    def read(cls, stream: TextIO) -> "Pfx2AsSnapshot":
+        """Parse the pfx2as text format, rejecting malformed lines."""
+        snapshot = cls()
+        for line_number, line in enumerate(stream, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            fields = text.split("\t")
+            if len(fields) != 3:
+                raise ParseError(
+                    "pfx2as line %d: expected 3 fields, got %d"
+                    % (line_number, len(fields))
+                )
+            network_text, length_text, asn_text = fields
+            if not length_text.isdigit() or not asn_text.isdigit():
+                raise ParseError(
+                    "pfx2as line %d: non-numeric length or ASN" % line_number
+                )
+            network = IPv4Address.parse(network_text)
+            prefix = IPv4Prefix.containing(network, int(length_text))
+            if prefix.network != network.value:
+                raise ParseError(
+                    "pfx2as line %d: host bits set in prefix" % line_number
+                )
+            snapshot.add(AsMapping(prefix, int(asn_text)))
+        return snapshot
+
+
+class IpToAsDataset:
+    """Monthly pfx2as snapshots keyed by ``(year, month)``.
+
+    Lookups take the timestamp of the address assignment and consult the
+    snapshot published for that month, as the paper does.  A missing month
+    raises :class:`DatasetError` — the analysis must not silently fall back
+    to a different month's routing table.
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: dict[tuple[int, int], Pfx2AsSnapshot] = {}
+
+    def __len__(self) -> int:
+        return len(self._snapshots)
+
+    def add_snapshot(self, year: int, month: int,
+                     snapshot: Pfx2AsSnapshot) -> None:
+        """Register the snapshot for a month."""
+        if not 1 <= month <= 12:
+            raise DatasetError("month out of range: %r" % (month,))
+        self._snapshots[(year, month)] = snapshot
+
+    def months(self) -> list[tuple[int, int]]:
+        """Return registered ``(year, month)`` keys in order."""
+        return sorted(self._snapshots)
+
+    def snapshot_for(self, timestamp: float) -> Pfx2AsSnapshot:
+        """Return the snapshot for the month containing ``timestamp``."""
+        key = timeutil.month_of(timestamp)
+        try:
+            return self._snapshots[key]
+        except KeyError:
+            raise DatasetError(
+                "no pfx2as snapshot for %04d-%02d" % key
+            ) from None
+
+    def origin_asn(self, address: IPv4Address, timestamp: float) -> int | None:
+        """ASN originating ``address`` in the month of ``timestamp``."""
+        return self.snapshot_for(timestamp).origin_asn(address)
+
+    def bgp_prefix(self, address: IPv4Address,
+                   timestamp: float) -> IPv4Prefix | None:
+        """Routed prefix covering ``address`` in the month of ``timestamp``."""
+        return self.snapshot_for(timestamp).bgp_prefix(address)

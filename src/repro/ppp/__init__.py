@@ -1,0 +1,23 @@
+"""PPP(oE) substrate: LCP/IPCP negotiation, sessions, Radius."""
+
+from repro.ppp import ipcp, lcp, negotiation
+from repro.ppp.radius import (
+    AccessAccept,
+    AccountingRecord,
+    AcctStatus,
+    RadiusServer,
+)
+from repro.ppp.session import PppoeConcentrator, PppPhase, PppSession
+
+__all__ = [
+    "AccessAccept",
+    "AccountingRecord",
+    "AcctStatus",
+    "PppPhase",
+    "PppSession",
+    "PppoeConcentrator",
+    "RadiusServer",
+    "ipcp",
+    "lcp",
+    "negotiation",
+]

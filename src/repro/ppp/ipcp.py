@@ -1,0 +1,59 @@
+"""IP Control Protocol address assignment (RFC 1332).
+
+After LCP and authentication, IPCP configures the IP layer.  Dynamic
+address assignment is a Configure-Nak cycle: the subscriber requests
+``0.0.0.0`` (meaning "assign me one"), the concentrator Naks with the
+address it allocates, and the subscriber re-requests that address, which
+is then Acked.  This is the protocol mechanism behind the paper's
+observation that PPP customers get a *new* address on every reconnect —
+nothing in IPCP remembers the previous one.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import SimulationError
+from repro.net.ipv4 import IPv4Address
+from repro.ppp.negotiation import (
+    ConfigureAck,
+    ConfigureNak,
+    CpEndpoint,
+    Reply,
+    negotiate,
+)
+
+UNASSIGNED = IPv4Address(0)
+
+
+def address_assignment_policy(assigned: IPv4Address):
+    """Concentrator policy: force the subscriber onto ``assigned``."""
+
+    def policy(options: Mapping[str, object]) -> Reply:
+        requested = options.get("ip_address", UNASSIGNED)
+        if requested != assigned:
+            return ConfigureNak({"ip_address": assigned})
+        return ConfigureAck(dict(options))
+
+    return policy
+
+
+def assign_address(assigned: IPv4Address,
+                   requested: IPv4Address = UNASSIGNED) -> IPv4Address:
+    """Run the IPCP exchange; returns the address the subscriber opens with.
+
+    ``requested`` models a CPE asking for its previous address — the
+    concentrator Naks it anyway, which is exactly why PPP renumbers.
+    """
+    subscriber = CpEndpoint(
+        name="ipcp-subscriber", desired={"ip_address": requested})
+    concentrator = CpEndpoint(
+        name="ipcp-concentrator", desired={"ip_address": assigned},
+        policy=address_assignment_policy(assigned))
+    agreed, _ = negotiate(subscriber, concentrator)
+    address = agreed.get("ip_address")
+    if not isinstance(address, IPv4Address) or address != assigned:
+        raise SimulationError(
+            "IPCP converged on %r instead of %s" % (address, assigned)
+        )
+    return address

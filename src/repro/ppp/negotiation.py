@@ -1,0 +1,153 @@
+"""Generic PPP control-protocol option negotiation (RFC 1661 section 4).
+
+LCP and IPCP share one negotiation shape: each side sends
+Configure-Request with its desired options; the peer answers
+Configure-Ack (all acceptable), Configure-Nak (acceptable with different
+values — the suggested values ride back in the Nak), or Configure-Reject
+(options it will not negotiate at all).  A side reaches OPENED once it has
+both sent and received an Ack.
+
+:class:`CpEndpoint` implements one side, parameterized by the option set it
+wants and a policy that judges the peer's request.  :func:`negotiate` runs
+the exchange to completion.  IPCP's address assignment (the paper's
+Section 2.2) is exactly a Nak cycle: the subscriber requests address
+0.0.0.0 and the concentrator Naks with the address it assigns.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.errors import SimulationError
+
+
+class CpState(enum.Enum):
+    """Control-protocol automaton states (RFC 1661 section 4.2 subset)."""
+
+    INITIAL = "initial"
+    REQ_SENT = "req-sent"
+    ACK_RCVD = "ack-rcvd"
+    ACK_SENT = "ack-sent"
+    OPENED = "opened"
+
+
+@dataclass(frozen=True)
+class ConfigureRequest:
+    """Configure-Request carrying the sender's desired options."""
+
+    options: Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class ConfigureAck:
+    """Configure-Ack: every option acceptable as sent."""
+
+    options: Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class ConfigureNak:
+    """Configure-Nak: options negotiable but with these suggested values."""
+
+    suggested: Mapping[str, object]
+
+
+@dataclass(frozen=True)
+class ConfigureReject:
+    """Configure-Reject: these options are not negotiable at all."""
+
+    names: tuple[str, ...]
+
+
+Reply = ConfigureAck | ConfigureNak | ConfigureReject
+
+#: A policy maps the peer's requested options to a reply.
+Policy = Callable[[Mapping[str, object]], Reply]
+
+
+def accept_all(options: Mapping[str, object]) -> Reply:
+    """The trivial policy: Ack whatever the peer asks."""
+    return ConfigureAck(dict(options))
+
+
+@dataclass
+class CpEndpoint:
+    """One side of an LCP/IPCP negotiation."""
+
+    name: str
+    desired: dict[str, object]
+    policy: Policy = accept_all
+    state: CpState = CpState.INITIAL
+    #: Options the peer acknowledged for us (ours, possibly Nak-adjusted).
+    agreed: dict[str, object] = field(default_factory=dict)
+    sent_requests: int = 0
+
+    def next_request(self) -> ConfigureRequest:
+        """Emit our Configure-Request (re-sent after a Nak)."""
+        self.sent_requests += 1
+        if self.state is CpState.INITIAL:
+            self.state = CpState.REQ_SENT
+        return ConfigureRequest(dict(self.desired))
+
+    def receive_request(self, request: ConfigureRequest) -> Reply:
+        """Judge the peer's request with our policy."""
+        reply = self.policy(request.options)
+        if isinstance(reply, ConfigureAck):
+            if self.state is CpState.ACK_RCVD:
+                self.state = CpState.OPENED
+            elif self.state is not CpState.OPENED:
+                self.state = CpState.ACK_SENT
+        return reply
+
+    def receive_reply(self, reply: Reply) -> bool:
+        """Process the peer's verdict on our request.
+
+        Returns True when we must re-send an adjusted Configure-Request.
+        """
+        if isinstance(reply, ConfigureAck):
+            self.agreed = dict(reply.options)
+            if self.state is CpState.ACK_SENT:
+                self.state = CpState.OPENED
+            elif self.state is not CpState.OPENED:
+                self.state = CpState.ACK_RCVD
+            return False
+        if isinstance(reply, ConfigureNak):
+            # Adopt the peer's suggested values and try again.
+            self.desired.update(reply.suggested)
+            return True
+        if isinstance(reply, ConfigureReject):
+            for name in reply.names:
+                self.desired.pop(name, None)
+            return True
+        raise SimulationError("unknown reply %r" % (reply,))
+
+    @property
+    def is_open(self) -> bool:
+        """True when the protocol reached OPENED on this side."""
+        return self.state is CpState.OPENED
+
+
+def negotiate(initiator: CpEndpoint, responder: CpEndpoint,
+              max_rounds: int = 10) -> tuple[dict[str, object],
+                                             dict[str, object]]:
+    """Run both directions of a negotiation to OPENED.
+
+    Returns ``(initiator_agreed, responder_agreed)``.  Raises when either
+    side fails to converge within ``max_rounds`` request cycles — a
+    non-converging policy (e.g. a Nak loop) is a configuration bug.
+    """
+    for side_a, side_b in ((initiator, responder), (responder, initiator)):
+        for _ in range(max_rounds):
+            reply = side_b.receive_request(side_a.next_request())
+            if not side_a.receive_reply(reply):
+                break
+        else:
+            raise SimulationError(
+                "%s failed to converge after %d rounds"
+                % (side_a.name, max_rounds)
+            )
+    if not (initiator.is_open and responder.is_open):
+        raise SimulationError("negotiation did not open both sides")
+    return initiator.agreed, responder.agreed

@@ -1,0 +1,30 @@
+"""Event simulation: outage processes, probe timelines, world builder."""
+
+from repro.sim.outages import (
+    Interruption,
+    InterruptionKind,
+    generate_interruptions,
+)
+from repro.sim.scenario import (
+    FIRMWARE_CAMPAIGN_DATES,
+    ScenarioConfig,
+    paper_scenario,
+)
+from repro.sim.timeline import ProbeOutput, ProbeSimulator, Segment
+from repro.sim.world import ProbeRole, ProbeTruth, WorldData, build_world
+
+__all__ = [
+    "FIRMWARE_CAMPAIGN_DATES",
+    "Interruption",
+    "InterruptionKind",
+    "ProbeOutput",
+    "ProbeRole",
+    "ProbeSimulator",
+    "ProbeTruth",
+    "ScenarioConfig",
+    "Segment",
+    "WorldData",
+    "build_world",
+    "generate_interruptions",
+    "paper_scenario",
+]

@@ -1,0 +1,194 @@
+"""On-disk dataset bundles: write a simulated world, load it for analysis.
+
+The paper worked from files scraped once and analyzed many times; this
+module gives the reproduction the same workflow.  ``repro-simulate`` writes
+a directory bundle; the analysis CLI (and any downstream tool) loads it
+without re-running the simulator.
+
+Bundle layout::
+
+    <dir>/meta.json        window, seed, AS names/countries
+    <dir>/archive.tsv      probe metadata
+    <dir>/connlog.tsv      connection log (ConnectionLog text format)
+    <dir>/uptime.tsv       SOS-uptime records (UptimeDataset text format)
+    <dir>/kroot.json       per-probe ping-series state (sparse intervals)
+    <dir>/pfx2as/<yyyy>-<mm>.txt   monthly IP-to-AS snapshots
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.atlas.archive import ProbeArchive
+from repro.atlas.connlog import ConnectionLog
+from repro.atlas.kroot import KRootDataset, KRootSeries
+from repro.atlas.sosuptime import UptimeDataset
+from repro.atlas.types import ProbeMeta, ProbeVersion
+from repro.errors import DatasetError, ParseError
+from repro.net.pfx2as import IpToAsDataset, Pfx2AsSnapshot
+from repro.sim.world import WorldData
+from repro.util import timeutil
+from repro.util.intervals import Interval, IntervalSet
+
+BUNDLE_VERSION = 1
+
+
+@dataclass
+class DatasetBundle:
+    """Datasets loaded from disk, ready for AnalysisPipeline."""
+
+    start: float
+    end: float
+    seed: int
+    archive: ProbeArchive
+    connlog: ConnectionLog
+    kroot: KRootDataset
+    uptime: UptimeDataset
+    ip2as: IpToAsDataset
+    as_names: dict[int, str]
+    as_countries: dict[int, str]
+
+
+def _series_state(series: KRootSeries) -> dict:
+    return {
+        "probe_id": series.probe_id,
+        "start": series.observed_start,
+        "end": series.observed_end,
+        "cadence": series.cadence,
+        "phase": series.phase,
+        "power_off": [[iv.start, iv.end] for iv in series.power_off],
+        "network_down": [[iv.start, iv.end] for iv in series.network_down],
+    }
+
+
+def _series_from_state(state: dict) -> KRootSeries:
+    try:
+        return KRootSeries(
+            int(state["probe_id"]), float(state["start"]),
+            float(state["end"]),
+            power_off=IntervalSet(Interval(a, b)
+                                  for a, b in state["power_off"]),
+            network_down=IntervalSet(Interval(a, b)
+                                     for a, b in state["network_down"]),
+            cadence=float(state["cadence"]),
+            phase=float(state["phase"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ParseError("malformed k-root series state: %s" % error) from None
+
+
+def write_world(world: WorldData, directory: str | Path) -> Path:
+    """Write a world's datasets as a bundle; returns the directory."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+
+    as_names: dict[int, str] = {}
+    as_countries: dict[int, str] = {}
+    for profile in world.config.profiles:
+        as_names[profile.spec.asn] = profile.spec.name
+        as_countries[profile.spec.asn] = profile.spec.country
+    meta = {
+        "bundle_version": BUNDLE_VERSION,
+        "start": world.config.start,
+        "end": world.config.end,
+        "seed": world.config.seed,
+        "as_names": {str(asn): name for asn, name in as_names.items()},
+        "as_countries": {str(asn): country
+                         for asn, country in as_countries.items()},
+    }
+    (root / "meta.json").write_text(json.dumps(meta, indent=2))
+
+    with open(root / "archive.tsv", "w") as stream:
+        for probe in world.archive:
+            stream.write("%d\t%s\t%s\t%d\t%s\n" % (
+                probe.probe_id, probe.country, probe.continent,
+                probe.version.value, ",".join(probe.tags)))
+
+    with open(root / "connlog.tsv", "w") as stream:
+        world.connlog.write(stream)
+    with open(root / "uptime.tsv", "w") as stream:
+        world.uptime.write(stream)
+
+    states = [_series_state(world.kroot.series(pid))
+              for pid in world.kroot.probe_ids()]
+    (root / "kroot.json").write_text(json.dumps(states))
+
+    pfx_dir = root / "pfx2as"
+    pfx_dir.mkdir(exist_ok=True)
+    for year, month in world.ip2as.months():
+        snapshot = world.ip2as.snapshot_for(timeutil.epoch(year, month, 1))
+        with open(pfx_dir / ("%04d-%02d.txt" % (year, month)), "w") as stream:
+            snapshot.write(stream)
+    return root
+
+
+def _read_archive(path: Path) -> ProbeArchive:
+    archive = ProbeArchive()
+    with open(path) as stream:
+        for line_number, line in enumerate(stream, start=1):
+            text = line.strip()
+            if not text:
+                continue
+            fields = text.split("\t")
+            if len(fields) not in (4, 5):
+                raise ParseError(
+                    "archive line %d: expected 4-5 fields" % line_number)
+            tags = tuple(t for t in (fields[4].split(",")
+                                     if len(fields) == 5 else []) if t)
+            archive.add(ProbeMeta(
+                int(fields[0]), fields[1], fields[2],
+                ProbeVersion(int(fields[3])), tags))
+    return archive
+
+
+def load_bundle(directory: str | Path) -> DatasetBundle:
+    """Load a dataset bundle written by :func:`write_world`."""
+    root = Path(directory)
+    meta_path = root / "meta.json"
+    if not meta_path.exists():
+        raise DatasetError("no bundle at %s (missing meta.json)" % root)
+    meta = json.loads(meta_path.read_text())
+    if meta.get("bundle_version") != BUNDLE_VERSION:
+        raise DatasetError(
+            "unsupported bundle version %r" % meta.get("bundle_version"))
+
+    archive = _read_archive(root / "archive.tsv")
+    with open(root / "connlog.tsv") as stream:
+        connlog = ConnectionLog.read(stream)
+    with open(root / "uptime.tsv") as stream:
+        uptime = UptimeDataset.read(stream)
+
+    kroot = KRootDataset()
+    for state in json.loads((root / "kroot.json").read_text()):
+        kroot.add_series(_series_from_state(state))
+
+    ip2as = IpToAsDataset()
+    for path in sorted((root / "pfx2as").glob("*.txt")):
+        year_text, _, month_text = path.stem.partition("-")
+        with open(path) as stream:
+            ip2as.add_snapshot(int(year_text), int(month_text),
+                               Pfx2AsSnapshot.read(stream))
+
+    return DatasetBundle(
+        start=float(meta["start"]), end=float(meta["end"]),
+        seed=int(meta["seed"]),
+        archive=archive, connlog=connlog, kroot=kroot, uptime=uptime,
+        ip2as=ip2as,
+        as_names={int(k): v for k, v in meta["as_names"].items()},
+        as_countries={int(k): v for k, v in meta["as_countries"].items()},
+    )
+
+
+def pipeline_for_bundle(bundle: DatasetBundle, min_connected: float | None = None):
+    """Build an AnalysisPipeline over a loaded bundle."""
+    from repro.core.pipeline import AnalysisPipeline
+
+    if min_connected is None:
+        window = bundle.end - bundle.start
+        min_connected = min(30 * timeutil.DAY, window / 10)
+    return AnalysisPipeline(
+        bundle.connlog, bundle.archive, bundle.kroot, bundle.uptime,
+        bundle.ip2as, as_names=bundle.as_names,
+        as_countries=bundle.as_countries, min_connected=min_connected)

@@ -1,0 +1,133 @@
+"""Per-CPE outage and connection-break processes.
+
+Each CPE experiences power outages, network outages (Section 5 of the
+paper), and benign TCP connection breaks (NAT rebinds, controller restarts)
+that break the probe's controller connection without any outage.  Arrivals
+are Poisson; outage durations are lognormal, giving the heavy-tailed
+spread across Figure 9's buckets from under five minutes to over a week.
+
+Events are generated disjoint and separated by enough slack that an event
+never lands inside the previous event's reconnect gap.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.isp.spec import IspSpec
+from repro.util.rng import lognormal_from_median, poisson_arrivals
+from repro.util.timeutil import HOUR, MINUTE
+
+
+class InterruptionKind(enum.Enum):
+    """What broke the probe's controller connection."""
+
+    POWER = "power"
+    NETWORK = "network"
+    BREAK = "break"  # TCP-level break with no underlying outage
+    #: The probe alone reboots (USB glitch, manual replug) while the CPE
+    #: stays up — the paper's false-positive power outage (Section 5.1).
+    PROBE_REBOOT = "probe-reboot"
+    #: The ISP administratively renumbers the customer (Section 2.3);
+    #: injected by the world for ISPs with an ``admin_renumber_day``.
+    ADMIN = "admin"
+
+
+@dataclass(frozen=True)
+class Interruption:
+    """One connection-breaking event at a CPE."""
+
+    kind: InterruptionKind
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError("interruption ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        """Outage length (zero for bare TCP breaks)."""
+        return self.end - self.start
+
+
+#: Minimum spacing between accepted events, covering the longest reconnect
+#: gap (~25 min) plus detection margins.
+MIN_SEPARATION = 1.5 * HOUR
+
+#: Outage durations are clipped below to one ping round so every accepted
+#: outage is in principle detectable.
+MIN_OUTAGE_DURATION = 5 * MINUTE
+
+#: Per-probe yearly rate of benign TCP breaks.
+DEFAULT_BREAK_RATE_PER_YEAR = 26.0
+
+#: Per-probe yearly rate of probe-only reboots.  Calibrated so roughly half
+#: the probes see none all year, matching Table 6's P(ac|pw)=1 column.
+DEFAULT_PROBE_REBOOT_RATE_PER_YEAR = 0.7
+
+_YEAR_SECONDS = 365.0 * 24 * 3600
+
+
+def generate_interruptions(rng: random.Random, spec: IspSpec, start: float,
+                           end: float,
+                           break_rate_per_year: float =
+                           DEFAULT_BREAK_RATE_PER_YEAR,
+                           probe_reboot_rate_per_year: float =
+                           DEFAULT_PROBE_REBOOT_RATE_PER_YEAR
+                           ) -> list[Interruption]:
+    """Sample this CPE's year of interruptions, sorted and disjoint.
+
+    Overlapping or too-close events are resolved by keeping the earlier
+    one — a second failure during an ongoing outage is invisible anyway.
+    """
+    candidates: list[Interruption] = []
+    for kind, rate, median, sigma in (
+        (InterruptionKind.POWER, spec.power_outages_per_year,
+         spec.power_duration_median, spec.power_duration_sigma),
+        (InterruptionKind.NETWORK, spec.network_outages_per_year,
+         spec.network_duration_median, spec.network_duration_sigma),
+    ):
+        for arrival in poisson_arrivals(rng, rate / _YEAR_SECONDS, start, end):
+            duration = max(
+                MIN_OUTAGE_DURATION,
+                lognormal_from_median(rng, median, sigma),
+            )
+            candidates.append(
+                Interruption(kind, arrival, min(arrival + duration, end))
+            )
+    break_rate = break_rate_per_year / _YEAR_SECONDS
+    for arrival in poisson_arrivals(rng, break_rate, start, end):
+        candidates.append(Interruption(InterruptionKind.BREAK, arrival, arrival))
+    reboot_rate = probe_reboot_rate_per_year / _YEAR_SECONDS
+    for arrival in poisson_arrivals(rng, reboot_rate, start, end):
+        candidates.append(
+            Interruption(InterruptionKind.PROBE_REBOOT, arrival, arrival))
+
+    candidates.sort(key=lambda event: event.start)
+    accepted: list[Interruption] = []
+    horizon = start
+    for event in candidates:
+        if event.start < horizon:
+            continue
+        accepted.append(event)
+        horizon = event.end + MIN_SEPARATION
+    return accepted
+
+
+def inject_event(events: list[Interruption],
+                 event: Interruption) -> list[Interruption]:
+    """Insert a mandatory event, evicting neighbours it would collide with.
+
+    Used for administrative renumbering, which happens on the ISP's
+    schedule regardless of the CPE's outage history.
+    """
+    kept = [e for e in events
+            if e.end + MIN_SEPARATION <= event.start
+            or e.start >= event.end + MIN_SEPARATION]
+    kept.append(event)
+    kept.sort(key=lambda e: e.start)
+    return kept

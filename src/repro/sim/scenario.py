@@ -1,0 +1,135 @@
+"""Scenario configuration for the simulated RIPE Atlas world.
+
+A scenario pins down the ISP population, the confounder probe populations
+that Section 3.2's filtering must remove (dual-stack, IPv6-only, tagged,
+behaviourally multihomed, testing-address, cross-AS movers), probe hardware
+demographics, and the firmware campaign dates that produce Figure 6's
+reboot spikes.
+
+Confounder counts default to the paper's Table 2 proportions relative to
+the analyzable population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.isp.profiles import IspProfile, all_profiles
+from repro.util import timeutil
+
+#: Firmware distribution days the paper observed in 2015 (Section 5.2).
+FIRMWARE_CAMPAIGN_DATES: tuple[float, ...] = (
+    timeutil.epoch(2015, 1, 25),
+    timeutil.epoch(2015, 3, 23),
+    timeutil.epoch(2015, 4, 14),
+    timeutil.epoch(2015, 7, 6),
+    timeutil.epoch(2015, 10, 5),
+)
+
+#: Table 2 population ratios relative to the analyzable probe count (3,038),
+#: except movers, which are expressed relative to the single-AS analyzable
+#: population (2,272) they are added on top of.
+_STATIC_RATIO = 3073 / 3038
+_DUAL_STACK_RATIO = 3728 / 3038
+_IPV6_RATIO = 237 / 3038
+_TAGGED_RATIO = 174 / 3038
+_MULTIHOMED_RATIO = 511 / 3038
+_TESTING_RATIO = 216 / 3038
+_MOVER_RATIO = 766 / 2272
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything needed to build and run one simulated world."""
+
+    profiles: tuple[IspProfile, ...]
+    seed: int = 2015
+    start: float = timeutil.YEAR_2015_START
+    end: float = timeutil.YEAR_2015_END
+
+    # Confounder populations (Section 3.2 / Table 2).
+    static_probes: int = 0
+    dual_stack_probes: int = 0
+    ipv6_probes: int = 0
+    tagged_probes: int = 0
+    multihomed_probes: int = 0
+    testing_only_probes: int = 0
+    mover_probes: int = 0
+
+    # Probe hardware demographics (Section 5).
+    version_weights: tuple[float, float, float] = (0.10, 0.15, 0.75)
+    #: Probability a probe is USB-powered from the CPE (power fate sharing).
+    fate_sharing_prob: float = 0.9
+    #: Probability a v1/v2 probe reboots when making a new TCP connection.
+    frag_reboot_prob: float = 0.35
+    #: Yearly rate of benign TCP breaks per probe.
+    break_rate_per_year: float = 26.0
+    #: Yearly rate of probe-only reboots (false-positive power outages).
+    probe_reboot_rate_per_year: float = 0.7
+
+    firmware_campaigns: tuple[float, ...] = field(
+        default=FIRMWARE_CAMPAIGN_DATES)
+
+    def __post_init__(self) -> None:
+        if not self.profiles:
+            raise SimulationError("scenario needs at least one ISP profile")
+        if self.end <= self.start:
+            raise SimulationError("scenario window is empty")
+        for name in ("static_probes", "dual_stack_probes", "ipv6_probes",
+                     "tagged_probes", "multihomed_probes",
+                     "testing_only_probes", "mover_probes"):
+            if getattr(self, name) < 0:
+                raise SimulationError("%s must be non-negative" % name)
+        if len(self.version_weights) != 3 or sum(self.version_weights) <= 0:
+            raise SimulationError("version_weights must be 3 positive weights")
+        for name in ("fate_sharing_prob", "frag_reboot_prob"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise SimulationError("%s must be in [0, 1]" % name)
+
+    @property
+    def dynamic_probe_count(self) -> int:
+        """Probes deployed in regular ISP populations."""
+        return sum(profile.probes for profile in self.profiles)
+
+    @property
+    def total_probe_count(self) -> int:
+        """All probes including confounders."""
+        return (self.dynamic_probe_count + self.static_probes
+                + self.dual_stack_probes + self.ipv6_probes
+                + self.tagged_probes + self.multihomed_probes
+                + self.testing_only_probes + self.mover_probes)
+
+
+def _scaled(count: int, scale: float) -> int:
+    return max(1, round(count * scale))
+
+
+def paper_scenario(scale: float = 1.0, seed: int = 2015) -> ScenarioConfig:
+    """The default year-2015 world mirroring the paper's populations.
+
+    ``scale`` shrinks every population proportionally for quick runs; the
+    analyzable population at scale 1.0 is roughly 900 probes (the paper's
+    3,038 scaled down ~3x to keep simulation wall-clock reasonable), with
+    confounders kept at the paper's Table 2 proportions.
+    """
+    if scale <= 0:
+        raise SimulationError("scale must be positive")
+    profiles = tuple(
+        IspProfile(profile.spec, _scaled(profile.probes, scale))
+        for profile in all_profiles()
+    )
+    regular = sum(profile.probes for profile in profiles)
+    movers = max(1, round(regular * _MOVER_RATIO))
+    analyzable = regular + movers
+    return ScenarioConfig(
+        profiles=profiles,
+        seed=seed,
+        static_probes=round(analyzable * _STATIC_RATIO),
+        dual_stack_probes=round(analyzable * _DUAL_STACK_RATIO),
+        ipv6_probes=round(analyzable * _IPV6_RATIO),
+        tagged_probes=round(analyzable * _TAGGED_RATIO),
+        multihomed_probes=round(analyzable * _MULTIHOMED_RATIO),
+        testing_only_probes=round(analyzable * _TESTING_RATIO),
+        mover_probes=movers,
+    )

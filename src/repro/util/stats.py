@@ -1,0 +1,171 @@
+"""Small statistics helpers: empirical CDFs, histograms, summary stats.
+
+The paper's figures are mostly cumulative distributions (Figures 1-3, 7-8)
+and histograms (Figures 4-6, 9).  These helpers compute them from plain
+Python sequences so the analysis core stays dependency-light; benchmarks
+render the resulting series as text.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class CdfPoint:
+    """One step of an empirical CDF: ``fraction`` of mass at values <= ``value``."""
+
+    value: float
+    fraction: float
+
+
+def empirical_cdf(values: Iterable[float]) -> list[CdfPoint]:
+    """Return the empirical CDF of ``values`` as sorted step points.
+
+    Duplicate values collapse into a single step carrying their combined
+    mass, which makes modes (the paper's "vertical segments in the CDF")
+    easy to spot programmatically.
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return []
+    total = len(ordered)
+    points: list[CdfPoint] = []
+    index = 0
+    while index < total:
+        value = ordered[index]
+        run = index
+        while run < total and ordered[run] == value:
+            run += 1
+        points.append(CdfPoint(value, run / total))
+        index = run
+    return points
+
+
+def weighted_cdf(pairs: Iterable[tuple[float, float]]) -> list[CdfPoint]:
+    """Return a CDF over ``(value, weight)`` pairs.
+
+    This is the form used for total-time-fraction CDFs, where each distinct
+    address duration carries the fraction of total time it accounts for.
+    Weights must be non-negative; zero-total input yields an empty CDF.
+    """
+    accumulated: dict[float, float] = {}
+    for value, weight in pairs:
+        if weight < 0:
+            raise ValueError("negative weight %r for value %r" % (weight, value))
+        accumulated[value] = accumulated.get(value, 0.0) + weight
+    total = sum(accumulated.values())
+    if total == 0:
+        return []
+    points: list[CdfPoint] = []
+    running = 0.0
+    for value in sorted(accumulated):
+        running += accumulated[value]
+        points.append(CdfPoint(value, running / total))
+    return points
+
+
+def cdf_fraction_at(points: Sequence[CdfPoint], value: float) -> float:
+    """Evaluate a step CDF at ``value`` (fraction of mass <= value)."""
+    best = 0.0
+    for point in points:
+        if point.value <= value:
+            best = point.fraction
+        else:
+            break
+    return best
+
+
+def cdf_mass_at(points: Sequence[CdfPoint], value: float,
+                rel_tol: float = 1e-9) -> float:
+    """Return the mass of the single step at ``value`` (0 when absent)."""
+    previous = 0.0
+    for point in points:
+        if math.isclose(point.value, value, rel_tol=rel_tol):
+            return point.fraction - previous
+        if point.value > value:
+            break
+        previous = point.fraction
+    return 0.0
+
+
+@dataclass(frozen=True)
+class HistogramBin:
+    """A histogram bin over ``[low, high)`` with an integer count."""
+
+    low: float
+    high: float
+    count: int
+
+
+def histogram(values: Iterable[float], edges: Sequence[float]) -> list[HistogramBin]:
+    """Histogram ``values`` into bins delimited by sorted ``edges``.
+
+    Values outside ``[edges[0], edges[-1])`` are ignored; the paper's
+    bucketed plots (Figure 9) define their own catch-all edges explicitly.
+    """
+    if len(edges) < 2:
+        raise ValueError("need at least two edges")
+    if any(b <= a for a, b in zip(edges, edges[1:])):
+        raise ValueError("edges must be strictly increasing")
+    counts = [0] * (len(edges) - 1)
+    for value in values:
+        if value < edges[0] or value >= edges[-1]:
+            continue
+        lo, hi = 0, len(edges) - 1
+        while lo + 1 < hi:
+            mid = (lo + hi) // 2
+            if value >= edges[mid]:
+                lo = mid
+            else:
+                hi = mid
+        counts[lo] += 1
+    return [
+        HistogramBin(edges[i], edges[i + 1], counts[i])
+        for i in range(len(counts))
+    ]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median; raises on empty input."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile ``q`` in [0, 1]; raises on empty input."""
+    if not values:
+        raise ValueError("quantile of empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1], got %r" % (q,))
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    lower = int(math.floor(position))
+    upper = int(math.ceil(position))
+    if lower == upper:
+        return ordered[lower]
+    weight = position - lower
+    return ordered[lower] * (1 - weight) + ordered[upper] * weight
+
+
+def fraction(numerator: int, denominator: int) -> float:
+    """Safe ratio: 0.0 when the denominator is zero."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator

@@ -1,0 +1,47 @@
+"""Plain-text table rendering for experiment and benchmark output.
+
+Every experiment driver prints its table or figure series through
+:func:`render_table`, so ``pytest benchmarks/`` output lines up with the
+rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return "%.4g" % value
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                "row width %d does not match %d headers" % (len(row), len(headers))
+            )
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for column, value in enumerate(row):
+            widths[column] = max(widths[column], len(value))
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(value.ljust(width) for value, width in zip(row, widths))
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 0) -> str:
+    """Format a fraction as a percentage string, e.g. ``0.757 -> '76%'``."""
+    return "%.*f%%" % (digits, value * 100.0)

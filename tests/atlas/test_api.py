@@ -1,0 +1,108 @@
+"""Tests for repro.atlas.api."""
+
+import pytest
+
+from repro.atlas.api import (
+    AtlasApi,
+    parse_history_page,
+    scrape_connection_log,
+    scrape_probe_ids,
+)
+from repro.atlas.archive import ProbeArchive
+from repro.atlas.connlog import ConnectionLog
+from repro.atlas.types import ConnectionLogEntry, ProbeMeta
+from repro.errors import DatasetError, ParseError
+from repro.net.ipv4 import IPv4Address
+from repro.util import timeutil
+
+T_JAN = timeutil.epoch(2015, 1, 10)
+T_FEB = timeutil.epoch(2015, 2, 10)
+
+
+def make_api(probe_count=5):
+    archive = ProbeArchive(
+        ProbeMeta(pid, "DE", "EU") for pid in range(1, probe_count + 1))
+    log = ConnectionLog()
+    for pid in range(1, probe_count + 1):
+        log.add(ConnectionLogEntry(pid, T_JAN, T_JAN + 3600,
+                                   IPv4Address.parse("11.0.0.%d" % pid)))
+        log.add(ConnectionLogEntry(pid, T_FEB, T_FEB + 3600,
+                                   IPv4Address.parse("11.0.1.%d" % pid)))
+    return AtlasApi(archive, log), archive, log
+
+
+class TestProbeArchivePagination:
+    def test_single_page(self):
+        api, _, _ = make_api(3)
+        payload = api.probe_archive_page(1, page_size=10)
+        assert payload["count"] == 3
+        assert payload["next"] is None
+        assert [r["id"] for r in payload["results"]] == [1, 2, 3]
+        assert payload["results"][0]["country_code"] == "DE"
+
+    def test_multi_page_walk(self):
+        api, _, _ = make_api(5)
+        assert scrape_probe_ids(api, page_size=2) == [1, 2, 3, 4, 5]
+
+    def test_bad_page_rejected(self):
+        api, _, _ = make_api(1)
+        with pytest.raises(DatasetError):
+            api.probe_archive_page(0)
+
+
+class TestConnectionHistory:
+    def test_month_selection(self):
+        api, _, _ = make_api(1)
+        january = api.connection_history(1, 2015, 1)
+        february = api.connection_history(1, 2015, 2)
+        march = api.connection_history(1, 2015, 3)
+        assert "11.0.0.1" in january
+        assert "11.0.1.1" in february
+        assert march == ""
+
+    def test_unknown_probe_rejected(self):
+        api, _, _ = make_api(1)
+        with pytest.raises(DatasetError):
+            api.connection_history(99, 2015, 1)
+
+    def test_bad_month_rejected(self):
+        api, _, _ = make_api(1)
+        with pytest.raises(DatasetError):
+            api.connection_history(1, 2015, 13)
+
+
+class TestHistoryParsing:
+    def test_parse_v4_and_v6(self):
+        text = "100\t200\t11.0.0.1\n300\t400\t2001:db8::1\n"
+        entries = parse_history_page(7, text)
+        assert len(entries) == 2
+        assert not entries[0].is_ipv6
+        assert entries[1].is_ipv6
+
+    @pytest.mark.parametrize("line", [
+        "100\t200",             # too few fields
+        "x\t200\t11.0.0.1",     # bad timestamp
+        "100\t200\tnot-an-ip",  # bad address
+    ])
+    def test_malformed_rejected(self, line):
+        with pytest.raises(ParseError):
+            parse_history_page(7, line)
+
+    def test_blank_lines_skipped(self):
+        assert parse_history_page(7, "\n\n") == []
+
+
+class TestScrape:
+    def test_scraped_log_matches_original(self):
+        api, _, original = make_api(4)
+        probe_ids = scrape_probe_ids(api)
+        scraped = scrape_connection_log(
+            api, probe_ids, timeutil.YEAR_2015_START,
+            timeutil.epoch(2015, 4, 1))
+        assert scraped.entry_count() == original.entry_count()
+        for pid in probe_ids:
+            got = [(e.start, e.end, str(e.address))
+                   for e in scraped.entries(pid)]
+            want = [(e.start, e.end, str(e.address))
+                    for e in original.entries(pid)]
+            assert got == want

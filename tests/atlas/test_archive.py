@@ -1,0 +1,70 @@
+"""Tests for repro.atlas.archive."""
+
+import pytest
+
+from repro.atlas.archive import (
+    COUNTRY_TO_CONTINENT,
+    ProbeArchive,
+    continent_of,
+)
+from repro.atlas.types import ProbeMeta, ProbeVersion
+from repro.errors import DatasetError
+
+
+class TestContinentMapping:
+    def test_known_countries(self):
+        assert continent_of("DE") == "EU"
+        assert continent_of("US") == "NA"
+        assert continent_of("UY") == "SA"
+        assert continent_of("MU") == "AF"
+        assert continent_of("KZ") == "AS"
+        assert continent_of("AU") == "OC"
+
+    def test_unknown_country_rejected(self):
+        with pytest.raises(DatasetError):
+            continent_of("XX")
+
+    def test_all_mapped_continents_valid(self):
+        assert set(COUNTRY_TO_CONTINENT.values()) == {
+            "EU", "NA", "AS", "AF", "SA", "OC"}
+
+
+class TestProbeArchive:
+    def make_archive(self):
+        return ProbeArchive([
+            ProbeMeta(1, "DE", "EU", ProbeVersion.V3),
+            ProbeMeta(2, "DE", "EU", ProbeVersion.V1),
+            ProbeMeta(3, "US", "NA", ProbeVersion.V3, ("multihomed",)),
+        ])
+
+    def test_lookup(self):
+        archive = self.make_archive()
+        assert archive.get(1).country == "DE"
+        assert archive.has_probe(3)
+        assert not archive.has_probe(99)
+        with pytest.raises(DatasetError):
+            archive.get(99)
+
+    def test_duplicate_rejected(self):
+        archive = self.make_archive()
+        with pytest.raises(DatasetError):
+            archive.add(ProbeMeta(1, "FR", "EU"))
+
+    def test_bad_continent_rejected(self):
+        with pytest.raises(DatasetError):
+            ProbeArchive([ProbeMeta(9, "DE", "XX")])
+
+    def test_counts(self):
+        archive = self.make_archive()
+        assert archive.count_by_country()["DE"] == 2
+        assert archive.count_by_continent()["EU"] == 2
+        assert archive.count_by_version()[ProbeVersion.V3] == 2
+
+    def test_probes_with_version(self):
+        archive = self.make_archive()
+        assert archive.probes_with_version(ProbeVersion.V3) == [1, 3]
+
+    def test_iteration_sorted(self):
+        archive = self.make_archive()
+        assert [m.probe_id for m in archive] == [1, 2, 3]
+        assert len(archive) == 3

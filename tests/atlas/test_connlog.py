@@ -1,0 +1,105 @@
+"""Tests for repro.atlas.connlog."""
+
+import io
+
+import pytest
+
+from repro.atlas.connlog import ConnectionLog
+from repro.atlas.types import ConnectionLogEntry
+from repro.errors import DatasetError, ParseError
+from repro.net.ipv4 import IPv4Address
+from repro.util import timeutil
+
+
+def v4(probe, start, end, text):
+    return ConnectionLogEntry(probe, start, end, IPv4Address.parse(text))
+
+
+class TestConnectionLog:
+    def test_add_and_query(self):
+        log = ConnectionLog()
+        log.add(v4(206, 0.0, 100.0, "91.55.174.103"))
+        log.add(v4(206, 150.0, 300.0, "91.55.169.37"))
+        log.add(v4(207, 0.0, 50.0, "10.0.0.1"))
+        assert log.probe_ids() == [206, 207]
+        assert len(log.entries(206)) == 2
+        assert log.entry_count() == 3
+        assert log.entries(999) == []
+
+    def test_rejects_overlapping_entries(self):
+        log = ConnectionLog()
+        log.add(v4(206, 0.0, 100.0, "91.55.174.103"))
+        with pytest.raises(DatasetError):
+            log.add(v4(206, 99.0, 200.0, "91.55.169.37"))
+
+    def test_touching_entries_allowed(self):
+        log = ConnectionLog()
+        log.add(v4(206, 0.0, 100.0, "91.55.174.103"))
+        log.add(v4(206, 100.0, 200.0, "91.55.169.37"))
+        assert log.entry_count() == 2
+
+    def test_total_connected_time(self):
+        log = ConnectionLog([
+            v4(206, 0.0, 100.0, "91.55.174.103"),
+            v4(206, 150.0, 250.0, "91.55.169.37"),
+        ])
+        assert log.total_connected_time(206) == 200.0
+        assert log.total_connected_time(999) == 0.0
+
+    def test_iteration_orders_by_probe_then_time(self):
+        log = ConnectionLog([
+            v4(300, 0.0, 10.0, "10.0.0.1"),
+            v4(100, 0.0, 10.0, "10.0.0.2"),
+            v4(100, 20.0, 30.0, "10.0.0.3"),
+        ])
+        assert [e.probe_id for e in log] == [100, 100, 300]
+
+
+class TestSerialization:
+    def test_roundtrip_mixed_families(self):
+        log = ConnectionLog([
+            v4(206, 0.0, 100.0, "91.55.174.103"),
+            ConnectionLogEntry(206, 150.0, 300.0, None,
+                               ipv6_address="2001:db8::1"),
+        ])
+        buffer = io.StringIO()
+        log.write(buffer)
+        parsed = ConnectionLog.read(io.StringIO(buffer.getvalue()))
+        entries = parsed.entries(206)
+        assert len(entries) == 2
+        assert str(entries[0].address) == "91.55.174.103"
+        assert entries[1].ipv6_address == "2001:db8::1"
+
+    def test_read_skips_comments(self):
+        text = "# probes\n206\t0\t100\t91.55.174.103\n"
+        assert ConnectionLog.read(io.StringIO(text)).entry_count() == 1
+
+    @pytest.mark.parametrize("line", [
+        "206\t0\t100",                       # too few fields
+        "206\t0\t100\t1.2.3.4\tmore",        # too many
+        "x\t0\t100\t1.2.3.4",                # bad id
+        "206\tx\t100\t1.2.3.4",              # bad start
+        "206\t0\t100\tnot-an-address",       # bad address
+    ])
+    def test_read_rejects_malformed(self, line):
+        with pytest.raises(ParseError):
+            ConnectionLog.read(io.StringIO(line + "\n"))
+
+
+class TestPaperStyleRendering:
+    def test_table1_style(self):
+        start = timeutil.epoch(2015, 1, 1, 3, 22, 16)
+        end = timeutil.epoch(2015, 1, 1, 17, 34, 11)
+        log = ConnectionLog([v4(206, start, end, "91.55.169.37")])
+        text = log.render_paper_style(206)
+        lines = text.splitlines()
+        assert lines[0].startswith("ID")
+        assert "Jan  1 03:22:16" in lines[1]
+        assert "91.55.169.37" in lines[1]
+
+    def test_limit(self):
+        log = ConnectionLog([
+            v4(206, 0.0, 10.0, "10.0.0.1"),
+            v4(206, 20.0, 30.0, "10.0.0.2"),
+        ])
+        assert len(log.render_paper_style(206, limit=1).splitlines()) == 2

@@ -1,0 +1,130 @@
+"""Tests for repro.atlas.kroot."""
+
+import pytest
+
+from repro.atlas.kroot import HEALTHY_LTS, KRootDataset, KRootSeries
+from repro.errors import DatasetError
+from repro.util.intervals import Interval, IntervalSet
+
+
+def make_series(power_off=(), network_down=(), start=0.0, end=86400.0,
+                phase=0.0, probe=16893):
+    return KRootSeries(
+        probe, start, end,
+        power_off=IntervalSet(Interval(a, b) for a, b in power_off),
+        network_down=IntervalSet(Interval(a, b) for a, b in network_down),
+        phase=phase,
+    )
+
+
+class TestConstruction:
+    def test_rejects_empty_window(self):
+        with pytest.raises(DatasetError):
+            KRootSeries(1, 100.0, 100.0)
+
+    def test_rejects_bad_cadence(self):
+        with pytest.raises(DatasetError):
+            KRootSeries(1, 0.0, 100.0, cadence=0.0)
+
+    def test_default_phase_is_per_probe(self):
+        a = KRootSeries(1, 0.0, 1000.0)
+        b = KRootSeries(2, 0.0, 1000.0)
+        assert a.phase != b.phase
+        assert 0 <= a.phase < a.cadence
+
+
+class TestHealthyRecords:
+    def test_cadence_and_success(self):
+        series = make_series(end=2400.0)
+        records = series.records(0.0, 2400.0)
+        assert len(records) == 10
+        assert all(r.success == 3 and r.sent == 3 for r in records)
+        assert all(r.lts == HEALTHY_LTS for r in records)
+        assert records[1].timestamp - records[0].timestamp == 240.0
+
+    def test_window_clipping(self):
+        series = make_series(end=86400.0)
+        records = series.records(1000.0, 2000.0)
+        assert all(1000.0 <= r.timestamp < 2000.0 for r in records)
+        assert len(records) == 4  # ticks at 1200, 1440, 1680, 1920
+
+    def test_empty_window(self):
+        series = make_series()
+        assert series.records(500.0, 500.0) == []
+        assert series.records(90000.0, 95000.0) == []
+
+
+class TestNetworkOutage:
+    def test_pings_lost_and_lts_grows(self):
+        series = make_series(network_down=[(1000.0, 2000.0)], end=4000.0)
+        records = series.records(0.0, 4000.0)
+        lost = [r for r in records if r.all_lost]
+        assert [r.timestamp for r in lost] == [1200.0, 1440.0, 1680.0, 1920.0]
+        lts_values = [r.lts for r in lost]
+        assert lts_values == sorted(lts_values)
+        assert lts_values[0] == HEALTHY_LTS + 200.0
+        # Recovery: next record is healthy again.
+        after = [r for r in records if r.timestamp >= 2000.0]
+        assert all(not r.all_lost and r.lts == HEALTHY_LTS for r in after)
+
+
+class TestPowerOutage:
+    def test_records_missing_while_off(self):
+        series = make_series(power_off=[(1000.0, 2000.0)], end=4000.0)
+        records = series.records(0.0, 4000.0)
+        stamps = [r.timestamp for r in records]
+        assert all(not 1000.0 <= t < 2000.0 for t in stamps)
+        assert all(not r.all_lost for r in records)
+
+    def test_power_takes_precedence_over_network(self):
+        series = make_series(power_off=[(1000.0, 2000.0)],
+                             network_down=[(900.0, 2100.0)], end=4000.0)
+        records = series.records(0.0, 4000.0)
+        in_power_window = [r for r in records if 1000.0 <= r.timestamp < 2000.0]
+        assert in_power_window == []
+
+
+class TestPingGapAround:
+    def test_gap_brackets_power_outage(self):
+        series = make_series(power_off=[(1000.0, 2000.0)], end=4000.0)
+        previous, following = series.ping_gap_around(1500.0)
+        assert previous == 960.0
+        assert following == 2160.0
+
+    def test_healthy_gap_is_one_cadence(self):
+        series = make_series(end=4000.0)
+        previous, following = series.ping_gap_around(1300.0)
+        assert previous == 1200.0
+        assert following == 1440.0
+
+    def test_edges_return_none(self):
+        series = make_series(start=0.0, end=1000.0,
+                             power_off=[(0.0, 1000.0)])
+        previous, following = series.ping_gap_around(500.0)
+        assert previous is None
+        assert following is None
+
+
+class TestIterAllRecords:
+    def test_matches_windowed_query(self):
+        series = make_series(network_down=[(500.0, 700.0)], end=2400.0)
+        assert list(series.iter_all_records()) == series.records(0.0, 2400.0)
+
+
+class TestKRootDataset:
+    def test_add_and_query(self):
+        dataset = KRootDataset()
+        dataset.add_series(make_series(probe=5, end=1000.0))
+        assert dataset.probe_ids() == [5]
+        assert dataset.has_probe(5)
+        assert len(dataset.records(5, 0.0, 1000.0)) == 5
+
+    def test_duplicate_rejected(self):
+        dataset = KRootDataset()
+        dataset.add_series(make_series(probe=5, end=1000.0))
+        with pytest.raises(DatasetError):
+            dataset.add_series(make_series(probe=5, end=1000.0))
+
+    def test_missing_probe_rejected(self):
+        with pytest.raises(DatasetError):
+            KRootDataset().series(42)

@@ -1,0 +1,61 @@
+"""Tests for repro.atlas.sosuptime."""
+
+import io
+
+import pytest
+
+from repro.atlas.sosuptime import UptimeDataset
+from repro.atlas.types import UptimeRecord
+from repro.errors import DatasetError, ParseError
+
+
+class TestUptimeDataset:
+    def test_add_and_query(self):
+        dataset = UptimeDataset([
+            UptimeRecord(206, 1000.0, 500.0),
+            UptimeRecord(206, 2000.0, 19.0),
+            UptimeRecord(207, 50.0, 10.0),
+        ])
+        assert dataset.probe_ids() == [206, 207]
+        assert len(dataset.records(206)) == 2
+        assert dataset.records(999) == []
+
+    def test_out_of_order_rejected(self):
+        dataset = UptimeDataset([UptimeRecord(206, 1000.0, 500.0)])
+        with pytest.raises(DatasetError):
+            dataset.add(UptimeRecord(206, 900.0, 100.0))
+
+    def test_records_in_window(self):
+        dataset = UptimeDataset([
+            UptimeRecord(206, 100.0, 1.0),
+            UptimeRecord(206, 200.0, 1.0),
+            UptimeRecord(206, 300.0, 1.0),
+        ])
+        found = dataset.records_in(206, 150.0, 300.0)
+        assert [r.timestamp for r in found] == [200.0]
+        assert dataset.records_in(206, 200.0, 201.0)[0].timestamp == 200.0
+
+    def test_roundtrip(self):
+        dataset = UptimeDataset([
+            UptimeRecord(206, 1000.0, 262531.0),
+            UptimeRecord(206, 2000.0, 19.0),
+        ])
+        buffer = io.StringIO()
+        dataset.write(buffer)
+        parsed = UptimeDataset.read(io.StringIO(buffer.getvalue()))
+        assert [r.uptime for r in parsed.records(206)] == [262531.0, 19.0]
+
+    @pytest.mark.parametrize("line", [
+        "206\t100",                # too few
+        "206\t100\t5\textra",      # too many
+        "x\t100\t5",               # bad id
+        "206\tx\t5",               # bad timestamp
+        "206\t100\tx",             # bad uptime
+    ])
+    def test_read_rejects_malformed(self, line):
+        with pytest.raises(ParseError):
+            UptimeDataset.read(io.StringIO(line + "\n"))
+
+    def test_read_skips_comments(self):
+        text = "# header\n\n206\t100\t5\n"
+        assert len(UptimeDataset.read(io.StringIO(text)).records(206)) == 1

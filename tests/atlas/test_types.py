@@ -1,0 +1,79 @@
+"""Tests for repro.atlas.types."""
+
+import pytest
+
+from repro.atlas.types import (
+    ConnectionLogEntry,
+    KRootPingRecord,
+    ProbeMeta,
+    ProbeVersion,
+    UptimeRecord,
+)
+from repro.errors import ParseError
+from repro.net.ipv4 import IPv4Address
+
+ADDR = IPv4Address.parse("91.55.174.103")
+
+
+class TestConnectionLogEntry:
+    def test_valid_ipv4(self):
+        entry = ConnectionLogEntry(206, 0.0, 100.0, ADDR)
+        assert not entry.is_ipv6
+        assert entry.duration == 100.0
+
+    def test_valid_ipv6(self):
+        entry = ConnectionLogEntry(206, 0.0, 100.0, None,
+                                   ipv6_address="2001:db8::1")
+        assert entry.is_ipv6
+
+    def test_rejects_end_before_start(self):
+        with pytest.raises(ParseError):
+            ConnectionLogEntry(206, 100.0, 50.0, ADDR)
+
+    def test_rejects_both_or_neither_address(self):
+        with pytest.raises(ParseError):
+            ConnectionLogEntry(206, 0.0, 1.0, ADDR, ipv6_address="2001:db8::1")
+        with pytest.raises(ParseError):
+            ConnectionLogEntry(206, 0.0, 1.0, None)
+
+
+class TestKRootPingRecord:
+    def test_all_lost(self):
+        assert KRootPingRecord(1, 0.0, 3, 0, 100.0).all_lost
+        assert not KRootPingRecord(1, 0.0, 3, 1, 100.0).all_lost
+        assert not KRootPingRecord(1, 0.0, 0, 0, 100.0).all_lost
+
+    def test_validation(self):
+        with pytest.raises(ParseError):
+            KRootPingRecord(1, 0.0, 3, 4, 100.0)
+        with pytest.raises(ParseError):
+            KRootPingRecord(1, 0.0, 3, -1, 100.0)
+        with pytest.raises(ParseError):
+            KRootPingRecord(1, 0.0, 3, 3, -1.0)
+
+
+class TestUptimeRecord:
+    def test_boot_time(self):
+        record = UptimeRecord(206, 1000.0, 19.0)
+        assert record.boot_time == 981.0
+
+    def test_rejects_negative_uptime(self):
+        with pytest.raises(ParseError):
+            UptimeRecord(206, 1000.0, -1.0)
+
+
+class TestProbeMeta:
+    def test_valid(self):
+        meta = ProbeMeta(1, "DE", "EU", ProbeVersion.V3, ("system-v3",))
+        assert not meta.has_filtered_tag
+
+    def test_filtered_tags(self):
+        assert ProbeMeta(1, "DE", "EU", tags=("multihomed",)).has_filtered_tag
+        assert ProbeMeta(1, "DE", "EU", tags=("datacentre",)).has_filtered_tag
+        assert ProbeMeta(1, "DE", "EU", tags=("core", "x")).has_filtered_tag
+
+    def test_rejects_bad_country(self):
+        with pytest.raises(ParseError):
+            ProbeMeta(1, "Germany", "EU")
+        with pytest.raises(ParseError):
+            ProbeMeta(1, "de", "EU")

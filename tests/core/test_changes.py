@@ -1,0 +1,129 @@
+"""Tests for repro.core.changes."""
+
+from repro.atlas.types import ConnectionLogEntry
+from repro.core.changes import (
+    extract_changes,
+    extract_spans,
+    known_durations,
+    strip_testing_entry,
+)
+from repro.net.ipv4 import TESTING_ADDRESS, IPv4Address
+
+A = IPv4Address.parse("192.0.2.1")
+B = IPv4Address.parse("192.0.2.2")
+C = IPv4Address.parse("192.0.2.3")
+
+
+def v4(start, end, addr, probe=206):
+    return ConnectionLogEntry(probe, start, end, addr)
+
+
+def v6(start, end, probe=206):
+    return ConnectionLogEntry(probe, start, end, None,
+                              ipv6_address="2001:db8::1")
+
+
+class TestExtractSpans:
+    def test_empty(self):
+        assert extract_spans([]) == []
+
+    def test_single_entry_unknown_boundaries(self):
+        spans = extract_spans([v4(0, 100, A)])
+        assert len(spans) == 1
+        span = spans[0]
+        assert not span.complete_start
+        assert not span.complete_end
+        assert not span.has_known_duration
+
+    def test_consecutive_same_address_merge(self):
+        spans = extract_spans([v4(0, 100, A), v4(150, 300, A)])
+        assert len(spans) == 1
+        assert spans[0].start == 0
+        assert spans[0].end == 300
+
+    def test_change_bounds_inner_span(self):
+        spans = extract_spans([v4(0, 100, A), v4(150, 300, B),
+                               v4(350, 500, C)])
+        assert len(spans) == 3
+        inner = spans[1]
+        assert inner.address == B
+        assert inner.has_known_duration
+        assert inner.duration == 300 - 150
+        assert not spans[0].complete_start
+        assert spans[0].complete_end
+        assert spans[2].complete_start
+        assert not spans[2].complete_end
+
+    def test_paper_table1_durations(self):
+        # Table 1's second entry: 03:22:16 -> 17:34:11 is 14.2 hours.
+        from repro.util import timeutil
+        entries = [
+            v4(timeutil.epoch(2014, 12, 31, 3, 21, 34),
+               timeutil.epoch(2015, 1, 1, 2, 57, 37), A),
+            v4(timeutil.epoch(2015, 1, 1, 3, 22, 16),
+               timeutil.epoch(2015, 1, 1, 17, 34, 11), B),
+            v4(timeutil.epoch(2015, 1, 1, 18, 0, 54),
+               timeutil.epoch(2015, 1, 1, 18, 42, 31), C),
+        ]
+        spans = extract_spans(entries)
+        assert round(spans[1].duration / 3600, 1) == 14.2
+
+    def test_v6_breaks_boundaries(self):
+        spans = extract_spans([v4(0, 100, A), v6(150, 200), v4(250, 400, B)])
+        assert len(spans) == 2
+        assert not spans[0].complete_end
+        assert not spans[1].complete_start
+
+    def test_v6_only_yields_no_spans(self):
+        assert extract_spans([v6(0, 100), v6(150, 200)]) == []
+
+
+class TestExtractChanges:
+    def test_no_change(self):
+        assert extract_changes([v4(0, 100, A), v4(150, 300, A)]) == []
+
+    def test_change_records_gap(self):
+        changes = extract_changes([v4(0, 100, A), v4(150, 300, B)])
+        assert len(changes) == 1
+        change = changes[0]
+        assert change.old_address == A
+        assert change.new_address == B
+        assert change.gap_start == 100
+        assert change.gap_end == 150
+        assert change.time == 150
+
+    def test_v6_hides_change(self):
+        changes = extract_changes([v4(0, 100, A), v6(150, 200),
+                                   v4(250, 400, B)])
+        assert changes == []
+
+    def test_multiple_changes(self):
+        changes = extract_changes([v4(0, 1, A), v4(2, 3, B), v4(4, 5, A)])
+        assert [(c.old_address, c.new_address) for c in changes] == [
+            (A, B), (B, A)]
+
+
+class TestKnownDurations:
+    def test_only_complete_spans(self):
+        spans = extract_spans([v4(0, 100, A), v4(150, 300, B),
+                               v4(350, 500, C)])
+        assert known_durations(spans) == [150.0]
+
+
+class TestStripTestingEntry:
+    def test_removes_leading_testing_entry(self):
+        entries = [v4(0, 10, TESTING_ADDRESS), v4(20, 100, A)]
+        remaining, removed = strip_testing_entry(entries, TESTING_ADDRESS)
+        assert removed
+        assert len(remaining) == 1
+        assert remaining[0].address == A
+
+    def test_non_testing_first_kept(self):
+        entries = [v4(0, 10, A), v4(20, 100, TESTING_ADDRESS)]
+        remaining, removed = strip_testing_entry(entries, TESTING_ADDRESS)
+        assert not removed
+        assert len(remaining) == 2
+
+    def test_empty(self):
+        remaining, removed = strip_testing_entry([], TESTING_ADDRESS)
+        assert remaining == [] and not removed

@@ -1,0 +1,117 @@
+"""Tests for repro.core.conditional."""
+
+import pytest
+
+from repro.core.association import GapCause, GapEvent
+from repro.core.conditional import (
+    ProbeOutageStats,
+    conditional_cdf_network,
+    conditional_cdf_power,
+    outage_renumbering_table,
+    probe_outage_stats,
+    stats_for_asn,
+)
+from repro.util.stats import cdf_fraction_at
+
+
+def gap(cause, changed, probe=1):
+    return GapEvent(probe, 0.0, 60.0, cause, changed, 100.0)
+
+
+class TestProbeOutageStats:
+    def test_tally(self):
+        events = [
+            gap(GapCause.NETWORK, True), gap(GapCause.NETWORK, False),
+            gap(GapCause.POWER, True), gap(GapCause.NONE, True),
+        ]
+        stats = probe_outage_stats(1, events)
+        assert stats.network_outages == 2
+        assert stats.network_changes == 1
+        assert stats.power_outages == 1
+        assert stats.power_changes == 1
+        assert stats.p_change_given_network == pytest.approx(0.5)
+        assert stats.p_change_given_power == pytest.approx(1.0)
+
+    def test_zero_outages_probability_zero(self):
+        stats = probe_outage_stats(1, [gap(GapCause.NONE, True)])
+        assert stats.p_change_given_network == 0.0
+        assert stats.p_change_given_power == 0.0
+
+
+def make_stats(probe, nw, nw_c, pw, pw_c):
+    return ProbeOutageStats(probe, nw, nw_c, pw, pw_c)
+
+
+class TestConditionalCdfs:
+    def test_min_outages_filter(self):
+        stats = [make_stats(1, 2, 2, 0, 0),   # too few nw outages
+                 make_stats(2, 4, 4, 0, 0),
+                 make_stats(3, 4, 0, 0, 0)]
+        points = conditional_cdf_network(stats, min_outages=3)
+        assert cdf_fraction_at(points, 0.0) == pytest.approx(0.5)
+        assert cdf_fraction_at(points, 1.0) == pytest.approx(1.0)
+
+    def test_power_cdf(self):
+        stats = [make_stats(1, 0, 0, 3, 3), make_stats(2, 0, 0, 4, 2)]
+        points = conditional_cdf_power(stats, min_outages=3)
+        assert cdf_fraction_at(points, 0.5) == pytest.approx(0.5)
+
+
+class TestOutageRenumberingTable:
+    def build_stats(self, asn_probes):
+        stats = {}
+        asns = {}
+        pid = 0
+        for asn, specs in asn_probes.items():
+            for nw, nw_c, pw, pw_c in specs:
+                pid += 1
+                stats[pid] = make_stats(pid, nw, nw_c, pw, pw_c)
+                asns[pid] = asn
+        return stats, asns
+
+    def test_qualifying_as_listed(self):
+        always = (5, 5, 4, 4)
+        stats, asns = self.build_stats({100: [always] * 6})
+        rows = outage_renumbering_table(stats, asns, {100: "PPP-ISP"})
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.n == 6
+        assert row.pct_network_over_80 == pytest.approx(1.0)
+        assert row.pct_network_eq_1 == pytest.approx(1.0)
+        assert row.pct_power_eq_1 == pytest.approx(1.0)
+
+    def test_as_without_enough_qualifying_probes_skipped(self):
+        stats, asns = self.build_stats(
+            {100: [(5, 5, 4, 4)] * 4 + [(5, 0, 4, 0)] * 4})
+        rows = outage_renumbering_table(stats, asns, {},
+                                        min_qualifying_probes=5)
+        assert rows == []
+
+    def test_probes_with_few_outages_excluded_from_n(self):
+        stats, asns = self.build_stats(
+            {100: [(5, 5, 4, 4)] * 5 + [(1, 1, 1, 1)] * 5})
+        rows = outage_renumbering_table(stats, asns, {})
+        assert rows[0].n == 5
+
+    def test_requires_both_outage_kinds(self):
+        stats, asns = self.build_stats({100: [(5, 5, 0, 0)] * 8})
+        assert outage_renumbering_table(stats, asns, {}) == []
+
+    def test_sorted_by_n(self):
+        stats, asns = self.build_stats({
+            100: [(5, 5, 4, 4)] * 5,
+            200: [(5, 5, 4, 4)] * 9,
+        })
+        rows = outage_renumbering_table(stats, asns, {})
+        assert [row.asn for row in rows] == [200, 100]
+
+
+class TestStatsForAsn:
+    def test_filters_by_asn_and_changes(self):
+        stats = {1: make_stats(1, 3, 3, 0, 0), 2: make_stats(2, 3, 0, 0, 0),
+                 3: make_stats(3, 3, 3, 0, 0)}
+        asns = {1: 100, 2: 100, 3: 200}
+        found = stats_for_asn(stats, asns, 100, changed_probes={1})
+        assert [s.probe_id for s in found] == [1]
+        found_all = stats_for_asn(stats, asns, 100)
+        assert sorted(s.probe_id for s in found_all) == [1, 2]

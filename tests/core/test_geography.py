@@ -1,0 +1,90 @@
+"""Tests for repro.core.geography."""
+
+import pytest
+
+from repro.atlas.archive import ProbeArchive
+from repro.atlas.types import ProbeMeta
+from repro.core.geography import (
+    YEAR_SECONDS,
+    country_as_breakdown,
+    durations_by_continent,
+    durations_by_country,
+)
+from repro.util.timeutil import DAY, HOUR
+
+
+def make_archive():
+    return ProbeArchive([
+        ProbeMeta(1, "DE", "EU"),
+        ProbeMeta(2, "DE", "EU"),
+        ProbeMeta(3, "US", "NA"),
+        ProbeMeta(4, "FR", "EU"),
+    ])
+
+
+DURATIONS = {
+    1: [DAY - 0.3 * HOUR] * 100,
+    2: [DAY - 0.3 * HOUR] * 50,
+    3: [60 * DAY, 70 * DAY],
+    4: [7 * DAY] * 10,
+}
+
+
+class TestContinentAggregation:
+    def test_pooling_and_order(self):
+        groups = durations_by_continent(DURATIONS, make_archive())
+        labels = [g.label for g in groups]
+        assert set(labels) == {"EU", "NA"}
+        # NA has 130 days of time; EU has 150*~1day + 70 days.
+        assert groups[0].total_years >= groups[1].total_years
+
+    def test_total_years(self):
+        groups = {g.label: g for g in
+                  durations_by_continent(DURATIONS, make_archive())}
+        assert groups["NA"].total_years == pytest.approx(
+            130 * DAY / YEAR_SECONDS)
+
+    def test_eu_mode_at_24h(self):
+        groups = {g.label: g for g in
+                  durations_by_continent(DURATIONS, make_archive())}
+        points = groups["EU"].cdf()
+        from repro.util.stats import cdf_mass_at
+        assert cdf_mass_at(points, 24 * HOUR) > 0.5
+
+    def test_na_mode_free_long_durations(self):
+        groups = {g.label: g for g in
+                  durations_by_continent(DURATIONS, make_archive())}
+        points = groups["NA"].cdf()
+        from repro.util.stats import cdf_fraction_at
+        assert cdf_fraction_at(points, 50 * DAY) == 0.0
+
+
+class TestCountryAggregation:
+    def test_by_country(self):
+        by_country = durations_by_country(DURATIONS, make_archive())
+        assert set(by_country) == {"DE", "US", "FR"}
+        assert len(by_country["DE"].durations) == 150
+
+
+class TestCountryAsBreakdown:
+    def test_small_ases_pool_into_others(self):
+        asns = {1: 3320, 2: 3320, 4: 3215}
+        groups = country_as_breakdown(
+            DURATIONS, asns, make_archive(), "DE",
+            {3320: "DTAG"}, min_total_years=0.3)
+        labels = [g.label for g in groups]
+        assert labels == ["DTAG"]  # probe 4 is FR, filtered by country
+
+    def test_others_group(self):
+        archive = ProbeArchive([
+            ProbeMeta(1, "DE", "EU"), ProbeMeta(2, "DE", "EU")])
+        durations = {1: [DAY] * 400, 2: [DAY] * 5}
+        groups = country_as_breakdown(
+            durations, {1: 3320, 2: 3209}, archive, "DE",
+            {3320: "DTAG", 3209: "Vodafone"}, min_total_years=0.5)
+        assert [g.label for g in groups] == ["DTAG", "others"]
+
+    def test_probe_without_asn_skipped(self):
+        archive = ProbeArchive([ProbeMeta(1, "DE", "EU")])
+        groups = country_as_breakdown({1: [DAY]}, {}, archive, "DE", {})
+        assert groups == []

@@ -1,0 +1,57 @@
+"""Tests for repro.core.hourofday."""
+
+import pytest
+
+from repro.core.changes import AddressSpan
+from repro.core.hourofday import (
+    concentration,
+    hour_histogram,
+    periodic_change_hours,
+)
+from repro.net.ipv4 import IPv4Address
+from repro.util import timeutil
+from repro.util.timeutil import DAY, HOUR
+
+ADDR = IPv4Address.parse("192.0.2.1")
+
+
+def span(start, end, complete=True):
+    return AddressSpan(1, ADDR, start, end, complete, complete)
+
+
+class TestPeriodicChangeHours:
+    def test_collects_end_hours_of_period_spans(self):
+        base = timeutil.epoch(2015, 3, 1, 4, 0, 0)
+        spans = [
+            span(base, base + DAY - 0.3 * HOUR),       # ends ~03:42
+            span(base + DAY, base + DAY + 5 * HOUR),   # 5h span, not period
+        ]
+        hours = periodic_change_hours(spans, 24 * HOUR)
+        assert hours == [3]
+
+    def test_incomplete_spans_skipped(self):
+        base = timeutil.epoch(2015, 3, 1, 0, 0, 0)
+        spans = [span(base, base + DAY, complete=False)]
+        assert periodic_change_hours(spans, 24 * HOUR) == []
+
+
+class TestHourHistogram:
+    def test_counts(self):
+        counts = hour_histogram([0, 0, 5, 23])
+        assert counts[0] == 2
+        assert counts[5] == 1
+        assert counts[23] == 1
+        assert sum(counts) == 4
+
+    def test_rejects_bad_hour(self):
+        with pytest.raises(ValueError):
+            hour_histogram([24])
+
+
+class TestConcentration:
+    def test_night_window(self):
+        counts = [10] * 6 + [1] * 18
+        assert concentration(counts, (0, 6)) == pytest.approx(60 / 78)
+
+    def test_empty(self):
+        assert concentration([0] * 24, (0, 6)) == 0.0

@@ -1,0 +1,61 @@
+"""Tests for repro.core.outage_buckets."""
+
+import pytest
+
+from repro.core.association import GapCause, GapEvent
+from repro.core.outage_buckets import BUCKETS, bucket_outages
+from repro.util.timeutil import DAY, HOUR, MINUTE, WEEK
+
+
+def gap(duration, changed, cause=GapCause.NETWORK):
+    return GapEvent(1, 0.0, 60.0, cause, changed, duration)
+
+
+class TestBuckets:
+    def test_bucket_edges_are_contiguous(self):
+        for (_, _, high), (_, low, _) in zip(BUCKETS, BUCKETS[1:]):
+            assert high == low
+
+    def test_twelve_buckets(self):
+        assert len(BUCKETS) == 12
+        assert BUCKETS[0][0] == "< 5m"
+        assert BUCKETS[-1][0] == "> 1w"
+
+
+class TestBucketOutages:
+    def test_assignment(self):
+        events = [
+            gap(2 * MINUTE, True),
+            gap(7 * MINUTE, False),
+            gap(2 * HOUR, True),
+            gap(2 * DAY, True),
+            gap(2 * WEEK, False),
+        ]
+        buckets = bucket_outages(events)
+        by_label = {b.label: b for b in buckets}
+        assert by_label["< 5m"].total == 1
+        assert by_label["< 5m"].renumbered == 1
+        assert by_label["5-10m"].total == 1
+        assert by_label["5-10m"].renumbered == 0
+        assert by_label["1-3h"].total == 1
+        assert by_label["1-3d"].total == 1
+        assert by_label["> 1w"].total == 1
+
+    def test_no_outage_events_ignored(self):
+        events = [gap(0.0, True, cause=GapCause.NONE)]
+        buckets = bucket_outages(events)
+        assert all(b.total == 0 for b in buckets)
+
+    def test_renumbered_fraction(self):
+        events = [gap(2 * MINUTE, True), gap(3 * MINUTE, False)]
+        buckets = bucket_outages(events)
+        assert buckets[0].renumbered_fraction == pytest.approx(0.5)
+
+    def test_empty_bucket_fraction_zero(self):
+        buckets = bucket_outages([])
+        assert all(b.renumbered_fraction == 0.0 for b in buckets)
+
+    def test_power_events_counted(self):
+        events = [gap(10 * MINUTE, True, cause=GapCause.POWER)]
+        buckets = bucket_outages(events)
+        assert {b.label: b.total for b in buckets}["10-20m"] == 1

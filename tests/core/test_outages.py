@@ -1,0 +1,79 @@
+"""Tests for repro.core.outages."""
+
+from repro.atlas.types import KRootPingRecord
+from repro.core.outages import NetworkOutage, detect_network_outages
+
+
+def rec(t, success, lts, probe=16893):
+    return KRootPingRecord(probe, t, 3, success, lts)
+
+
+class TestDetectNetworkOutages:
+    def test_paper_table3_example(self):
+        # Mirrors Table 3: loss from 09:05:48 to 09:21:40 with rising LTS.
+        records = [
+            rec(100, 3, 86),
+            rec(340, 0, 151),
+            rec(580, 0, 388),
+            rec(820, 0, 619),
+            rec(1060, 0, 872),
+            rec(1300, 0, 1103),
+            rec(1540, 3, 1342),
+            rec(1780, 3, 146),
+        ]
+        outages = detect_network_outages(records)
+        assert outages == [NetworkOutage(16893, 340, 1300)]
+        assert outages[0].duration == 960
+
+    def test_no_outage_when_all_healthy(self):
+        records = [rec(100 + i * 240, 3, 120) for i in range(10)]
+        assert detect_network_outages(records) == []
+
+    def test_single_lost_round_with_low_lts_ignored(self):
+        # One lost round with fresh LTS is packet loss, not an outage.
+        records = [rec(100, 3, 120), rec(340, 0, 130), rec(580, 3, 120)]
+        assert detect_network_outages(records) == []
+
+    def test_single_lost_round_with_high_lts_detected(self):
+        records = [rec(100, 3, 120), rec(340, 0, 400), rec(580, 3, 120)]
+        outages = detect_network_outages(records)
+        assert len(outages) == 1
+        assert outages[0].start == outages[0].end == 340
+
+    def test_flat_lts_run_rejected(self):
+        # All pings lost but LTS not growing: probe still syncs, so the
+        # controller path is fine — not a network outage.
+        records = [rec(100, 0, 120), rec(340, 0, 120), rec(580, 0, 120)]
+        assert detect_network_outages(records) == []
+
+    def test_two_separate_outages(self):
+        records = [
+            rec(100, 3, 120),
+            rec(340, 0, 200), rec(580, 0, 440),
+            rec(820, 3, 120),
+            rec(1060, 0, 200), rec(1300, 0, 440),
+            rec(1540, 3, 120),
+        ]
+        outages = detect_network_outages(records)
+        assert len(outages) == 2
+        assert outages[0].start == 340
+        assert outages[1].start == 1060
+
+    def test_run_at_end_of_records(self):
+        records = [rec(100, 3, 120), rec(340, 0, 200), rec(580, 0, 440)]
+        outages = detect_network_outages(records)
+        assert len(outages) == 1
+        assert outages[0].end == 580
+
+    def test_empty(self):
+        assert detect_network_outages([]) == []
+
+
+class TestOverlaps:
+    def test_overlap_predicate(self):
+        outage = NetworkOutage(1, 100.0, 200.0)
+        assert outage.overlaps(150.0, 300.0)
+        assert outage.overlaps(200.0, 300.0)  # touching counts
+        assert outage.overlaps(0.0, 100.0)
+        assert not outage.overlaps(201.0, 300.0)
+        assert not outage.overlaps(0.0, 99.0)

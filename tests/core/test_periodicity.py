@@ -1,0 +1,163 @@
+"""Tests for repro.core.periodicity."""
+
+import pytest
+
+from repro.core.periodicity import (
+    all_probes_row,
+    as_periodicity_table,
+    classify_probe,
+    detect_probe_period,
+    is_harmonic,
+    max_within,
+)
+from repro.util.timeutil import DAY, HOUR, WEEK
+
+
+def daily_probe(n=20, jitter=0.33 * HOUR):
+    """Durations of a clean daily-renumbered probe (d - ~20 min)."""
+    return [DAY - jitter] * n
+
+
+class TestDetectProbePeriod:
+    def test_clean_daily_probe(self):
+        found = detect_probe_period(daily_probe())
+        assert found is not None
+        d, f = found
+        assert d == 24 * HOUR
+        assert f > 0.9
+
+    def test_mixed_probe_above_threshold(self):
+        durations = daily_probe(10) + [3 * HOUR] * 20
+        found = detect_probe_period(durations)
+        assert found is not None
+        assert found[0] == 24 * HOUR
+
+    def test_non_periodic_probe(self):
+        durations = [float(i) * HOUR for i in range(7, 80, 7)]
+        assert detect_probe_period(durations) is None
+
+    def test_short_modes_ignored(self):
+        # A mass of 2-hour durations is below MIN_PERIOD.
+        assert detect_probe_period([2 * HOUR] * 50) is None
+
+    def test_empty(self):
+        assert detect_probe_period([]) is None
+
+    def test_too_few_durations_never_periodic(self):
+        # A single duration trivially has f = 1; it must not classify.
+        assert detect_probe_period([DAY]) is None
+        assert detect_probe_period([DAY, DAY]) is None
+        assert detect_probe_period([DAY, DAY, DAY]) is not None
+
+    def test_weekly_probe(self):
+        found = detect_probe_period([WEEK - 0.3 * HOUR] * 10)
+        assert found is not None
+        assert found[0] == 168 * HOUR
+
+
+class TestClassifyProbe:
+    def test_periodic(self):
+        verdict = classify_probe(1, daily_probe())
+        assert verdict.is_periodic
+        assert verdict.period == 24 * HOUR
+
+    def test_not_periodic(self):
+        verdict = classify_probe(1, [])
+        assert not verdict.is_periodic
+        assert verdict.period is None
+
+
+class TestMaxWithinAndHarmonic:
+    def test_max_within_slack(self):
+        assert max_within([DAY, DAY * 1.04], DAY)
+        assert not max_within([DAY, DAY * 1.10], DAY)
+
+    def test_harmonic_multiples_allowed(self):
+        durations = [DAY - 0.3 * HOUR] * 10 + [2 * DAY - 0.3 * HOUR]
+        assert not max_within(durations, DAY)
+        assert is_harmonic(durations, DAY)
+
+    def test_non_harmonic_rejected(self):
+        durations = [DAY] * 10 + [1.5 * DAY]
+        assert not is_harmonic(durations, DAY)
+
+    def test_all_below_is_harmonic(self):
+        assert is_harmonic([DAY * 0.5, DAY], DAY)
+
+
+class TestAsPeriodicityTable:
+    def build(self, probes_per_as=6, periodic_per_as=5):
+        durations = {}
+        asn_by_probe = {}
+        pid = 0
+        for asn in (100, 200):
+            for i in range(probes_per_as):
+                pid += 1
+                asn_by_probe[pid] = asn
+                if asn == 100 and i < periodic_per_as:
+                    durations[pid] = daily_probe()
+                else:
+                    durations[pid] = [float(7 + 9 * i + j * 13) * HOUR
+                                      for j in range(5)]
+        return durations, asn_by_probe
+
+    def test_periodic_as_reported(self):
+        durations, asns = self.build()
+        rows = as_periodicity_table(durations, asns, {100: "P-ISP",
+                                                      200: "S-ISP"})
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.as_name == "P-ISP"
+        assert row.period_hours == 24
+        assert row.n_changed == 6
+        assert row.n_periodic == 5
+        assert row.pct_over_75 == 1.0
+        assert row.pct_max_le_d == 1.0
+        assert row.pct_harmonic == 1.0
+
+    def test_min_probes_threshold(self):
+        durations, asns = self.build(probes_per_as=4)
+        rows = as_periodicity_table(durations, asns, {}, min_probes=5)
+        assert rows == []
+
+    def test_min_periodic_threshold(self):
+        durations, asns = self.build(periodic_per_as=2)
+        rows = as_periodicity_table(durations, asns, {}, min_periodic=3)
+        assert rows == []
+
+    def test_two_periods_two_rows(self):
+        durations = {}
+        asns = {}
+        for pid in range(1, 5):
+            durations[pid] = daily_probe()
+            asns[pid] = 100
+        for pid in range(5, 9):
+            durations[pid] = [22 * HOUR - 0.3 * HOUR] * 20
+            asns[pid] = 100
+        rows = as_periodicity_table(durations, asns, {100: "Mixed"})
+        periods = sorted(row.period_hours for row in rows)
+        assert periods == [22, 24]
+
+    def test_rows_sorted_by_periodic_count(self):
+        durations = {}
+        asns = {}
+        pid = 0
+        for asn, count in ((100, 6), (200, 9)):
+            for _ in range(count):
+                pid += 1
+                durations[pid] = daily_probe()
+                asns[pid] = asn
+        rows = as_periodicity_table(durations, asns, {})
+        assert [row.asn for row in rows] == [200, 100]
+
+
+class TestAllProbesRow:
+    def test_counts_all_probes_at_period(self):
+        durations = {1: daily_probe(), 2: daily_probe(),
+                     3: [WEEK - 0.3 * HOUR] * 5}
+        row = all_probes_row(durations, 24 * HOUR)
+        assert row.as_name == "All"
+        assert row.n_changed == 3
+        assert row.n_periodic == 2
+        weekly = all_probes_row(durations, 168 * HOUR)
+        assert weekly.n_periodic == 1

@@ -1,0 +1,125 @@
+"""Integration tests: the pipeline recovers simulated ground truth."""
+
+import io
+
+import pytest
+
+from repro.atlas.connlog import ConnectionLog
+from repro.atlas.sosuptime import UptimeDataset
+from repro.core.filtering import ProbeCategory
+from repro.core.pipeline import AnalysisPipeline, pipeline_for_world
+from repro.core.timefraction import dominant_duration
+from repro.experiments.scenarios import small_world
+from repro.sim.world import ProbeRole
+from repro.util.timeutil import DAY
+
+
+@pytest.fixture(scope="module")
+def world():
+    return small_world(seed=13)
+
+
+@pytest.fixture(scope="module")
+def results(world):
+    return pipeline_for_world(world).run()
+
+
+class TestFilteringRecoversRoles:
+    def probes_with_role(self, world, role):
+        return {t.probe_id for t in world.truth.values() if t.role is role}
+
+    def test_ipv6_probes_recovered(self, world, results):
+        expected = self.probes_with_role(world, ProbeRole.IPV6_ONLY)
+        found = set(results.filter_report.probes_in(ProbeCategory.IPV6_ONLY))
+        assert found == expected
+
+    def test_dual_stack_probes_recovered(self, world, results):
+        expected = self.probes_with_role(world, ProbeRole.DUAL_STACK)
+        found = set(results.filter_report.probes_in(
+            ProbeCategory.DUAL_STACK))
+        assert found == expected
+
+    def test_tagged_probes_recovered(self, world, results):
+        expected = self.probes_with_role(world, ProbeRole.TAGGED)
+        found = set(results.filter_report.probes_in(ProbeCategory.TAGGED))
+        assert found == expected
+
+    def test_testing_probes_recovered(self, world, results):
+        expected = self.probes_with_role(world, ProbeRole.TESTING)
+        found = set(results.filter_report.probes_in(
+            ProbeCategory.TESTING_ONLY))
+        assert found == expected
+
+    def test_movers_land_in_multi_as(self, world, results):
+        movers = self.probes_with_role(world, ProbeRole.MOVER)
+        multi_as = set(results.filter_report.multi_as_probes())
+        # Movers always change AS; a few may also be filtered earlier
+        # (e.g. short segments), so check containment of the active ones.
+        classified = movers & set(results.filter_report.analyzable_geo())
+        assert classified <= multi_as
+
+    def test_dynamic_probes_not_filtered_as_multihomed(self, world, results):
+        dynamic = self.probes_with_role(world, ProbeRole.DYNAMIC)
+        multihomed = set(results.filter_report.probes_in(
+            ProbeCategory.MULTIHOMED))
+        assert not (dynamic & multihomed)
+
+    def test_no_probe_unaccounted(self, world, results):
+        report = results.filter_report
+        classified = sum(report.count(category)
+                         for category in ProbeCategory)
+        assert classified == len(world.truth)
+
+
+class TestChangeRecovery:
+    def test_change_counts_match_truth(self, world, results):
+        # For single-AS dynamic probes the pipeline must find the changes
+        # the simulator produced.  A change whose reconnect falls past the
+        # end of the observation window leaves no connection to observe,
+        # so ground truth may exceed the observation by that final change.
+        for pid, changes in results.changes_by_probe.items():
+            truth = world.truth[pid]
+            if truth.role is not ProbeRole.DYNAMIC:
+                continue
+            assert (truth.true_change_count - 1
+                    <= len(changes)
+                    <= truth.true_change_count), pid
+
+    def test_periodic_isp_period_recovered(self, world, results):
+        durations = []
+        for pid, probe_durations in results.as_level_durations().items():
+            if results.asn_by_probe[pid] == 64496:  # Daily-DSL
+                durations.extend(probe_durations)
+        assert durations
+        found = dominant_duration(durations)
+        assert found is not None
+        assert found[0] == DAY
+        assert found[1] > 0.6
+
+    def test_table5_reports_daily_isp_only(self, results):
+        rows = results.table5_rows(min_probes=3, min_periodic=2)
+        asns = {row.asn for row in rows}
+        assert 64496 in asns
+        assert 64498 not in asns  # the stable DHCP ISP
+
+
+class TestSerializationRoundTrip:
+    def test_pipeline_runs_on_reparsed_datasets(self, world, results):
+        # Write the connection log and uptime dataset to their text
+        # formats, parse them back, and verify the analysis agrees.
+        conn_buffer = io.StringIO()
+        world.connlog.write(conn_buffer)
+        reparsed_log = ConnectionLog.read(io.StringIO(conn_buffer.getvalue()))
+
+        up_buffer = io.StringIO()
+        world.uptime.write(up_buffer)
+        reparsed_uptime = UptimeDataset.read(
+            io.StringIO(up_buffer.getvalue()))
+
+        pipeline = AnalysisPipeline(
+            reparsed_log, world.archive, world.kroot, reparsed_uptime,
+            world.ip2as, min_connected=4 * DAY)
+        reparsed = pipeline.run()
+        assert (reparsed.filter_report.table2_rows()
+                == results.filter_report.table2_rows())
+        assert reparsed.asn_by_probe == results.asn_by_probe

@@ -1,0 +1,112 @@
+"""Unit tests for AnalysisResults table/figure builders on a small world."""
+
+import pytest
+
+from repro.core.outage_buckets import BUCKETS
+from repro.core.pipeline import pipeline_for_world
+from repro.experiments.scenarios import small_world
+from repro.util.stats import CdfPoint
+from repro.util.timeutil import DAY, HOUR
+
+
+@pytest.fixture(scope="module")
+def world():
+    return small_world(seed=23, days=45)
+
+
+@pytest.fixture(scope="module")
+def results(world):
+    return pipeline_for_world(world).run()
+
+
+class TestTableBuilders:
+    def test_table2_rows_structure(self, results):
+        rows = results.table2_rows()
+        assert rows[0][0] == "Total Probes"
+        assert all(isinstance(count, int) for _, count in rows)
+
+    def test_table5_all_rows(self, results):
+        daily, weekly = results.table5_all_rows()
+        assert daily.period == 24 * HOUR
+        assert weekly.period == 168 * HOUR
+        assert daily.as_name == "All"
+        assert daily.n_periodic >= 1  # the Daily-DSL fleet
+
+    def test_table6_respects_min_outages(self, results):
+        strict = results.table6_rows(min_outages=999)
+        assert strict == []
+
+    def test_table7_top_truncation(self, results):
+        _overall, rows = results.table7(top=1)
+        assert len(rows) <= 1
+
+
+class TestFigureBuilders:
+    def test_figure1_groups_cover_scenario_continents(self, results):
+        labels = {g.label for g in results.figure1_groups()}
+        assert labels <= {"EU", "NA", "AS", "AF", "SA", "OC"}
+        assert "EU" in labels
+
+    def test_figure2_cdf_is_step_function(self, results):
+        points = results.figure2_cdf(64496)
+        assert all(isinstance(p, CdfPoint) for p in points)
+        fractions = [p.fraction for p in points]
+        assert fractions == sorted(fractions)
+
+    def test_as_group_durations_label(self, results):
+        group = results.as_group_durations(64496)
+        assert group.label == "Daily-DSL"
+        group_unknown = results.as_group_durations(99999)
+        assert group_unknown.label == "AS99999"
+        assert group_unknown.durations == ()
+
+    def test_figure3_unknown_country_empty(self, results):
+        assert results.figure3_groups("JP") == []
+
+    def test_figure45_histogram_shape(self, results):
+        counts = results.figure45_histogram(64496, 24 * HOUR)
+        assert len(counts) == 24
+        assert sum(counts) > 0
+
+    def test_figure45_wrong_period_empty(self, results):
+        counts = results.figure45_histogram(64496, 168 * HOUR)
+        assert sum(counts) == 0
+
+    def test_figure6_series(self, results):
+        day_counts, firmware_days = results.figure6_series()
+        assert all(isinstance(day, int) for day in day_counts)
+        assert all(count >= 1 for count in day_counts.values())
+        assert isinstance(firmware_days, list)
+
+    def test_figure78_cdfs_bounded(self, results):
+        for builder in (results.figure7_cdf, results.figure8_cdf):
+            points = builder(64497, min_outages=1)
+            for point in points:
+                assert 0.0 <= point.value <= 1.0
+                assert 0.0 < point.fraction <= 1.0
+
+    def test_figure9_buckets_cover_all_ranges(self, results):
+        buckets = results.figure9_buckets(64497)
+        assert len(buckets) == len(BUCKETS)
+        assert all(b.renumbered <= b.total for b in buckets)
+
+
+class TestSubsets:
+    def test_as_level_durations_subset_of_geo(self, results):
+        as_level = results.as_level_durations()
+        assert set(as_level) <= set(results.durations_by_probe)
+        assert set(as_level) <= set(results.asn_by_probe)
+
+    def test_changed_probes_have_changes(self, results):
+        for pid in results.changed_probes():
+            assert results.changes_by_probe[pid]
+
+    def test_v3_stats_subset(self, results):
+        v3 = results.v3_stats()
+        assert set(v3) <= set(results.stats_by_probe)
+
+    def test_churn_methods_run(self, results, world):
+        series = results.churn_series(world.config.start, world.config.end)
+        assert series
+        events = results.administrative_renumberings(world.config.start)
+        assert events == []  # no admin ISP in the small world

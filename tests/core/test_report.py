@@ -1,0 +1,94 @@
+"""Tests for repro.core.report renderers."""
+
+from repro.core.conditional import OutageRenumberingRow
+from repro.core.geography import GroupDurations
+from repro.core.outage_buckets import DurationBucket
+from repro.core.periodicity import PeriodicityRow
+from repro.core.prefixes import PrefixChangeRow
+from repro.core.report import (
+    render_cdf_series,
+    render_figure6,
+    render_figure9,
+    render_group_durations,
+    render_hour_histogram,
+    render_probability_cdfs,
+    render_table2,
+    render_table5,
+    render_table6,
+    render_table7,
+)
+from repro.util.stats import empirical_cdf
+from repro.util.timeutil import DAY, HOUR
+
+
+class TestTableRenderers:
+    def test_table2(self):
+        text = render_table2([("Total Probes", 10), ("Never changed", 3)])
+        assert "Total Probes" in text
+        assert text.startswith("Table 2")
+
+    def test_table5(self):
+        row = PeriodicityRow("Orange", 3215, "FR", 168 * HOUR, 122, 111,
+                             0.77, 0.14, 0.98, 0.99)
+        text = render_table5([row])
+        assert "Orange" in text
+        assert "168" in text
+        assert "77%" in text
+
+    def test_table5_all_rows_dash(self):
+        row = PeriodicityRow("All", None, "", 24 * HOUR, 100, 50,
+                             0.5, 0.25, 0.9, 0.95)
+        text = render_table5([], all_rows=[row])
+        assert "All" in text
+        assert "-" in text
+
+    def test_table6(self):
+        row = OutageRenumberingRow("Orange", 3215, "FR", 84,
+                                   0.79, 0.54, 0.77, 0.50)
+        text = render_table6([row])
+        assert "P(ac|nw)>0.8" in text
+        assert "79%" in text
+
+    def test_table7(self):
+        overall = PrefixChangeRow("All", None, "", 100, 49, 48, 34)
+        row = PrefixChangeRow("Orange", 3215, "FR", 50, 34, 33, 26)
+        text = render_table7(overall, [row])
+        assert "Diff BGP" in text
+        assert "49%" in text
+
+
+class TestSeriesRenderers:
+    def test_cdf_series(self):
+        points = empirical_cdf([1 * HOUR, 24 * HOUR, 24 * HOUR])
+        text = render_cdf_series({"EU": points}, title="t")
+        assert "EU" in text
+        assert "<=24h" in text
+
+    def test_probability_cdfs(self):
+        points = empirical_cdf([0.0, 0.5, 1.0])
+        text = render_probability_cdfs({"Orange": points})
+        assert "Orange" in text
+
+    def test_hour_histogram(self):
+        text = render_hour_histogram([5] * 24, title="fig")
+        assert text.startswith("fig")
+        # title + header + separator + 24 hour rows = 27 lines.
+        assert len(text.splitlines()) == 27
+        assert "23" in text
+
+    def test_figure6(self):
+        text = render_figure6({25: 500, 26: 30}, [25])
+        assert "firmware" in text
+        assert "25" in text
+
+    def test_figure9(self):
+        buckets = [DurationBucket("< 5m", 0, 300, 10, 9)]
+        text = render_figure9(buckets, title="fig9")
+        assert "< 5m" in text
+        assert "90%" in text
+
+    def test_group_durations(self):
+        group = GroupDurations("EU", (DAY, DAY, 2 * DAY))
+        text = render_group_durations([group], title="fig1")
+        assert "EU" in text
+        assert "y)" in text  # total-years legend

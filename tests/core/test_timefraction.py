@@ -1,0 +1,107 @@
+"""Tests for repro.core.timefraction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.timefraction import (
+    bin_duration,
+    binned_time,
+    dominant_duration,
+    pooled_durations,
+    time_fraction_cdf,
+    total_time_fraction,
+)
+from repro.util.timeutil import DAY, HOUR
+
+
+class TestBinDuration:
+    def test_snaps_to_nearest_hour(self):
+        assert bin_duration(23.67 * HOUR) == 24 * HOUR
+        assert bin_duration(24.4 * HOUR) == 24 * HOUR
+        assert bin_duration(24.6 * HOUR) == 25 * HOUR
+
+    def test_custom_bin(self):
+        assert bin_duration(100.0, bin_width=30.0) == 90.0
+
+    def test_rejects_bad_bin(self):
+        with pytest.raises(ValueError):
+            bin_duration(1.0, bin_width=0.0)
+
+
+class TestBinnedTime:
+    def test_values_sum_to_total(self):
+        durations = [23.7 * HOUR, 24.2 * HOUR, 5 * HOUR]
+        accumulated = binned_time(durations)
+        assert sum(accumulated.values()) == pytest.approx(sum(durations))
+        assert set(accumulated) == {24 * HOUR, 5 * HOUR}
+
+    def test_empty(self):
+        assert binned_time([]) == {}
+
+
+class TestTotalTimeFraction:
+    def test_paper_table1_example(self):
+        # Table 1: three ~24h durations among 14.2, 0.7, 7.2 hour ones;
+        # the 24h mode holds roughly three quarters of total time.
+        durations = [14.2 * HOUR, 0.7 * HOUR, 7.2 * HOUR,
+                     23.6 * HOUR, 23.6 * HOUR, 23.6 * HOUR]
+        f = total_time_fraction(durations, 24 * HOUR)
+        assert 0.7 < f < 0.8
+
+    def test_zero_when_empty(self):
+        assert total_time_fraction([], DAY) == 0.0
+
+    def test_exact_mode(self):
+        assert total_time_fraction([DAY, DAY], DAY) == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(60.0, 100 * 3600.0), min_size=1, max_size=30))
+    def test_fractions_sum_to_one(self, durations):
+        total = sum(durations)
+        accumulated = binned_time(durations)
+        fractions = [time / total for time in accumulated.values()]
+        assert sum(fractions) == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(60.0, 100 * 3600.0), min_size=1, max_size=20),
+           st.integers(2, 5))
+    def test_replication_invariance(self, durations, k):
+        # Repeating the same durations k times leaves every fraction fixed.
+        f1 = total_time_fraction(durations, DAY)
+        fk = total_time_fraction(list(durations) * k, DAY)
+        assert f1 == pytest.approx(fk)
+
+
+class TestTimeFractionCdf:
+    def test_monotone_and_ends_at_one(self):
+        points = time_fraction_cdf([23.7 * HOUR, 5 * HOUR, 167.8 * HOUR])
+        fractions = [p.fraction for p in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_mode_is_visible_step(self):
+        durations = [23.7 * HOUR] * 10 + [2 * HOUR] * 5
+        points = time_fraction_cdf(durations)
+        step = {p.value: p.fraction for p in points}
+        # The 24h step carries ~96% of the mass.
+        assert step[24 * HOUR] - step[2 * HOUR] > 0.9
+
+    def test_empty(self):
+        assert time_fraction_cdf([]) == []
+
+
+class TestDominantDuration:
+    def test_picks_largest_time_share(self):
+        durations = [23.7 * HOUR] * 5 + [1 * HOUR] * 20
+        result = dominant_duration(durations)
+        assert result is not None
+        d, f = result
+        assert d == 24 * HOUR
+        assert f > 0.8
+
+    def test_none_when_empty(self):
+        assert dominant_duration([]) is None
+
+
+class TestPooled:
+    def test_concatenates(self):
+        assert pooled_durations([[1.0, 2.0], [], [3.0]]) == [1.0, 2.0, 3.0]

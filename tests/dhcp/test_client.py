@@ -1,0 +1,99 @@
+"""Tests for repro.dhcp.client."""
+
+import pytest
+
+from repro.dhcp.client import ClientState, DhcpClient
+from repro.dhcp.server import DhcpServer
+from repro.errors import SimulationError
+from repro.isp.pool import AddressPool
+from repro.net.ipv4 import IPv4Prefix
+from repro.util.rng import substream
+from repro.util.timeutil import HOUR
+
+
+def make_client(lease=4 * HOUR, churn=0.0, seed=1):
+    pool = AddressPool([IPv4Prefix.parse("192.0.2.0/24")])
+    server = DhcpServer(pool, lease, substream(seed, "c"),
+                        churn_rate_per_hour=churn)
+    return DhcpClient("c1", server), server
+
+
+class TestBootAndRelease:
+    def test_boot_obtains_lease(self):
+        client, _ = make_client()
+        lease = client.boot(0.0)
+        assert client.state is ClientState.BOUND
+        assert client.address == lease.address
+
+    def test_release_returns_to_init(self):
+        client, server = make_client()
+        client.boot(0.0)
+        client.release(10.0)
+        assert client.state is ClientState.INIT
+        assert client.address is None
+        assert server.binding_for("c1") is None
+
+    def test_release_without_lease_rejected(self):
+        client, _ = make_client()
+        with pytest.raises(SimulationError):
+            client.release(0.0)
+
+    def test_time_cannot_go_backwards(self):
+        client, _ = make_client()
+        client.boot(100.0)
+        with pytest.raises(SimulationError):
+            client.boot(50.0)
+
+
+class TestRenewal:
+    def test_reachable_client_keeps_address_forever(self):
+        client, _ = make_client(lease=2 * HOUR)
+        first = client.boot(0.0)
+        client.advance_to(1000 * HOUR, reachable=True)
+        assert client.state is ClientState.BOUND
+        assert client.address == first.address
+        assert client.lease.expires_at > 1000 * HOUR - 2 * HOUR
+
+    def test_renewals_happen_at_t1(self):
+        client, _ = make_client(lease=4 * HOUR)
+        client.boot(0.0)
+        client.advance_to(2 * HOUR + 1, reachable=True)
+        # Renewed once at T1=2h: lease now expires at 6h.
+        assert client.lease.issued_at == 2 * HOUR
+        assert client.lease.expires_at == 6 * HOUR
+
+
+class TestOutageBehaviour:
+    def test_unreachable_enters_renewing_then_rebinding(self):
+        client, _ = make_client(lease=8 * HOUR)
+        client.boot(0.0)
+        client.advance_to(4 * HOUR + 1, reachable=False)
+        assert client.state is ClientState.RENEWING
+        client.advance_to(7 * HOUR + 1, reachable=False)
+        assert client.state is ClientState.REBINDING
+
+    def test_expiry_during_outage_drops_to_init(self):
+        client, _ = make_client(lease=2 * HOUR)
+        client.boot(0.0)
+        client.advance_to(3 * HOUR, reachable=False)
+        assert client.state is ClientState.INIT
+        assert client.address is None
+
+    def test_reboot_after_short_outage_recovers_same_address(self):
+        client, _ = make_client(lease=2 * HOUR, churn=0.0)
+        first = client.boot(0.0)
+        client.advance_to(10 * HOUR, reachable=False)
+        second = client.boot(10 * HOUR)
+        assert second.address == first.address
+
+    def test_reboot_after_long_outage_heavy_churn_changes(self):
+        client, _ = make_client(lease=2 * HOUR, churn=1000.0, seed=9)
+        first = client.boot(0.0)
+        client.advance_to(500 * HOUR, reachable=False)
+        second = client.boot(500 * HOUR)
+        assert second.address != first.address
+
+    def test_advance_in_init_is_noop(self):
+        client, _ = make_client()
+        client.advance_to(HOUR, reachable=False)
+        assert client.state is ClientState.INIT

@@ -1,0 +1,34 @@
+"""Tests for repro.dhcp.lease."""
+
+import pytest
+
+from repro.dhcp.lease import Lease
+from repro.errors import SimulationError
+from repro.net.ipv4 import IPv4Address
+
+ADDR = IPv4Address.parse("192.0.2.1")
+
+
+class TestLease:
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(SimulationError):
+            Lease(ADDR, "c1", 0.0, 0.0)
+
+    def test_timers_follow_rfc2131(self):
+        lease = Lease(ADDR, "c1", 1000.0, 7200.0)
+        assert lease.expires_at == 8200.0
+        assert lease.t1 == 1000.0 + 3600.0
+        assert lease.t2 == 1000.0 + 6300.0
+
+    def test_is_active(self):
+        lease = Lease(ADDR, "c1", 0.0, 100.0)
+        assert lease.is_active(99.9)
+        assert not lease.is_active(100.0)
+
+    def test_renewed_keeps_address_restarts_clock(self):
+        lease = Lease(ADDR, "c1", 0.0, 100.0)
+        renewed = lease.renewed(50.0)
+        assert renewed.address == ADDR
+        assert renewed.client_id == "c1"
+        assert renewed.issued_at == 50.0
+        assert renewed.expires_at == 150.0

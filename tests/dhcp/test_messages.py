@@ -1,0 +1,108 @@
+"""Tests for repro.dhcp.messages."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dhcp.messages import (
+    MAGIC_COOKIE,
+    DhcpMessage,
+    DhcpMessageType,
+    Op,
+)
+from repro.errors import ParseError
+from repro.net.ipv4 import IPv4Address
+
+ADDR = IPv4Address.parse("192.0.2.10")
+SERVER = IPv4Address.parse("192.0.2.1")
+
+
+class TestValidation:
+    def test_valid_discover(self):
+        message = DhcpMessage(DhcpMessageType.DISCOVER, 42, "cpe-1")
+        assert message.op is Op.REQUEST
+
+    def test_reply_types_have_reply_op(self):
+        for kind in (DhcpMessageType.OFFER, DhcpMessageType.ACK,
+                     DhcpMessageType.NAK):
+            message = DhcpMessage(kind, 1, "c")
+            assert message.op is Op.REPLY
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(xid=-1),
+        dict(xid=2 ** 32),
+        dict(client_id=""),
+        dict(client_id="x" * 300),
+        dict(lease_time=0),
+        dict(lease_time=2 ** 32),
+    ])
+    def test_invalid_fields_rejected(self, kwargs):
+        base = dict(message_type=DhcpMessageType.DISCOVER, xid=1,
+                    client_id="c")
+        base.update(kwargs)
+        with pytest.raises(ParseError):
+            DhcpMessage(**base)
+
+
+class TestWireFormat:
+    def full_message(self):
+        return DhcpMessage(
+            DhcpMessageType.ACK, xid=0xDEADBEEF, client_id="cpe-77",
+            ciaddr=ADDR, yiaddr=ADDR, requested_ip=ADDR,
+            lease_time=14400, server_id=SERVER)
+
+    def test_roundtrip_full(self):
+        message = self.full_message()
+        assert DhcpMessage.decode(message.encode()) == message
+
+    def test_roundtrip_minimal(self):
+        message = DhcpMessage(DhcpMessageType.DISCOVER, 1, "c")
+        assert DhcpMessage.decode(message.encode()) == message
+
+    def test_magic_cookie_present(self):
+        wire = self.full_message().encode()
+        assert MAGIC_COOKIE in wire
+
+    def test_truncated_rejected(self):
+        wire = self.full_message().encode()
+        with pytest.raises(ParseError):
+            DhcpMessage.decode(wire[:50])
+
+    def test_bad_cookie_rejected(self):
+        wire = bytearray(self.full_message().encode())
+        wire[236:240] = b"\x00\x00\x00\x00"
+        with pytest.raises(ParseError):
+            DhcpMessage.decode(bytes(wire))
+
+    def test_missing_end_rejected(self):
+        wire = self.full_message().encode()
+        with pytest.raises(ParseError):
+            DhcpMessage.decode(wire[:-1] + b"\x00")
+
+    def test_unknown_message_type_rejected(self):
+        message = DhcpMessage(DhcpMessageType.DISCOVER, 1, "c")
+        wire = bytearray(message.encode())
+        # Option 53 value byte sits right after the cookie: 53, len, value.
+        index = wire.index(MAGIC_COOKIE) + 4 + 2
+        wire[index] = 99
+        with pytest.raises(ParseError):
+            DhcpMessage.decode(bytes(wire))
+
+    def test_inconsistent_op_rejected(self):
+        message = DhcpMessage(DhcpMessageType.ACK, 1, "c")
+        wire = bytearray(message.encode())
+        wire[0] = 1  # claim BOOTREQUEST for a reply type
+        with pytest.raises(ParseError):
+            DhcpMessage.decode(bytes(wire))
+
+    @given(st.integers(0, 2 ** 32 - 1),
+           st.sampled_from(list(DhcpMessageType)),
+           st.text(min_size=1, max_size=30),
+           st.integers(0, 2 ** 32 - 1),
+           st.one_of(st.none(), st.integers(1, 2 ** 32 - 1)))
+    def test_roundtrip_property(self, xid, kind, client_id, addr_value,
+                                lease_time):
+        message = DhcpMessage(
+            kind, xid, client_id,
+            yiaddr=IPv4Address(addr_value), lease_time=lease_time)
+        assert DhcpMessage.decode(message.encode()) == message

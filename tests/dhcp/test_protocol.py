@@ -1,0 +1,126 @@
+"""Tests for repro.dhcp.protocol (DORA exchange)."""
+
+import pytest
+
+from repro.dhcp.messages import DhcpMessage, DhcpMessageType
+from repro.dhcp.protocol import DhcpMessageHandler, run_dora
+from repro.dhcp.server import DhcpServer
+from repro.errors import SimulationError
+from repro.isp.pool import AddressPool
+from repro.net.ipv4 import IPv4Address, IPv4Prefix
+from repro.util.rng import substream
+from repro.util.timeutil import HOUR
+
+SERVER_ID = IPv4Address.parse("192.0.2.1")
+
+
+def make_handler(lease=4 * HOUR, churn=0.0, seed=1):
+    pool = AddressPool([IPv4Prefix.parse("198.51.100.0/24")])
+    server = DhcpServer(pool, lease, substream(seed, "proto"),
+                        churn_rate_per_hour=churn)
+    return DhcpMessageHandler(server, SERVER_ID), server, pool
+
+
+class TestDora:
+    def test_full_exchange(self):
+        handler, server, pool = make_handler()
+        ack = run_dora(handler, "cpe-1", 0.0)
+        assert ack.message_type is DhcpMessageType.ACK
+        assert pool.is_allocated(ack.yiaddr)
+        assert server.binding_for("cpe-1").address == ack.yiaddr
+        assert ack.lease_time == 4 * HOUR
+        assert ack.server_id == SERVER_ID
+
+    def test_rebooting_client_gets_same_address(self):
+        handler, _, _ = make_handler()
+        first = run_dora(handler, "cpe-1", 0.0)
+        second = run_dora(handler, "cpe-1", HOUR)
+        assert second.yiaddr == first.yiaddr
+
+    def test_two_clients_two_addresses(self):
+        handler, _, _ = make_handler()
+        a = run_dora(handler, "cpe-1", 0.0)
+        b = run_dora(handler, "cpe-2", 0.0)
+        assert a.yiaddr != b.yiaddr
+
+
+class TestRequestPaths:
+    def test_renewal_with_ciaddr_acks(self):
+        handler, _, _ = make_handler()
+        ack = run_dora(handler, "cpe-1", 0.0)
+        renewal = DhcpMessage(DhcpMessageType.REQUEST, 2, "cpe-1",
+                              ciaddr=ack.yiaddr)
+        reply = handler.handle(renewal, HOUR)
+        assert reply.message_type is DhcpMessageType.ACK
+        assert reply.yiaddr == ack.yiaddr
+
+    def test_request_for_foreign_address_nacked(self):
+        handler, _, _ = make_handler()
+        run_dora(handler, "cpe-1", 0.0)
+        bogus = DhcpMessage(DhcpMessageType.REQUEST, 3, "cpe-1",
+                            requested_ip=IPv4Address.parse("198.51.100.250"))
+        reply = handler.handle(bogus, HOUR)
+        assert reply.message_type is DhcpMessageType.NAK
+
+    def test_request_without_binding_nacked(self):
+        handler, _, _ = make_handler()
+        orphan = DhcpMessage(DhcpMessageType.REQUEST, 4, "ghost",
+                             requested_ip=IPv4Address.parse("198.51.100.9"))
+        reply = handler.handle(orphan, 0.0)
+        assert reply.message_type is DhcpMessageType.NAK
+
+    def test_expired_renewal_nacked(self):
+        handler, _, _ = make_handler(lease=HOUR)
+        ack = run_dora(handler, "cpe-1", 0.0)
+        late = DhcpMessage(DhcpMessageType.REQUEST, 5, "cpe-1",
+                           ciaddr=ack.yiaddr)
+        reply = handler.handle(late, 10 * HOUR)
+        assert reply.message_type is DhcpMessageType.NAK
+
+    def test_expired_selecting_request_reacquires(self):
+        # INIT-REBOOT after expiry with zero churn: preservation wins.
+        handler, _, _ = make_handler(lease=HOUR, churn=0.0)
+        ack = run_dora(handler, "cpe-1", 0.0)
+        reboot = DhcpMessage(DhcpMessageType.REQUEST, 6, "cpe-1",
+                             requested_ip=ack.yiaddr)
+        reply = handler.handle(reboot, 10 * HOUR)
+        assert reply.message_type is DhcpMessageType.ACK
+        assert reply.yiaddr == ack.yiaddr
+
+
+class TestReleaseAndInform:
+    def test_release_frees_binding(self):
+        handler, server, pool = make_handler()
+        ack = run_dora(handler, "cpe-1", 0.0)
+        release = DhcpMessage(DhcpMessageType.RELEASE, 7, "cpe-1",
+                              ciaddr=ack.yiaddr)
+        assert handler.handle(release, HOUR) is None
+        assert server.binding_for("cpe-1") is None
+        assert not pool.is_allocated(ack.yiaddr)
+
+    def test_release_without_binding_ignored(self):
+        handler, _, _ = make_handler()
+        release = DhcpMessage(DhcpMessageType.RELEASE, 8, "ghost")
+        assert handler.handle(release, 0.0) is None
+
+    def test_decline_frees_binding(self):
+        handler, server, _ = make_handler()
+        run_dora(handler, "cpe-1", 0.0)
+        decline = DhcpMessage(DhcpMessageType.DECLINE, 9, "cpe-1")
+        assert handler.handle(decline, HOUR) is None
+        assert server.binding_for("cpe-1") is None
+
+    def test_inform_acks_without_lease(self):
+        handler, server, _ = make_handler()
+        inform = DhcpMessage(DhcpMessageType.INFORM, 10, "static-host",
+                             ciaddr=IPv4Address.parse("198.51.100.77"))
+        reply = handler.handle(inform, 0.0)
+        assert reply.message_type is DhcpMessageType.ACK
+        assert reply.lease_time is None
+        assert server.binding_for("static-host") is None
+
+    def test_unhandled_type_raises(self):
+        handler, _, _ = make_handler()
+        offer = DhcpMessage(DhcpMessageType.OFFER, 11, "c")
+        with pytest.raises(SimulationError):
+            handler.handle(offer, 0.0)

@@ -1,0 +1,149 @@
+"""Tests for repro.dhcp.server."""
+
+import pytest
+
+from repro.dhcp.server import DhcpServer
+from repro.errors import SimulationError
+from repro.isp.pool import AddressPool, PoolPolicy
+from repro.net.ipv4 import IPv4Prefix
+from repro.util.rng import substream
+from repro.util.timeutil import HOUR
+
+
+def make_server(churn=0.0, lease=4 * HOUR, seed=1, prefix="192.0.2.0/24"):
+    pool = AddressPool([IPv4Prefix.parse(prefix)], PoolPolicy())
+    return DhcpServer(pool, lease, substream(seed, "dhcp"),
+                      churn_rate_per_hour=churn), pool
+
+
+class TestConstruction:
+    def test_validation(self):
+        pool = AddressPool([IPv4Prefix.parse("192.0.2.0/24")])
+        rng = substream(0, "x")
+        with pytest.raises(SimulationError):
+            DhcpServer(pool, 0.0, rng)
+        with pytest.raises(SimulationError):
+            DhcpServer(pool, HOUR, rng, churn_rate_per_hour=-1.0)
+
+
+class TestRequestPreservation:
+    def test_new_client_gets_address(self):
+        server, pool = make_server()
+        lease = server.request("c1", 0.0)
+        assert pool.is_allocated(lease.address)
+        assert server.binding_for("c1") == lease
+
+    def test_rebooting_client_keeps_address_while_active(self):
+        server, _ = make_server()
+        first = server.request("c1", 0.0)
+        second = server.request("c1", HOUR)
+        assert second.address == first.address
+        assert second.issued_at == HOUR
+
+    def test_expired_binding_preserved_with_zero_churn(self):
+        # RFC 2131 4.3.1: the same address whenever possible — with no pool
+        # pressure it is always possible.
+        server, _ = make_server(churn=0.0)
+        first = server.request("c1", 0.0)
+        much_later = 100 * HOUR
+        second = server.request("c1", much_later)
+        assert second.address == first.address
+
+    def test_expired_binding_reclaimed_under_heavy_churn(self):
+        server, pool = make_server(churn=1000.0, seed=3)
+        first = server.request("c1", 0.0)
+        second = server.request("c1", 100 * HOUR)
+        assert second.address != first.address
+        assert not pool.is_allocated(first.address) or \
+            pool.is_allocated(second.address)
+
+    def test_distinct_clients_distinct_addresses(self):
+        server, _ = make_server()
+        a = server.request("c1", 0.0)
+        b = server.request("c2", 0.0)
+        assert a.address != b.address
+
+
+class TestRenew:
+    def test_renew_extends_same_address(self):
+        server, _ = make_server(lease=2 * HOUR)
+        lease = server.request("c1", 0.0)
+        renewed = server.renew("c1", HOUR)
+        assert renewed.address == lease.address
+        assert renewed.expires_at == HOUR + 2 * HOUR
+
+    def test_renew_without_lease_rejected(self):
+        server, _ = make_server()
+        with pytest.raises(SimulationError):
+            server.renew("ghost", 0.0)
+
+    def test_renew_expired_lease_rejected(self):
+        server, _ = make_server(lease=HOUR)
+        server.request("c1", 0.0)
+        with pytest.raises(SimulationError):
+            server.renew("c1", 2 * HOUR)
+
+
+class TestRelease:
+    def test_release_frees_address(self):
+        server, pool = make_server()
+        lease = server.request("c1", 0.0)
+        server.release("c1", 1.0)
+        assert not pool.is_allocated(lease.address)
+        assert server.binding_for("c1") is None
+
+    def test_release_unknown_rejected(self):
+        server, _ = make_server()
+        with pytest.raises(SimulationError):
+            server.release("ghost", 0.0)
+
+
+class TestReconnectAfterOutage:
+    def test_short_outage_never_changes_address(self):
+        # Outage shorter than half the lease cannot outlive the residual.
+        server, _ = make_server(churn=10.0, lease=4 * HOUR)
+        lease = server.request("c1", 0.0)
+        result = server.reconnect_after_outage("c1", 10 * HOUR,
+                                               10 * HOUR + HOUR)
+        assert not result.address_changed
+        assert result.lease.address == lease.address
+
+    def test_long_outage_with_churn_changes_address(self):
+        server, _ = make_server(churn=1000.0, lease=HOUR, seed=5)
+        lease = server.request("c1", 0.0)
+        result = server.reconnect_after_outage("c1", 10 * HOUR, 200 * HOUR)
+        assert result.address_changed
+        assert result.lease.address != lease.address
+
+    def test_long_outage_without_churn_keeps_address(self):
+        server, _ = make_server(churn=0.0, lease=HOUR)
+        lease = server.request("c1", 0.0)
+        result = server.reconnect_after_outage("c1", 10 * HOUR, 500 * HOUR)
+        assert not result.address_changed
+        assert result.lease.address == lease.address
+
+    def test_unknown_client_counts_as_change(self):
+        server, _ = make_server()
+        result = server.reconnect_after_outage("new", 0.0, HOUR)
+        assert result.address_changed
+
+    def test_reconnect_before_outage_rejected(self):
+        server, _ = make_server()
+        server.request("c1", 0.0)
+        with pytest.raises(SimulationError):
+            server.reconnect_after_outage("c1", HOUR, 0.0)
+
+    def test_change_probability_grows_with_outage_duration(self):
+        # Statistical check of the Figure 9 (LGI) mechanism.
+        changes = {"short": 0, "long": 0}
+        for trial in range(120):
+            server, _ = make_server(churn=0.05, lease=6 * HOUR,
+                                    seed=1000 + trial)
+            server.request("c1", 0.0)
+            kind = "short" if trial % 2 == 0 else "long"
+            gap = 2 * HOUR if kind == "short" else 72 * HOUR
+            result = server.reconnect_after_outage("c1", 100 * HOUR,
+                                                   100 * HOUR + gap)
+            changes[kind] += result.address_changed
+        assert changes["short"] == 0
+        assert changes["long"] > 30

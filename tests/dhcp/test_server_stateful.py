@@ -1,0 +1,88 @@
+"""Stateful property tests for DhcpServer.
+
+Random sequences of request/renew/release/reconnect across several clients
+must preserve the core invariants: no two clients ever hold the same
+address, the pool's allocation count equals the number of live bindings,
+and with zero churn a client's address never changes.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.dhcp.server import DhcpServer
+from repro.isp.pool import AddressPool, PoolPolicy
+from repro.net.ipv4 import IPv4Prefix
+from repro.util.rng import substream
+from repro.util.timeutil import HOUR
+
+CLIENTS = ["cpe-%d" % i for i in range(6)]
+
+
+class DhcpMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.pool = AddressPool([IPv4Prefix.parse("192.0.2.0/26")],
+                                PoolPolicy())
+        self.server = DhcpServer(self.pool, 4 * HOUR,
+                                 substream(7, "dhcp-stateful"),
+                                 churn_rate_per_hour=0.0)
+        self.clock = 0.0
+        self.first_address = {}
+
+    def _advance(self, hours):
+        self.clock += hours * HOUR
+
+    @rule(client=st.sampled_from(CLIENTS), hours=st.floats(0.1, 50.0))
+    def request(self, client, hours):
+        self._advance(hours)
+        lease = self.server.request(client, self.clock)
+        # Zero churn: RFC 2131 preservation is absolute.
+        expected = self.first_address.setdefault(client, lease.address)
+        assert lease.address == expected
+
+    @rule(client=st.sampled_from(CLIENTS), hours=st.floats(0.1, 1.9))
+    def renew_if_active(self, client, hours):
+        self._advance(hours)
+        binding = self.server.binding_for(client)
+        if binding is None or not binding.is_active(self.clock):
+            return
+        lease = self.server.renew(client, self.clock)
+        assert lease.address == binding.address
+
+    @rule(client=st.sampled_from(CLIENTS), hours=st.floats(0.1, 5.0))
+    def release(self, client, hours):
+        self._advance(hours)
+        if self.server.binding_for(client) is None:
+            return
+        self.server.release(client, self.clock)
+        self.first_address.pop(client, None)
+
+    @rule(client=st.sampled_from(CLIENTS), out_hours=st.floats(0.1, 200.0))
+    def reconnect_after_outage(self, client, out_hours):
+        if self.server.binding_for(client) is None:
+            return
+        went_down = self.clock
+        self._advance(out_hours)
+        result = self.server.reconnect_after_outage(client, went_down,
+                                                    self.clock)
+        # Zero churn: no outage can take the address away.
+        assert not result.address_changed
+
+    @invariant()
+    def no_address_shared(self):
+        held = [self.server.binding_for(c) for c in CLIENTS]
+        addresses = [b.address for b in held if b is not None]
+        assert len(addresses) == len(set(addresses))
+
+    @invariant()
+    def pool_count_matches_bindings(self):
+        bound = sum(1 for c in CLIENTS
+                    if self.server.binding_for(c) is not None)
+        assert self.pool.allocated_count == bound
+
+
+TestDhcpStateful = DhcpMachine.TestCase
+TestDhcpStateful.settings = settings(max_examples=25,
+                                     stateful_step_count=40,
+                                     deadline=None)

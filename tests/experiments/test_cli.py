@@ -1,0 +1,33 @@
+"""Tests for the repro-experiment command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table5" in out
+        assert "figure9" in out
+
+    def test_no_arguments_lists(self, capsys):
+        assert main([]) == 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_standalone_experiment_runs(self, capsys):
+        assert main(["table4"]) == 0
+        assert "17:50:36" in capsys.readouterr().out
+
+    def test_results_experiment_runs_at_tiny_scale(self, capsys):
+        assert main(["table2", "--scale", "0.02", "--seed", "5"]) == 0
+        assert "Total Probes" in capsys.readouterr().out
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table2", "--scale", "abc"])

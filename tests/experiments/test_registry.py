@@ -1,0 +1,53 @@
+"""Tests for repro.experiments.registry and driver registration."""
+
+import pytest
+
+import repro.experiments  # noqa: F401  (triggers registration)
+from repro.experiments.registry import (
+    ExperimentOutput,
+    experiment,
+    experiment_ids,
+    get_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        ids = experiment_ids()
+        expected = {"table%d" % i for i in range(1, 8)}
+        expected |= {"figure%d" % i for i in range(1, 10)}
+        assert expected <= set(ids)
+
+    def test_lookup(self):
+        driver = get_experiment("table2")
+        assert callable(driver)
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError) as exc:
+            get_experiment("table99")
+        assert "table5" in str(exc.value)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            @experiment("table1")
+            def clash():
+                return ExperimentOutput("table1", "", "")
+
+
+class TestStandaloneDrivers:
+    """Drivers that build their own miniature scenarios."""
+
+    def test_table1_sample(self):
+        output = get_experiment("table1")()
+        assert "IP Address" in output.text
+        assert all(23.0 < d < 24.1 for d in output.data["durations_hours"])
+
+    def test_table3_sample(self):
+        output = get_experiment("table3")()
+        assert output.data["detected"] == 1
+        assert "Detected network outage" in output.text
+
+    def test_table4_sample(self):
+        output = get_experiment("table4")()
+        assert output.data["reboots"] == 1
+        assert "17:50:36" in output.text

@@ -1,0 +1,41 @@
+"""Tests for repro.experiments.scenarios."""
+
+from repro.core.filtering import ProbeCategory
+from repro.core.pipeline import pipeline_for_world
+from repro.experiments import scenarios
+
+
+class TestSmallWorld:
+    def test_builds_and_is_deterministic(self):
+        a = scenarios.small_world(seed=3, days=20)
+        b = scenarios.small_world(seed=3, days=20)
+        assert a.connlog.entry_count() == b.connlog.entry_count()
+        assert a.archive.probe_ids() == b.archive.probe_ids()
+
+    def test_contains_all_three_isp_kinds(self):
+        world = scenarios.small_world(seed=3, days=20)
+        names = {p.spec.name for p in world.config.profiles}
+        assert names == {"Daily-DSL", "Reactive-DSL", "Stable-Cable"}
+
+    def test_pipeline_runs(self):
+        world = scenarios.small_world(seed=3, days=20)
+        results = pipeline_for_world(world).run()
+        assert results.filter_report.count(ProbeCategory.ANALYZABLE) > 0
+
+
+class TestConstants:
+    def test_top_five_matches_paper_figures(self):
+        assert scenarios.TOP_FIVE == (3215, 3320, 2856, 6830, 701)
+
+    def test_german_ases_all_in_germany(self):
+        from repro.isp.profiles import all_profiles
+        by_asn = {p.spec.asn: p.spec for p in all_profiles()}
+        for asn in scenarios.GERMAN_ASES:
+            assert by_asn[asn].country == "DE"
+
+    def test_paper_world_cached(self):
+        # lru_cache: same object returned for identical arguments.
+        # Use a tiny scale so the test stays fast.
+        a = scenarios.paper_world(scale=0.02, seed=1)
+        b = scenarios.paper_world(scale=0.02, seed=1)
+        assert a is b

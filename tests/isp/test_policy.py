@@ -1,0 +1,218 @@
+"""Tests for repro.isp.policy."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isp.policy import MIN_SYNC_SESSION, DhcpPlant, PppPlant, build_plant
+from repro.isp.pool import AddressPool, PoolPolicy
+from repro.isp.spec import AccessTechnology, IspSpec
+from repro.net.bgpgen import AddressSpacePlan
+from repro.net.ipv4 import IPv4Prefix
+from repro.util.timeutil import DAY, HOUR, WEEK
+
+
+def make_spec(access=AccessTechnology.PPP, **overrides):
+    kwargs = dict(
+        name="Test ISP",
+        asn=64496,
+        country="DE",
+        access=access,
+        plan=AddressSpacePlan(num_prefixes=2, slash16_groups=2),
+    )
+    kwargs.update(overrides)
+    return IspSpec(**kwargs)
+
+
+def make_pool():
+    return AddressPool(
+        [IPv4Prefix.parse("192.0.2.0/24"), IPv4Prefix.parse("198.51.100.0/24")],
+        PoolPolicy(),
+    )
+
+
+def make_plant(access=AccessTechnology.PPP, seed=1, **overrides):
+    spec = make_spec(access=access, **overrides)
+    return build_plant(spec, make_pool(), seed)
+
+
+class TestBuildPlant:
+    def test_dispatch(self):
+        assert isinstance(make_plant(AccessTechnology.DHCP), DhcpPlant)
+        assert isinstance(make_plant(AccessTechnology.PPP, period=DAY),
+                          PppPlant)
+
+    def test_wrong_spec_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            DhcpPlant(make_spec(access=AccessTechnology.PPP), make_pool(), 1)
+        with pytest.raises(SimulationError):
+            PppPlant(make_spec(access=AccessTechnology.DHCP), make_pool(), 1)
+
+
+class TestBehaviorDraws:
+    def test_deterministic_and_cached(self):
+        plant_a = make_plant(period=DAY, seed=7)
+        plant_b = make_plant(period=DAY, seed=7)
+        assert plant_a.behavior("cpe-1") == plant_b.behavior("cpe-1")
+        assert plant_a.behavior("cpe-1") is plant_a.behavior("cpe-1")
+
+    def test_periodic_fraction_zero_and_one(self):
+        all_periodic = make_plant(period=DAY, periodic_fraction=1.0)
+        none_periodic = make_plant(period=DAY, periodic_fraction=0.0)
+        for cpe in ("a", "b", "c"):
+            assert all_periodic.behavior(cpe).periodic
+            assert not none_periodic.behavior(cpe).periodic
+
+    def test_alt_period_split(self):
+        plant = make_plant(period=22 * HOUR, alt_period=24 * HOUR,
+                           alt_period_fraction=1.0, periodic_fraction=1.0)
+        assert plant.behavior("x").period == 24 * HOUR
+
+    def test_sync_second_inside_window(self):
+        plant = make_plant(period=DAY, sync_window=(0, 6), sync_fraction=1.0,
+                           periodic_fraction=1.0)
+        for cpe in ("a", "b", "c", "d"):
+            second = plant.behavior(cpe).sync_second
+            assert second is not None
+            assert 0 <= second < 6 * 3600
+
+    def test_sync_requires_day_multiple_period(self):
+        plant = make_plant(period=36 * HOUR, sync_window=(0, 6),
+                           sync_fraction=1.0, periodic_fraction=1.0)
+        assert plant.behavior("a").sync_second is None
+
+
+class TestDhcpPlant:
+    def test_connect_preserves_across_reconnects(self):
+        plant = make_plant(AccessTechnology.DHCP, churn_rate_per_hour=0.0,
+                           dhcp_change_prob=0.0)
+        first = plant.connect("cpe-1", 0.0)
+        outcome = plant.reconnect("cpe-1", 10 * HOUR, 11 * HOUR,
+                                  lost_power=True)
+        assert outcome.address == first
+        assert not outcome.changed
+
+    def test_no_scheduled_cut(self):
+        plant = make_plant(AccessTechnology.DHCP)
+        assert plant.scheduled_cut("cpe-1", 0.0) is None
+        with pytest.raises(SimulationError):
+            plant.periodic_cut("cpe-1", 0.0)
+
+    def test_dhcp_change_prob_forces_renumber(self):
+        plant = make_plant(AccessTechnology.DHCP, churn_rate_per_hour=0.0,
+                           dhcp_change_prob=1.0)
+        first = plant.connect("cpe-1", 0.0)
+        outcome = plant.reconnect("cpe-1", HOUR, 2 * HOUR, lost_power=True)
+        assert outcome.changed
+        assert outcome.address != first
+
+    def test_long_outage_with_churn_renumbers(self):
+        plant = make_plant(AccessTechnology.DHCP, churn_rate_per_hour=50.0,
+                           dhcp_change_prob=0.0, lease_duration=HOUR, seed=3)
+        first = plant.connect("cpe-1", 0.0)
+        outcome = plant.reconnect("cpe-1", 10 * HOUR, 400 * HOUR,
+                                  lost_power=True)
+        assert outcome.changed
+        assert outcome.address != first
+
+
+class TestPppPlantReconnect:
+    def test_any_outage_renumbers_non_holder(self):
+        plant = make_plant(period=None, holds_state_fraction=0.0)
+        first = plant.connect("cpe-1", 0.0)
+        outcome = plant.reconnect("cpe-1", 100.0, 160.0, lost_power=False)
+        assert outcome.changed
+        assert outcome.address != first
+
+    def test_holder_survives_short_network_drop(self):
+        plant = make_plant(period=None, holds_state_fraction=1.0,
+                           hold_threshold_median=DAY,
+                           hold_threshold_sigma=0.0)
+        first = plant.connect("cpe-1", 0.0)
+        outcome = plant.reconnect("cpe-1", 100.0, 160.0, lost_power=False)
+        assert not outcome.changed
+        assert outcome.address == first
+
+    def test_holder_loses_on_power_cycle(self):
+        plant = make_plant(period=None, holds_state_fraction=1.0,
+                           hold_threshold_median=DAY,
+                           hold_threshold_sigma=0.0)
+        plant.connect("cpe-1", 0.0)
+        outcome = plant.reconnect("cpe-1", 100.0, 160.0, lost_power=True)
+        assert outcome.changed
+
+    def test_holder_loses_on_long_network_outage(self):
+        plant = make_plant(period=None, holds_state_fraction=1.0,
+                           hold_threshold_median=HOUR,
+                           hold_threshold_sigma=0.0)
+        plant.connect("cpe-1", 0.0)
+        outcome = plant.reconnect("cpe-1", 0.0, 10 * HOUR, lost_power=False)
+        assert outcome.changed
+
+    def test_reconnect_without_session_connects(self):
+        plant = make_plant(period=DAY)
+        outcome = plant.reconnect("cpe-1", 0.0, 60.0, lost_power=False)
+        assert outcome.changed
+
+    def test_double_connect_rejected(self):
+        plant = make_plant(period=DAY)
+        plant.connect("cpe-1", 0.0)
+        with pytest.raises(SimulationError):
+            plant.connect("cpe-1", 10.0)
+
+
+class TestPppScheduledCut:
+    def test_free_running_cut_at_period(self):
+        plant = make_plant(period=WEEK, periodic_fraction=1.0, skip_prob=0.0,
+                           offschedule_prob=0.0)
+        assert plant.scheduled_cut("cpe-1", 1000.0) == 1000.0 + WEEK
+
+    def test_non_periodic_cpe_never_cut(self):
+        plant = make_plant(period=WEEK, periodic_fraction=0.0)
+        assert plant.scheduled_cut("cpe-1", 0.0) is None
+
+    def test_skip_prob_one_would_stack(self):
+        # skip_prob=0.9 yields multiples of the period beyond the first.
+        plant = make_plant(period=DAY, periodic_fraction=1.0, skip_prob=0.9,
+                           offschedule_prob=0.0, seed=5)
+        cut = plant.scheduled_cut("cpe-1", 0.0)
+        assert cut is not None
+        assert cut % DAY == pytest.approx(0.0)
+        assert cut >= DAY
+
+    def test_offschedule_duration_not_multiple(self):
+        plant = make_plant(period=DAY, periodic_fraction=1.0, skip_prob=0.0,
+                           offschedule_prob=1.0)
+        cut = plant.scheduled_cut("cpe-1", 0.0)
+        assert DAY * 1.15 <= cut <= DAY * 3.4
+
+    def test_sync_cut_lands_on_sync_second(self):
+        plant = make_plant(period=DAY, periodic_fraction=1.0, skip_prob=0.0,
+                           offschedule_prob=0.0, sync_window=(0, 6),
+                           sync_fraction=1.0)
+        behavior = plant.behavior("cpe-1")
+        cut = plant.scheduled_cut("cpe-1", 50_000.0)
+        assert cut % DAY == pytest.approx(behavior.sync_second)
+        assert cut >= 50_000.0 + MIN_SYNC_SESSION
+
+    def test_sync_steady_state_duration_near_period(self):
+        plant = make_plant(period=DAY, periodic_fraction=1.0, skip_prob=0.0,
+                           offschedule_prob=0.0, sync_window=(0, 6),
+                           sync_fraction=1.0)
+        behavior = plant.behavior("cpe-1")
+        # Session starts 20 minutes after the previous sync-time cut.
+        session_start = 10 * DAY + behavior.sync_second + 1200.0
+        cut = plant.scheduled_cut("cpe-1", session_start)
+        duration = cut - session_start
+        assert 0.9 * DAY < duration <= DAY
+
+
+class TestPppPeriodicCut:
+    def test_cut_disconnects_session(self):
+        plant = make_plant(period=DAY, periodic_fraction=1.0)
+        plant.connect("cpe-1", 0.0)
+        plant.periodic_cut("cpe-1", DAY)
+        assert plant.concentrator.active_session("cpe-1") is None
+        # Reconnect yields a fresh address.
+        outcome = plant.reconnect("cpe-1", DAY, DAY + 1200.0,
+                                  lost_power=False)
+        assert outcome.changed

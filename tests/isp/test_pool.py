@@ -1,0 +1,160 @@
+"""Tests for repro.isp.pool."""
+
+import pytest
+
+from repro.errors import PoolExhaustedError, SimulationError
+from repro.isp.pool import AddressPool, PoolPolicy
+from repro.net.ipv4 import IPv4Address, IPv4Prefix
+from repro.util.rng import substream
+
+
+def make_pool(prefix_texts, **policy_kwargs):
+    prefixes = [IPv4Prefix.parse(t) for t in prefix_texts]
+    return AddressPool(prefixes, PoolPolicy(**policy_kwargs))
+
+
+class TestPoolConstruction:
+    def test_requires_prefixes(self):
+        with pytest.raises(SimulationError):
+            AddressPool([])
+
+    def test_rejects_overlapping_prefixes(self):
+        with pytest.raises(SimulationError):
+            make_pool(["10.0.0.0/8", "10.5.0.0/16"])
+
+    def test_capacity(self):
+        pool = make_pool(["192.0.2.0/30", "198.51.100.0/30"])
+        assert pool.capacity == 8
+
+    def test_policy_validation(self):
+        with pytest.raises(SimulationError):
+            PoolPolicy(stay_bgp_prob=1.5)
+        with pytest.raises(SimulationError):
+            PoolPolicy(stay_slash16_prob=-0.1)
+
+
+class TestAllocateRelease:
+    def test_allocate_marks_and_release_unmarks(self):
+        pool = make_pool(["192.0.2.0/30"])
+        rng = substream(1, "pool")
+        addr = pool.allocate(rng)
+        assert pool.is_allocated(addr)
+        assert pool.allocated_count == 1
+        pool.release(addr)
+        assert not pool.is_allocated(addr)
+
+    def test_release_unallocated_rejected(self):
+        pool = make_pool(["192.0.2.0/30"])
+        with pytest.raises(SimulationError):
+            pool.release(IPv4Address.parse("192.0.2.1"))
+
+    def test_exhaustion(self):
+        pool = make_pool(["192.0.2.0/31"])
+        rng = substream(1, "pool")
+        pool.allocate(rng)
+        pool.allocate(rng)
+        with pytest.raises(PoolExhaustedError):
+            pool.allocate(rng)
+
+    def test_never_returns_previous(self):
+        pool = make_pool(["192.0.2.0/31"], stay_bgp_prob=1.0)
+        rng = substream(2, "pool")
+        first = pool.allocate(rng)
+        pool.release(first)
+        second = pool.allocate(rng, previous=first)
+        assert second != first
+
+    def test_allocation_within_pool(self):
+        pool = make_pool(["192.0.2.0/30", "198.51.100.0/30"])
+        rng = substream(3, "pool")
+        for _ in range(8):
+            assert pool.contains(pool.allocate(rng))
+
+    def test_nearly_full_scope_still_allocates(self):
+        pool = make_pool(["192.0.2.0/28"])
+        rng = substream(4, "pool")
+        got = {pool.allocate(rng).value for _ in range(16)}
+        assert len(got) == 16
+
+
+class TestTryAllocate:
+    def test_specific_address(self):
+        pool = make_pool(["192.0.2.0/30"])
+        addr = IPv4Address.parse("192.0.2.2")
+        assert pool.try_allocate(addr)
+        assert not pool.try_allocate(addr)
+        pool.release(addr)
+        assert pool.try_allocate(addr)
+
+    def test_foreign_address_rejected(self):
+        pool = make_pool(["192.0.2.0/30"])
+        with pytest.raises(SimulationError):
+            pool.try_allocate(IPv4Address.parse("8.8.8.8"))
+
+
+class TestLocalityPolicy:
+    def test_stay_bgp_one_keeps_prefix(self):
+        pool = make_pool(["192.0.2.0/25", "198.51.100.0/25"], stay_bgp_prob=1.0)
+        rng = substream(5, "pool")
+        previous = pool.allocate(rng)
+        prefix = previous.prefix(25)
+        for _ in range(20):
+            addr = pool.allocate(rng, previous=previous)
+            assert prefix.contains(addr)
+            pool.release(addr)
+
+    def test_stay_bgp_zero_leaves_prefix(self):
+        pool = make_pool(["192.0.2.0/25", "198.51.100.0/25"], stay_bgp_prob=0.0)
+        rng = substream(6, "pool")
+        previous = pool.allocate(rng)
+        prefix = previous.prefix(25)
+        for _ in range(20):
+            addr = pool.allocate(rng, previous=previous)
+            assert not prefix.contains(addr)
+            pool.release(addr)
+
+    def test_stay_bgp_zero_falls_back_when_others_full(self):
+        pool = make_pool(["192.0.2.0/31", "192.0.2.4/31"], stay_bgp_prob=0.0)
+        rng = substream(7, "pool")
+        previous = pool.allocate(rng)
+        # Fill the other prefix completely.
+        other = IPv4Prefix.parse("192.0.2.4/31")
+        taken = []
+        while True:
+            addr = pool.allocate(rng, previous=previous)
+            taken.append(addr)
+            if not other.contains(addr):
+                break
+        # The last allocation had to fall back to the previous prefix.
+        assert previous.prefix(31).contains(taken[-1])
+
+    def test_slash16_stickiness_for_wide_prefix(self):
+        # A /14 prefix spans four /16s; with full /16 stickiness, renumbers
+        # stay in the customer's /16.
+        pool = AddressPool([IPv4Prefix.parse("20.0.0.0/14")],
+                           PoolPolicy(stay_bgp_prob=1.0, stay_slash16_prob=1.0))
+        rng = substream(8, "pool")
+        previous = pool.allocate(rng)
+        slash16 = previous.slash16()
+        for _ in range(30):
+            addr = pool.allocate(rng, previous=previous)
+            assert slash16.contains(addr)
+            pool.release(addr)
+
+    def test_slash16_spread_without_stickiness(self):
+        pool = AddressPool([IPv4Prefix.parse("20.0.0.0/14")],
+                           PoolPolicy(stay_bgp_prob=1.0, stay_slash16_prob=0.0))
+        rng = substream(9, "pool")
+        previous = pool.allocate(rng)
+        seen16 = set()
+        for _ in range(60):
+            addr = pool.allocate(rng, previous=previous)
+            seen16.add(addr.slash16())
+            pool.release(addr)
+        assert len(seen16) > 1
+
+    def test_previous_outside_pool_tolerated(self):
+        pool = make_pool(["192.0.2.0/30"])
+        rng = substream(10, "pool")
+        addr = pool.allocate(rng, previous=IPv4Address.parse("8.8.8.8"))
+        assert pool.contains(addr)

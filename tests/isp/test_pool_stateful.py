@@ -1,0 +1,89 @@
+"""Stateful property tests for AddressPool.
+
+Drives random allocate/release/try_allocate sequences against a model and
+checks the pool's bookkeeping never drifts: no double allocation, releases
+restore availability, and every handed-out address is inside the pool.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.errors import PoolExhaustedError
+from repro.isp.pool import AddressPool, PoolPolicy
+from repro.net.ipv4 import IPv4Prefix
+from repro.util.rng import substream
+
+PREFIXES = [IPv4Prefix.parse("192.0.2.0/28"), IPv4Prefix.parse("198.51.100.0/28")]
+
+
+class PoolMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.pool = AddressPool(PREFIXES, PoolPolicy(0.5, 0.5))
+        self.rng = substream(99, "stateful")
+        self.held = set()
+
+    @rule()
+    def allocate(self):
+        try:
+            address = self.pool.allocate(self.rng)
+        except PoolExhaustedError:
+            assert len(self.held) == self.pool.capacity
+            return
+        assert address not in self.held, "double allocation"
+        assert self.pool.contains(address)
+        self.held.add(address)
+
+    @rule(data=st.data())
+    def allocate_with_previous(self, data):
+        if not self.held:
+            return
+        previous = data.draw(st.sampled_from(sorted(self.held,
+                                                    key=lambda a: a.value)))
+        try:
+            address = self.pool.allocate(self.rng, previous=previous)
+        except PoolExhaustedError:
+            return
+        assert address != previous
+        assert address not in self.held
+        self.held.add(address)
+
+    @rule(data=st.data())
+    def release(self, data):
+        if not self.held:
+            return
+        address = data.draw(st.sampled_from(sorted(self.held,
+                                                   key=lambda a: a.value)))
+        self.pool.release(address)
+        self.held.remove(address)
+
+    @rule(data=st.data())
+    def try_allocate_specific(self, data):
+        prefix = data.draw(st.sampled_from(PREFIXES))
+        offset = data.draw(st.integers(0, prefix.size - 1))
+        address = prefix.address_at(offset)
+        outcome = self.pool.try_allocate(address)
+        assert outcome == (address not in self.held)
+        if outcome:
+            self.held.add(address)
+
+    @invariant()
+    def count_matches_model(self):
+        assert self.pool.allocated_count == len(self.held)
+
+    @invariant()
+    def held_marked_allocated(self):
+        for address in self.held:
+            assert self.pool.is_allocated(address)
+
+
+TestPoolStateful = PoolMachine.TestCase
+TestPoolStateful.settings = settings(max_examples=25,
+                                     stateful_step_count=40,
+                                     deadline=None)

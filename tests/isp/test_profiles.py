@@ -1,0 +1,95 @@
+"""Tests for repro.isp.profiles."""
+
+import pytest
+
+from repro.atlas.archive import COUNTRY_TO_CONTINENT
+from repro.isp.profiles import (
+    all_profiles,
+    filler_profiles,
+    paper_profiles,
+    profile_by_name,
+)
+from repro.isp.spec import AccessTechnology
+from repro.util.timeutil import HOUR
+
+
+class TestPaperProfiles:
+    def test_periodic_isps_match_table5_periods(self):
+        expected_hours = {
+            "Orange": 168, "DTAG": 24, "BT": 337, "ANTEL": 12,
+            "Proximus": 36, "VIPnet": 92, "Net by Net": 47,
+            "Digi Tavkozlesi": 168, "Orange Polska": 22,
+        }
+        for name, hours in expected_hours.items():
+            spec = profile_by_name(name).spec
+            assert spec.period == hours * HOUR, name
+            assert spec.access is AccessTechnology.PPP, name
+
+    def test_stable_isps_are_dhcp_without_period(self):
+        for name in ("LGI", "Verizon", "Comcast", "Kabel Deutschland",
+                     "Kabel BW", "Ziggo", "Virgin Media"):
+            spec = profile_by_name(name).spec
+            assert spec.access is AccessTechnology.DHCP, name
+            assert not spec.is_periodic, name
+
+    def test_reactive_ppp_isps(self):
+        for name in ("Telecom Italia", "Wind Telecomunicazioni", "SFR"):
+            spec = profile_by_name(name).spec
+            assert spec.access is AccessTechnology.PPP
+            assert spec.period is None
+
+    def test_dtag_sync_window_is_night(self):
+        spec = profile_by_name("DTAG").spec
+        assert spec.sync_window == (0, 6)
+        assert spec.sync_fraction == pytest.approx(0.75)
+
+    def test_orange_is_mostly_periodic_free_running(self):
+        spec = profile_by_name("Orange").spec
+        assert spec.periodic_fraction > 0.85
+        assert spec.sync_fraction == 0.0
+
+    def test_bt_is_weakly_periodic(self):
+        spec = profile_by_name("BT").spec
+        assert spec.periodic_fraction < 0.3
+
+    def test_mixed_period_isps(self):
+        proximus = profile_by_name("Proximus").spec
+        assert proximus.alt_period == 24 * HOUR
+        polska = profile_by_name("Orange Polska").spec
+        assert polska.alt_period == 24 * HOUR
+
+    def test_table7_locality_ordering(self):
+        # Telecom Italia scatters across prefixes far more than Verizon.
+        ti = profile_by_name("Telecom Italia").spec.pool_policy
+        vz = profile_by_name("Verizon").spec.pool_policy
+        dt = profile_by_name("DTAG").spec.pool_policy
+        assert ti.stay_bgp_prob < 0.2
+        assert vz.stay_bgp_prob > 0.7
+        assert dt.stay_bgp_prob > 0.7
+
+
+class TestProfileConsistency:
+    def test_unique_asns(self):
+        profiles = all_profiles()
+        assert len({p.spec.asn for p in profiles}) == len(profiles)
+
+    def test_countries_have_continent_mappings(self):
+        for profile in all_profiles():
+            assert profile.spec.country in COUNTRY_TO_CONTINENT, \
+                profile.spec.name
+
+    def test_all_continents_covered_by_fillers(self):
+        continents = {COUNTRY_TO_CONTINENT[p.spec.country]
+                      for p in filler_profiles()}
+        assert continents == {"EU", "NA", "AS", "AF", "SA", "OC"}
+
+    def test_probe_counts_positive(self):
+        assert all(p.probes >= 1 for p in all_profiles())
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            profile_by_name("No Such ISP")
+
+    def test_paper_profile_count(self):
+        # 21 periodic + 3 reactive PPP + 7 DHCP named ISPs.
+        assert len(paper_profiles()) == 31

@@ -1,0 +1,62 @@
+"""Tests for repro.isp.spec."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isp.spec import AccessTechnology, IspSpec
+from repro.net.bgpgen import AddressSpacePlan
+from repro.util.timeutil import DAY, HOUR
+
+
+def make_spec(**overrides):
+    kwargs = dict(
+        name="Test ISP",
+        asn=64496,
+        country="DE",
+        access=AccessTechnology.PPP,
+        plan=AddressSpacePlan(num_prefixes=4, slash16_groups=2),
+        period=DAY,
+    )
+    kwargs.update(overrides)
+    return IspSpec(**kwargs)
+
+
+class TestValidation:
+    def test_valid_spec(self):
+        spec = make_spec()
+        assert spec.is_periodic
+
+    def test_dhcp_is_not_periodic_even_with_period(self):
+        spec = make_spec(access=AccessTechnology.DHCP)
+        assert not spec.is_periodic
+
+    def test_ppp_without_period_not_periodic(self):
+        assert not make_spec(period=None).is_periodic
+
+    @pytest.mark.parametrize("overrides", [
+        dict(asn=0),
+        dict(period=-1.0),
+        dict(alt_period=-5.0),
+        dict(period=None, alt_period=DAY),
+        dict(periodic_fraction=1.5),
+        dict(sync_fraction=-0.1),
+        dict(skip_prob=2.0),
+        dict(sync_window=(6, 3)),
+        dict(sync_window=(-1, 5)),
+        dict(sync_window=(0, 25)),
+        dict(lease_duration=0.0),
+        dict(churn_rate_per_hour=-1.0),
+        dict(power_duration_median=0.0),
+        dict(hold_threshold_median=-1.0),
+    ])
+    def test_invalid_specs_rejected(self, overrides):
+        with pytest.raises(SimulationError):
+            make_spec(**overrides)
+
+    def test_sync_window_valid(self):
+        spec = make_spec(sync_window=(0, 6), sync_fraction=0.75)
+        assert spec.sync_window == (0, 6)
+
+    def test_alt_period(self):
+        spec = make_spec(alt_period=22 * HOUR, alt_period_fraction=0.5)
+        assert spec.alt_period == 22 * HOUR

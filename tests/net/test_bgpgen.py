@@ -1,0 +1,112 @@
+"""Tests for repro.net.bgpgen."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.bgpgen import AddressSpaceAllocator, AddressSpacePlan
+from repro.net.ipv4 import IPv4Prefix
+from repro.util import timeutil
+
+
+class TestAddressSpacePlan:
+    def test_valid_plan(self):
+        plan = AddressSpacePlan(num_prefixes=8, prefix_length=20,
+                                slash16_groups=4, slash8_groups=2)
+        assert plan.num_prefixes == 8
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_prefixes=0),
+        dict(num_prefixes=4, prefix_length=8),
+        dict(num_prefixes=4, prefix_length=25),
+        dict(num_prefixes=2, slash16_groups=3),
+        dict(num_prefixes=4, slash16_groups=2, slash8_groups=3),
+        dict(num_prefixes=40, prefix_length=17, slash16_groups=1),
+    ])
+    def test_invalid_plans_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            AddressSpacePlan(**kwargs)
+
+
+class TestAllocator:
+    def test_deterministic_across_instances(self):
+        plan = AddressSpacePlan(num_prefixes=6, slash16_groups=3,
+                                slash8_groups=2)
+        a = AddressSpaceAllocator(seed=42).allocate(100, plan)
+        b = AddressSpaceAllocator(seed=42).allocate(100, plan)
+        assert a == b
+
+    def test_no_overlap_between_ases(self):
+        allocator = AddressSpaceAllocator(seed=1)
+        plan = AddressSpacePlan(num_prefixes=8, slash16_groups=2,
+                                slash8_groups=2)
+        first = allocator.allocate(100, plan)
+        second = allocator.allocate(200, plan)
+        for p in first:
+            for q in second:
+                assert not p.contains_prefix(q)
+                assert not q.contains_prefix(p)
+
+    def test_double_allocation_rejected(self):
+        allocator = AddressSpaceAllocator(seed=1)
+        plan = AddressSpacePlan(num_prefixes=1, slash16_groups=1)
+        allocator.allocate(100, plan)
+        with pytest.raises(SimulationError):
+            allocator.allocate(100, plan)
+
+    def test_group_structure_respected(self):
+        allocator = AddressSpaceAllocator(seed=7)
+        plan = AddressSpacePlan(num_prefixes=12, prefix_length=20,
+                                slash16_groups=4, slash8_groups=2)
+        prefixes = allocator.allocate(3215, plan)
+        assert len(prefixes) == 12
+        slash16s = {IPv4Prefix(p.network & 0xFFFF0000, 16) for p in prefixes}
+        slash8s = {IPv4Prefix(p.network & 0xFF000000, 8) for p in prefixes}
+        assert len(slash16s) == 4
+        assert len(slash8s) == 2
+
+    def test_single_group_keeps_one_slash16(self):
+        allocator = AddressSpaceAllocator(seed=7)
+        plan = AddressSpacePlan(num_prefixes=8, prefix_length=20,
+                                slash16_groups=1, slash8_groups=1)
+        prefixes = allocator.allocate(5, plan)
+        slash16s = {p.network & 0xFFFF0000 for p in prefixes}
+        assert len(slash16s) == 1
+
+    def test_short_prefixes(self):
+        allocator = AddressSpaceAllocator(seed=7)
+        plan = AddressSpacePlan(num_prefixes=2, prefix_length=14,
+                                slash16_groups=2, slash8_groups=2)
+        prefixes = allocator.allocate(9, plan)
+        assert len(prefixes) == 2
+        assert all(p.length == 14 for p in prefixes)
+        assert prefixes[0] != prefixes[1]
+
+    def test_public_space_only(self):
+        allocator = AddressSpaceAllocator(seed=3)
+        plan = AddressSpacePlan(num_prefixes=4, slash16_groups=4,
+                                slash8_groups=4)
+        for prefix in allocator.allocate(77, plan):
+            octet = prefix.network >> 24
+            assert octet not in (0, 10, 127, 169, 172, 192, 198, 203)
+            assert 1 <= octet < 224
+
+    def test_allocated_query(self):
+        allocator = AddressSpaceAllocator(seed=3)
+        assert allocator.allocated(5) == []
+        plan = AddressSpacePlan(num_prefixes=2, slash16_groups=1)
+        given = allocator.allocate(5, plan)
+        assert allocator.allocated(5) == given
+
+
+class TestBuildDataset:
+    def test_monthly_snapshots_cover_window(self):
+        allocator = AddressSpaceAllocator(seed=1)
+        plan = AddressSpacePlan(num_prefixes=2, slash16_groups=1)
+        prefixes = allocator.allocate(3320, plan)
+        dataset = allocator.build_dataset(timeutil.YEAR_2015_START,
+                                          timeutil.YEAR_2015_END)
+        assert len(dataset.months()) == 12
+        addr = prefixes[0].first_address()
+        for month in range(1, 13):
+            stamp = timeutil.epoch(2015, month, 10)
+            assert dataset.origin_asn(addr, stamp) == 3320

@@ -1,0 +1,120 @@
+"""Tests for repro.net.ipv4."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ParseError
+from repro.net.ipv4 import TESTING_ADDRESS, IPv4Address, IPv4Prefix
+
+
+class TestIPv4Address:
+    def test_parse_and_str_roundtrip(self):
+        addr = IPv4Address.parse("91.55.174.103")
+        assert str(addr) == "91.55.174.103"
+        assert addr.value == (91 << 24) | (55 << 16) | (174 << 8) | 103
+
+    @pytest.mark.parametrize("bad", [
+        "", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "1.2.3.04",
+        "1..2.3", " 1.2.3.4.5 ",
+    ])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            IPv4Address.parse(bad)
+
+    def test_value_range_enforced(self):
+        with pytest.raises(ParseError):
+            IPv4Address(-1)
+        with pytest.raises(ParseError):
+            IPv4Address(1 << 32)
+
+    def test_ordering(self):
+        assert IPv4Address.parse("1.0.0.0") < IPv4Address.parse("2.0.0.0")
+
+    def test_testing_address_constant(self):
+        assert str(TESTING_ADDRESS) == "193.0.0.78"
+
+    def test_prefix_helpers(self):
+        addr = IPv4Address.parse("91.55.174.103")
+        assert str(addr.slash16()) == "91.55.0.0/16"
+        assert str(addr.slash8()) == "91.0.0.0/8"
+
+    @given(st.integers(0, (1 << 32) - 1))
+    def test_parse_str_roundtrip_property(self, value):
+        addr = IPv4Address(value)
+        assert IPv4Address.parse(str(addr)) == addr
+
+
+class TestIPv4Prefix:
+    def test_parse_and_str(self):
+        prefix = IPv4Prefix.parse("10.128.0.0/9")
+        assert str(prefix) == "10.128.0.0/9"
+        assert prefix.size == 1 << 23
+
+    @pytest.mark.parametrize("bad", ["10.0.0.0", "10.0.0.0/33", "10.0.0.1/8",
+                                     "10.0.0.0/x", "10.0.0.0/-1"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ParseError):
+            IPv4Prefix.parse(bad)
+
+    def test_containing_masks_host_bits(self):
+        addr = IPv4Address.parse("91.55.174.103")
+        assert str(IPv4Prefix.containing(addr, 20)) == "91.55.160.0/20"
+
+    def test_zero_length_prefix(self):
+        prefix = IPv4Prefix(0, 0)
+        assert prefix.contains(IPv4Address.parse("255.255.255.255"))
+        assert prefix.mask() == 0
+
+    def test_contains(self):
+        prefix = IPv4Prefix.parse("192.0.2.0/24")
+        assert prefix.contains(IPv4Address.parse("192.0.2.255"))
+        assert not prefix.contains(IPv4Address.parse("192.0.3.0"))
+
+    def test_contains_prefix(self):
+        outer = IPv4Prefix.parse("10.0.0.0/8")
+        inner = IPv4Prefix.parse("10.5.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert outer.contains_prefix(outer)
+        assert not inner.contains_prefix(outer)
+
+    def test_first_last_address(self):
+        prefix = IPv4Prefix.parse("192.0.2.0/30")
+        assert str(prefix.first_address()) == "192.0.2.0"
+        assert str(prefix.last_address()) == "192.0.2.3"
+
+    def test_address_at(self):
+        prefix = IPv4Prefix.parse("192.0.2.0/30")
+        assert str(prefix.address_at(2)) == "192.0.2.2"
+        with pytest.raises(ValueError):
+            prefix.address_at(4)
+        with pytest.raises(ValueError):
+            prefix.address_at(-1)
+
+    def test_iter_addresses(self):
+        prefix = IPv4Prefix.parse("192.0.2.4/30")
+        assert [str(a) for a in prefix.iter_addresses()] == [
+            "192.0.2.4", "192.0.2.5", "192.0.2.6", "192.0.2.7"]
+
+    def test_subprefixes(self):
+        prefix = IPv4Prefix.parse("192.0.2.0/24")
+        halves = list(prefix.subprefixes(25))
+        assert [str(p) for p in halves] == ["192.0.2.0/25", "192.0.2.128/25"]
+        with pytest.raises(ValueError):
+            list(prefix.subprefixes(23))
+
+    def test_ordering(self):
+        assert IPv4Prefix.parse("10.0.0.0/8") < IPv4Prefix.parse("10.0.0.0/9")
+        assert IPv4Prefix.parse("9.0.0.0/8") < IPv4Prefix.parse("10.0.0.0/8")
+
+    @given(st.integers(0, (1 << 32) - 1), st.integers(0, 32))
+    def test_containing_contains_property(self, value, length):
+        addr = IPv4Address(value)
+        prefix = IPv4Prefix.containing(addr, length)
+        assert prefix.contains(addr)
+        assert prefix.length == length
+
+    @given(st.integers(0, (1 << 32) - 1), st.integers(0, 32))
+    def test_parse_str_roundtrip_property(self, value, length):
+        prefix = IPv4Prefix.containing(IPv4Address(value), length)
+        assert IPv4Prefix.parse(str(prefix)) == prefix

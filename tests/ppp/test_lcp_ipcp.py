@@ -1,0 +1,65 @@
+"""Tests for repro.ppp.lcp and repro.ppp.ipcp."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.net.ipv4 import IPv4Address
+from repro.ppp import ipcp, lcp
+from repro.util.rng import substream
+
+ASSIGNED = IPv4Address.parse("192.0.2.77")
+
+
+class TestLcp:
+    def test_oversized_mru_capped_to_pppoe(self):
+        agreed = lcp.establish_link(substream(1, "lcp"), subscriber_mru=1500)
+        assert agreed["mru"] == lcp.PPPOE_MRU
+
+    def test_small_mru_kept(self):
+        agreed = lcp.establish_link(substream(1, "lcp"), subscriber_mru=1400)
+        assert agreed["mru"] == 1400
+
+    def test_magic_number_negotiated(self):
+        agreed = lcp.establish_link(substream(2, "lcp"))
+        assert 0 <= agreed["magic_number"] < 2 ** 32
+
+
+class TestIpcp:
+    def test_unassigned_request_gets_naked_to_assignment(self):
+        address = ipcp.assign_address(ASSIGNED)
+        assert address == ASSIGNED
+
+    def test_previous_address_request_overridden(self):
+        # A CPE asking for its old address still gets the new one — the
+        # protocol-level reason PPP reconnects renumber.
+        previous = IPv4Address.parse("192.0.2.1")
+        address = ipcp.assign_address(ASSIGNED, requested=previous)
+        assert address == ASSIGNED
+
+    def test_requesting_the_assigned_address_acks_immediately(self):
+        address = ipcp.assign_address(ASSIGNED, requested=ASSIGNED)
+        assert address == ASSIGNED
+
+    def test_policy_naks_mismatch(self):
+        policy = ipcp.address_assignment_policy(ASSIGNED)
+        from repro.ppp.negotiation import ConfigureAck, ConfigureNak
+        nak = policy({"ip_address": ipcp.UNASSIGNED})
+        assert isinstance(nak, ConfigureNak)
+        assert nak.suggested["ip_address"] == ASSIGNED
+        ack = policy({"ip_address": ASSIGNED})
+        assert isinstance(ack, ConfigureAck)
+
+
+class TestConcentratorIntegration:
+    def test_session_address_flows_through_ipcp(self):
+        from repro.isp.pool import AddressPool
+        from repro.net.ipv4 import IPv4Prefix
+        from repro.ppp.radius import RadiusServer
+        from repro.ppp.session import PppoeConcentrator
+
+        pool = AddressPool([IPv4Prefix.parse("192.0.2.0/24")])
+        concentrator = PppoeConcentrator(pool, RadiusServer(),
+                                         substream(3, "ppp"))
+        session = concentrator.connect("alice", 0.0)
+        assert pool.is_allocated(session.address)
+        assert pool.contains(session.address)

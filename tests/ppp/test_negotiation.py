@@ -1,0 +1,102 @@
+"""Tests for repro.ppp.negotiation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.ppp.negotiation import (
+    ConfigureAck,
+    ConfigureNak,
+    ConfigureReject,
+    CpEndpoint,
+    CpState,
+    accept_all,
+    negotiate,
+)
+
+
+class TestEndpointStates:
+    def test_initial_to_req_sent(self):
+        endpoint = CpEndpoint("a", {"x": 1})
+        endpoint.next_request()
+        assert endpoint.state is CpState.REQ_SENT
+
+    def test_full_open_both_sides(self):
+        a = CpEndpoint("a", {"x": 1})
+        b = CpEndpoint("b", {"y": 2})
+        agreed_a, agreed_b = negotiate(a, b)
+        assert a.is_open and b.is_open
+        assert agreed_a == {"x": 1}
+        assert agreed_b == {"y": 2}
+
+    def test_unknown_reply_rejected(self):
+        endpoint = CpEndpoint("a", {"x": 1})
+        with pytest.raises(SimulationError):
+            endpoint.receive_reply("bogus")
+
+
+class TestNakCycle:
+    def make_capping_endpoint(self, limit):
+        def policy(options):
+            value = options.get("v", 0)
+            if value > limit:
+                return ConfigureNak({"v": limit})
+            return ConfigureAck(dict(options))
+        return CpEndpoint("capper", {"v": limit}, policy=policy)
+
+    def test_nak_adjusts_value(self):
+        asker = CpEndpoint("asker", {"v": 100})
+        capper = self.make_capping_endpoint(10)
+        agreed, _ = negotiate(asker, capper)
+        assert agreed == {"v": 10}
+
+    def test_acceptable_value_untouched(self):
+        asker = CpEndpoint("asker", {"v": 5})
+        capper = self.make_capping_endpoint(10)
+        agreed, _ = negotiate(asker, capper)
+        assert agreed == {"v": 5}
+
+    def test_nonconverging_policy_raises(self):
+        def always_nak(options):
+            return ConfigureNak({"v": options.get("v", 0) + 1})
+        asker = CpEndpoint("asker", {"v": 1})
+        stubborn = CpEndpoint("stubborn", {}, policy=always_nak)
+        with pytest.raises(SimulationError):
+            negotiate(asker, stubborn, max_rounds=5)
+
+
+class TestReject:
+    def test_rejected_option_dropped(self):
+        def reject_extras(options):
+            if "secret" in options:
+                return ConfigureReject(("secret",))
+            return ConfigureAck(dict(options))
+        asker = CpEndpoint("asker", {"v": 1, "secret": 42})
+        strict = CpEndpoint("strict", {}, policy=reject_extras)
+        agreed, _ = negotiate(asker, strict)
+        assert agreed == {"v": 1}
+
+
+class TestProperties:
+    @given(st.dictionaries(st.sampled_from(["a", "b", "c"]),
+                           st.integers(0, 100), max_size=3),
+           st.dictionaries(st.sampled_from(["x", "y"]),
+                           st.integers(0, 100), max_size=2))
+    def test_accept_all_always_converges(self, opts_a, opts_b):
+        a = CpEndpoint("a", dict(opts_a), policy=accept_all)
+        b = CpEndpoint("b", dict(opts_b), policy=accept_all)
+        agreed_a, agreed_b = negotiate(a, b)
+        assert agreed_a == opts_a
+        assert agreed_b == opts_b
+
+    @given(st.integers(1, 1000), st.integers(1, 1000))
+    def test_capping_converges_to_min(self, asked, limit):
+        def policy(options):
+            if options.get("v", 0) > limit:
+                return ConfigureNak({"v": limit})
+            return ConfigureAck(dict(options))
+        asker = CpEndpoint("asker", {"v": asked})
+        capper = CpEndpoint("capper", {"v": limit}, policy=policy)
+        agreed, _ = negotiate(asker, capper)
+        assert agreed["v"] == min(asked, limit)

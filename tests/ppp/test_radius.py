@@ -1,0 +1,57 @@
+"""Tests for repro.ppp.radius."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ppp.radius import AccessAccept, AcctStatus, RadiusServer
+
+
+class TestAuthorize:
+    def test_accept_carries_session_timeout(self):
+        server = RadiusServer(session_timeout=86400.0)
+        accept = server.authorize("alice")
+        assert accept == AccessAccept("alice", 86400.0)
+
+    def test_no_timeout(self):
+        assert RadiusServer().authorize("bob").session_timeout is None
+
+    def test_unknown_user_rejected(self):
+        server = RadiusServer(known_users={"alice"})
+        server.authorize("alice")
+        with pytest.raises(SimulationError):
+            server.authorize("mallory")
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            RadiusServer(session_timeout=0.0)
+        with pytest.raises(SimulationError):
+            AccessAccept("x", -5.0)
+
+
+class TestAccounting:
+    def test_start_stop_roundtrip(self):
+        server = RadiusServer()
+        sid = server.account_start("alice", 100.0)
+        server.account_stop("alice", 400.0, sid, "Session-Timeout")
+        records = server.accounting_records
+        assert [r.status for r in records] == [AcctStatus.START, AcctStatus.STOP]
+        assert records[1].terminate_cause == "Session-Timeout"
+
+    def test_session_ids_unique(self):
+        server = RadiusServer()
+        assert server.account_start("a", 0.0) != server.account_start("a", 1.0)
+
+    def test_stop_unknown_session_rejected(self):
+        server = RadiusServer()
+        with pytest.raises(SimulationError):
+            server.account_stop("a", 0.0, 99, "x")
+
+    def test_session_durations(self):
+        server = RadiusServer()
+        sid1 = server.account_start("alice", 0.0)
+        server.account_stop("alice", 100.0, sid1, "t")
+        sid2 = server.account_start("alice", 200.0)
+        server.account_stop("alice", 500.0, sid2, "t")
+        server.account_start("bob", 0.0)  # still open, not counted
+        assert server.session_durations("alice") == [100.0, 300.0]
+        assert server.session_durations("bob") == []

@@ -1,0 +1,107 @@
+"""Tests for repro.ppp.session."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isp.pool import AddressPool, PoolPolicy
+from repro.net.ipv4 import IPv4Prefix
+from repro.ppp.radius import AcctStatus, RadiusServer
+from repro.ppp.session import PppoeConcentrator, PppPhase
+from repro.util.rng import substream
+from repro.util.timeutil import DAY, HOUR
+
+
+def make_concentrator(session_timeout=None, seed=1):
+    pool = AddressPool([IPv4Prefix.parse("192.0.2.0/24")], PoolPolicy())
+    radius = RadiusServer(session_timeout=session_timeout)
+    return PppoeConcentrator(pool, radius, substream(seed, "ppp")), pool
+
+
+class TestConnect:
+    def test_connect_walks_ppp_phases(self):
+        concentrator, _ = make_concentrator()
+        session = concentrator.connect("alice", 0.0)
+        assert session.phase is PppPhase.NETWORK
+        assert session.phase_trace == [
+            PppPhase.DEAD, PppPhase.ESTABLISH, PppPhase.AUTHENTICATE,
+            PppPhase.NETWORK]
+
+    def test_connect_allocates_from_pool(self):
+        concentrator, pool = make_concentrator()
+        session = concentrator.connect("alice", 0.0)
+        assert pool.is_allocated(session.address)
+        assert concentrator.active_session("alice") is session
+
+    def test_double_connect_rejected(self):
+        concentrator, _ = make_concentrator()
+        concentrator.connect("alice", 0.0)
+        with pytest.raises(SimulationError):
+            concentrator.connect("alice", 1.0)
+
+    def test_reconnect_always_changes_address(self):
+        # The key PPP-vs-DHCP distinction: no preservation across sessions.
+        concentrator, _ = make_concentrator(seed=2)
+        for trial in range(10):
+            session = concentrator.connect("alice", float(trial * 100))
+            concentrator.disconnect("alice", float(trial * 100 + 50))
+            next_session = concentrator.connect("alice",
+                                                float(trial * 100 + 60))
+            assert next_session.address != session.address
+            concentrator.disconnect("alice", float(trial * 100 + 90))
+
+    def test_accounting_start_recorded(self):
+        concentrator, _ = make_concentrator()
+        concentrator.connect("alice", 5.0)
+        records = concentrator.radius.accounting_records
+        assert len(records) == 1
+        assert records[0].status is AcctStatus.START
+
+
+class TestDisconnect:
+    def test_disconnect_frees_address_and_accounts(self):
+        concentrator, pool = make_concentrator()
+        session = concentrator.connect("alice", 0.0)
+        ended = concentrator.disconnect("alice", 50.0, cause="Lost-Carrier")
+        assert not pool.is_allocated(session.address)
+        assert ended.ended_at == 50.0
+        assert ended.terminate_cause == "Lost-Carrier"
+        assert not ended.is_active()
+        assert ended.phase_trace[-2:] == [PppPhase.TERMINATE, PppPhase.DEAD]
+
+    def test_disconnect_unknown_rejected(self):
+        concentrator, _ = make_concentrator()
+        with pytest.raises(SimulationError):
+            concentrator.disconnect("ghost", 0.0)
+
+
+class TestSessionTimeout:
+    def test_expires_at(self):
+        concentrator, _ = make_concentrator(session_timeout=DAY)
+        session = concentrator.connect("alice", 100.0)
+        assert session.expires_at == 100.0 + DAY
+
+    def test_no_timeout_never_enforced(self):
+        concentrator, _ = make_concentrator(session_timeout=None)
+        concentrator.connect("alice", 0.0)
+        assert concentrator.enforce_timeout("alice", 1e9) is None
+
+    def test_enforce_before_expiry_is_noop(self):
+        concentrator, _ = make_concentrator(session_timeout=DAY)
+        concentrator.connect("alice", 0.0)
+        assert concentrator.enforce_timeout("alice", HOUR) is None
+        assert concentrator.active_session("alice") is not None
+
+    def test_enforce_after_expiry_cuts_at_exact_limit(self):
+        # Periodic renumbering: the session ends exactly at the timeout,
+        # which is why durations pile up at d in the paper's Figure 2.
+        concentrator, _ = make_concentrator(session_timeout=DAY)
+        concentrator.connect("alice", 0.0)
+        ended = concentrator.enforce_timeout("alice", DAY + HOUR)
+        assert ended is not None
+        assert ended.ended_at == DAY
+        assert ended.terminate_cause == "Session-Timeout"
+        assert concentrator.active_session("alice") is None
+
+    def test_enforce_unknown_user_is_noop(self):
+        concentrator, _ = make_concentrator(session_timeout=DAY)
+        assert concentrator.enforce_timeout("ghost", 1e9) is None

@@ -1,0 +1,103 @@
+"""Tests for repro.sim.io (dataset bundle round-trips)."""
+
+import json
+
+import pytest
+
+from repro.core.pipeline import pipeline_for_world
+from repro.errors import DatasetError, ParseError
+from repro.experiments.scenarios import small_world
+from repro.sim.io import (
+    DatasetBundle,
+    load_bundle,
+    pipeline_for_bundle,
+    write_world,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return small_world(seed=17, days=25)
+
+
+@pytest.fixture(scope="module")
+def bundle_dir(world, tmp_path_factory):
+    return write_world(world, tmp_path_factory.mktemp("bundle"))
+
+
+class TestWrite:
+    def test_expected_files_present(self, bundle_dir):
+        for name in ("meta.json", "archive.tsv", "connlog.tsv",
+                     "uptime.tsv", "kroot.json"):
+            assert (bundle_dir / name).exists(), name
+        assert list((bundle_dir / "pfx2as").glob("*.txt"))
+
+    def test_meta_contents(self, bundle_dir, world):
+        meta = json.loads((bundle_dir / "meta.json").read_text())
+        assert meta["seed"] == world.config.seed
+        assert "64496" in meta["as_names"]
+
+
+class TestLoad:
+    def test_roundtrip_preserves_datasets(self, bundle_dir, world):
+        bundle = load_bundle(bundle_dir)
+        assert isinstance(bundle, DatasetBundle)
+        assert bundle.connlog.entry_count() == world.connlog.entry_count()
+        assert bundle.archive.probe_ids() == world.archive.probe_ids()
+        assert bundle.uptime.probe_ids() == world.uptime.probe_ids()
+        assert bundle.kroot.probe_ids() == world.kroot.probe_ids()
+        assert bundle.ip2as.months() == world.ip2as.months()
+
+    def test_kroot_series_behaviour_preserved(self, bundle_dir, world):
+        bundle = load_bundle(bundle_dir)
+        for probe_id in world.kroot.probe_ids()[:5]:
+            original = world.kroot.series(probe_id)
+            loaded = bundle.kroot.series(probe_id)
+            window = (original.observed_start,
+                      original.observed_start + 4 * 3600)
+            assert ([r.success for r in loaded.records(*window)]
+                    == [r.success for r in original.records(*window)])
+
+    def test_missing_bundle_rejected(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_bundle(tmp_path / "nonexistent")
+
+    def test_bad_version_rejected(self, tmp_path, world):
+        root = write_world(world, tmp_path / "b")
+        meta = json.loads((root / "meta.json").read_text())
+        meta["bundle_version"] = 99
+        (root / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(DatasetError):
+            load_bundle(root)
+
+    def test_corrupt_kroot_rejected(self, tmp_path, world):
+        root = write_world(world, tmp_path / "c")
+        (root / "kroot.json").write_text('[{"probe_id": 1}]')
+        with pytest.raises(ParseError):
+            load_bundle(root)
+
+
+class TestAnalysisEquivalence:
+    def test_pipeline_over_bundle_matches_direct(self, bundle_dir, world):
+        direct = pipeline_for_world(world).run()
+        loaded = pipeline_for_bundle(load_bundle(bundle_dir)).run()
+        assert loaded.table2_rows() == direct.table2_rows()
+        assert loaded.asn_by_probe == direct.asn_by_probe
+        assert loaded.firmware_days == direct.firmware_days
+        direct_stats = {pid: (s.network_outages, s.network_changes,
+                              s.power_outages, s.power_changes)
+                        for pid, s in direct.stats_by_probe.items()}
+        loaded_stats = {pid: (s.network_outages, s.network_changes,
+                              s.power_outages, s.power_changes)
+                        for pid, s in loaded.stats_by_probe.items()}
+        assert loaded_stats == direct_stats
+
+
+class TestSimulateCli:
+    def test_cli_writes_bundle(self, tmp_path, capsys):
+        from repro.sim.cli import main
+        assert main(["--out", str(tmp_path / "out"),
+                     "--scale", "0.02", "--seed", "3"]) == 0
+        assert "Wrote bundle" in capsys.readouterr().out
+        bundle = load_bundle(tmp_path / "out")
+        assert bundle.connlog.entry_count() > 0

@@ -1,0 +1,108 @@
+"""Tests for repro.sim.outages."""
+
+import pytest
+
+from repro.isp.pool import PoolPolicy
+from repro.isp.spec import AccessTechnology, IspSpec
+from repro.net.bgpgen import AddressSpacePlan
+from repro.sim.outages import (
+    MIN_OUTAGE_DURATION,
+    MIN_SEPARATION,
+    Interruption,
+    InterruptionKind,
+    generate_interruptions,
+)
+from repro.util.rng import substream
+from repro.util.timeutil import YEAR_2015_END, YEAR_2015_START
+
+
+def make_spec(**overrides):
+    kwargs = dict(
+        name="T", asn=64496, country="DE", access=AccessTechnology.PPP,
+        plan=AddressSpacePlan(num_prefixes=2, slash16_groups=1),
+        pool_policy=PoolPolicy(),
+        power_outages_per_year=10.0, network_outages_per_year=20.0,
+    )
+    kwargs.update(overrides)
+    return IspSpec(**kwargs)
+
+
+class TestInterruption:
+    def test_duration(self):
+        event = Interruption(InterruptionKind.POWER, 10.0, 70.0)
+        assert event.duration == 60.0
+
+    def test_break_has_zero_duration(self):
+        event = Interruption(InterruptionKind.BREAK, 10.0, 10.0)
+        assert event.duration == 0.0
+
+    def test_inverted_rejected(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            Interruption(InterruptionKind.POWER, 10.0, 5.0)
+
+
+class TestGenerateInterruptions:
+    def generate(self, seed=1, **spec_overrides):
+        return generate_interruptions(
+            substream(seed, "outages"), make_spec(**spec_overrides),
+            YEAR_2015_START, YEAR_2015_END)
+
+    def test_sorted_and_separated(self):
+        events = self.generate()
+        for left, right in zip(events, events[1:]):
+            assert right.start >= left.end + MIN_SEPARATION
+
+    def test_rates_roughly_respected(self):
+        events = self.generate(seed=2)
+        power = sum(1 for e in events if e.kind is InterruptionKind.POWER)
+        network = sum(1 for e in events if e.kind is InterruptionKind.NETWORK)
+        breaks = sum(1 for e in events if e.kind is InterruptionKind.BREAK)
+        # Some events are dropped by the separation rule, so allow slack.
+        assert 3 <= power <= 18
+        assert 8 <= network <= 32
+        assert 10 <= breaks <= 45
+
+    def test_outages_have_min_duration(self):
+        events = self.generate(seed=3)
+        instant = (InterruptionKind.BREAK, InterruptionKind.PROBE_REBOOT)
+        for event in events:
+            if event.kind not in instant:
+                assert event.duration >= MIN_OUTAGE_DURATION
+
+    def test_all_within_window(self):
+        events = self.generate(seed=4)
+        assert all(YEAR_2015_START <= e.start and e.end <= YEAR_2015_END
+                   for e in events)
+
+    def test_deterministic(self):
+        assert self.generate(seed=5) == self.generate(seed=5)
+        assert self.generate(seed=5) != self.generate(seed=6)
+
+    def test_zero_rates_yield_only_breaks(self):
+        events = generate_interruptions(
+            substream(1, "z"),
+            make_spec(power_outages_per_year=0.0,
+                      network_outages_per_year=0.0),
+            YEAR_2015_START, YEAR_2015_END, break_rate_per_year=5.0,
+            probe_reboot_rate_per_year=0.0)
+        assert all(e.kind is InterruptionKind.BREAK for e in events)
+
+    def test_probe_reboots_generated(self):
+        events = generate_interruptions(
+            substream(1, "z"),
+            make_spec(power_outages_per_year=0.0,
+                      network_outages_per_year=0.0),
+            YEAR_2015_START, YEAR_2015_END, break_rate_per_year=0.0,
+            probe_reboot_rate_per_year=20.0)
+        assert events
+        assert all(e.kind is InterruptionKind.PROBE_REBOOT for e in events)
+
+    def test_zero_everything_is_empty(self):
+        events = generate_interruptions(
+            substream(1, "z"),
+            make_spec(power_outages_per_year=0.0,
+                      network_outages_per_year=0.0),
+            YEAR_2015_START, YEAR_2015_END, break_rate_per_year=0.0,
+            probe_reboot_rate_per_year=0.0)
+        assert events == []

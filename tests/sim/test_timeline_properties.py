@@ -1,0 +1,116 @@
+"""Property tests on per-probe timeline outputs.
+
+Whatever the outage history, ISP policy, probe version and confounder
+flags, a simulated probe's traces must satisfy structural invariants the
+analysis relies on: ordered non-overlapping connections, positive gaps,
+monotone uptime between reboots, and power-off/network-down disjointness.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atlas.types import ProbeVersion
+from repro.isp.policy import build_plant
+from repro.isp.pool import AddressPool, PoolPolicy
+from repro.isp.spec import AccessTechnology, IspSpec
+from repro.net.bgpgen import AddressSpacePlan
+from repro.net.ipv4 import IPv4Prefix
+from repro.sim.outages import generate_interruptions
+from repro.sim.timeline import ProbeSimulator, Segment
+from repro.util.rng import substream
+from repro.util.timeutil import DAY, HOUR
+
+WINDOW = 45 * DAY
+
+
+@st.composite
+def probe_configs(draw):
+    seed = draw(st.integers(0, 10_000))
+    access = draw(st.sampled_from(list(AccessTechnology)))
+    period = None
+    if access is AccessTechnology.PPP and draw(st.booleans()):
+        period = draw(st.sampled_from([12, 24, 168])) * HOUR
+    version = draw(st.sampled_from(list(ProbeVersion)))
+    fate = draw(st.booleans())
+    family = draw(st.sampled_from(["v4", "dual"]))
+    power_rate = draw(st.floats(0.0, 60.0))
+    network_rate = draw(st.floats(0.0, 120.0))
+    return seed, access, period, version, fate, family, power_rate, \
+        network_rate
+
+
+def run_probe(config):
+    (seed, access, period, version, fate, family, power_rate,
+     network_rate) = config
+    spec = IspSpec(
+        name="T", asn=64496, country="DE", access=access,
+        plan=AddressSpacePlan(num_prefixes=2, slash16_groups=1),
+        pool_policy=PoolPolicy(),
+        period=period,
+        power_outages_per_year=power_rate,
+        network_outages_per_year=network_rate,
+    )
+    pool = AddressPool([IPv4Prefix.parse("192.0.2.0/24"),
+                        IPv4Prefix.parse("198.51.100.0/24")],
+                       spec.pool_policy)
+    plant = build_plant(spec, pool, seed)
+    interruptions = generate_interruptions(
+        substream(seed, "events"), spec, 0.0, WINDOW)
+    simulator = ProbeSimulator(
+        1, substream(seed, "probe"), [interruptions],
+        [Segment(plant, "cpe", 0.0, WINDOW)],
+        version=version, fate_sharing=fate, frag_reboot_prob=0.3,
+        firmware_campaigns=(10 * DAY,),
+        family_mode=family,
+        ipv6_address="2001:db8::1" if family == "dual" else None)
+    return simulator.run()
+
+
+class TestTimelineInvariants:
+    @given(probe_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_entries_ordered_and_disjoint(self, config):
+        output = run_probe(config)
+        assert output.entries, "probe produced no connections"
+        for entry in output.entries:
+            assert 0.0 <= entry.start < entry.end <= WINDOW
+        for left, right in zip(output.entries, output.entries[1:]):
+            assert right.start > left.end  # positive inter-connection gap
+
+    @given(probe_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_uptime_records_consistent(self, config):
+        output = run_probe(config)
+        records = output.uptime_records
+        assert records
+        stamps = [r.timestamp for r in records]
+        assert stamps == sorted(stamps)
+        for record in records:
+            assert record.uptime >= 0.0
+        # The counter can never grow faster than wall clock (it only ever
+        # pauses at zero across reboots).
+        for left, right in zip(records, records[1:]):
+            elapsed = right.timestamp - left.timestamp
+            assert right.uptime <= left.uptime + elapsed + 1.0
+
+    @given(probe_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_power_and_network_intervals_disjoint(self, config):
+        output = run_probe(config)
+        for interval in output.power_off:
+            assert not output.network_down.contains(interval.start)
+        for interval in output.network_down:
+            assert not output.power_off.contains(interval.start)
+
+    @given(probe_configs())
+    @settings(max_examples=40, deadline=None)
+    def test_true_changes_reflected_in_entries(self, config):
+        output = run_probe(config)
+        v4_entries = [e for e in output.entries if not e.is_ipv6]
+        observed = sum(
+            1 for a, b in zip(v4_entries, v4_entries[1:])
+            if a.address != b.address)
+        # Dual-stack probes hide some changes behind IPv6 connections, and
+        # the last change can fall off the window end — observed never
+        # exceeds the truth.
+        assert observed <= len(output.true_changes)

@@ -1,0 +1,166 @@
+"""Tests for repro.sim.scenario and repro.sim.world (small worlds)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isp.pool import PoolPolicy
+from repro.isp.profiles import IspProfile
+from repro.isp.spec import AccessTechnology, IspSpec
+from repro.net.bgpgen import AddressSpacePlan
+from repro.net.ipv4 import TESTING_ADDRESS
+from repro.sim.scenario import ScenarioConfig, paper_scenario
+from repro.sim.world import ProbeRole, build_world
+from repro.util import timeutil
+from repro.util.timeutil import DAY, HOUR
+
+
+def small_profiles():
+    plan = AddressSpacePlan(num_prefixes=4, slash16_groups=2, slash8_groups=2)
+    periodic = IspSpec(
+        name="Periodic", asn=64496, country="DE",
+        access=AccessTechnology.PPP, plan=plan,
+        pool_policy=PoolPolicy(0.5, 0.5), period=DAY,
+        periodic_fraction=1.0, skip_prob=0.0, offschedule_prob=0.0)
+    stable = IspSpec(
+        name="Stable", asn=64497, country="US",
+        access=AccessTechnology.DHCP, plan=plan,
+        pool_policy=PoolPolicy(0.5, 0.5),
+        churn_rate_per_hour=0.01, dhcp_change_prob=0.01)
+    return (IspProfile(periodic, 4), IspProfile(stable, 4))
+
+
+def small_config(**overrides):
+    kwargs = dict(
+        profiles=small_profiles(),
+        seed=7,
+        start=timeutil.YEAR_2015_START,
+        end=timeutil.YEAR_2015_START + 30 * DAY,
+        static_probes=2,
+        dual_stack_probes=2,
+        ipv6_probes=1,
+        tagged_probes=2,
+        multihomed_probes=2,
+        testing_only_probes=1,
+        mover_probes=2,
+    )
+    kwargs.update(overrides)
+    return ScenarioConfig(**kwargs)
+
+
+class TestScenarioConfig:
+    def test_counts(self):
+        config = small_config()
+        assert config.dynamic_probe_count == 8
+        assert config.total_probe_count == 8 + 2 + 2 + 1 + 2 + 2 + 1 + 2
+
+    @pytest.mark.parametrize("overrides", [
+        dict(profiles=()),
+        dict(end=timeutil.YEAR_2015_START),
+        dict(static_probes=-1),
+        dict(version_weights=(1.0, 2.0)),
+        dict(fate_sharing_prob=1.5),
+    ])
+    def test_validation(self, overrides):
+        with pytest.raises(SimulationError):
+            small_config(**overrides)
+
+    def test_paper_scenario_ratios(self):
+        config = paper_scenario(scale=0.1)
+        analyzable = config.dynamic_probe_count + config.mover_probes
+        assert config.dual_stack_probes > config.dynamic_probe_count
+        assert config.ipv6_probes < 0.15 * analyzable
+        assert config.mover_probes > 0.2 * config.dynamic_probe_count
+
+    def test_paper_scenario_rejects_bad_scale(self):
+        with pytest.raises(SimulationError):
+            paper_scenario(scale=0.0)
+
+
+class TestBuildWorld:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_world(small_config())
+
+    def test_all_probes_present_everywhere(self, world):
+        config = world.config
+        assert len(world.archive) == config.total_probe_count
+        assert len(world.truth) == config.total_probe_count
+        for probe_id in world.archive.probe_ids():
+            assert world.kroot.has_probe(probe_id)
+            assert world.connlog.entries(probe_id)
+            assert world.uptime.records(probe_id)
+
+    def test_roles_counted(self, world):
+        roles = [t.role for t in world.truth.values()]
+        assert roles.count(ProbeRole.DYNAMIC) == 8
+        assert roles.count(ProbeRole.STATIC) == 2
+        assert roles.count(ProbeRole.DUAL_STACK) == 2
+        assert roles.count(ProbeRole.IPV6_ONLY) == 1
+        assert roles.count(ProbeRole.TAGGED) == 2
+        assert roles.count(ProbeRole.MULTIHOMED) == 2
+        assert roles.count(ProbeRole.TESTING) == 1
+        assert roles.count(ProbeRole.MOVER) == 2
+
+    def test_periodic_probes_change_addresses_daily(self, world):
+        periodic_ids = [t.probe_id for t in world.truth.values()
+                        if t.isp_names[0] == "Periodic"
+                        and t.role is ProbeRole.DYNAMIC]
+        for probe_id in periodic_ids:
+            truth = world.truth[probe_id]
+            assert truth.true_change_count >= 25  # ~daily over 30 days
+
+    def test_static_probes_never_change(self, world):
+        for truth in world.truth.values():
+            if truth.role is ProbeRole.STATIC:
+                assert truth.true_change_count == 0
+                entries = world.connlog.entries(truth.probe_id)
+                addresses = {e.address for e in entries}
+                assert len(addresses) == 1
+
+    def test_ip2as_resolves_probe_addresses(self, world):
+        for truth in world.truth.values():
+            if truth.role is not ProbeRole.DYNAMIC:
+                continue
+            for entry in world.connlog.entries(truth.probe_id):
+                asn = world.ip2as.origin_asn(entry.address, entry.start)
+                assert asn == truth.asns[0]
+
+    def test_testing_probe_starts_at_ripe_address(self, world):
+        testing_ids = [t.probe_id for t in world.truth.values()
+                       if t.role is ProbeRole.TESTING]
+        for probe_id in testing_ids:
+            first = world.connlog.entries(probe_id)[0]
+            assert first.address == TESTING_ADDRESS
+            asn = world.ip2as.origin_asn(first.address, first.start)
+            assert asn == 3333
+
+    def test_mover_crosses_ases(self, world):
+        for truth in world.truth.values():
+            if truth.role is not ProbeRole.MOVER:
+                continue
+            assert len(truth.asns) == 2
+            assert truth.asns[0] != truth.asns[1]
+            entries = world.connlog.entries(truth.probe_id)
+            observed = {world.ip2as.origin_asn(e.address, e.start)
+                        for e in entries if not e.is_ipv6}
+            assert observed == set(truth.asns)
+
+    def test_ipv6_only_probe_has_no_v4_entries(self, world):
+        for truth in world.truth.values():
+            if truth.role is ProbeRole.IPV6_ONLY:
+                entries = world.connlog.entries(truth.probe_id)
+                assert all(e.is_ipv6 for e in entries)
+
+    def test_dual_stack_mixes_families(self, world):
+        for truth in world.truth.values():
+            if truth.role is ProbeRole.DUAL_STACK:
+                entries = world.connlog.entries(truth.probe_id)
+                assert {e.is_ipv6 for e in entries} == {True, False}
+
+    def test_deterministic_rebuild(self, world):
+        rebuilt = build_world(small_config())
+        probe = world.archive.probe_ids()[0]
+        assert ([(e.start, e.end, str(e.address or e.ipv6_address))
+                 for e in world.connlog.entries(probe)]
+                == [(e.start, e.end, str(e.address or e.ipv6_address))
+                    for e in rebuilt.connlog.entries(probe)])

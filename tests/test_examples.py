@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs end to end.
+
+Fast examples run as-is; the two that build the paper scenario are run at
+a tiny scale through their argv interface.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, argv=()):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py")
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Daily-DSL" in out
+
+    def test_outage_forensics(self, capsys):
+        run_example("outage_forensics.py")
+        out = capsys.readouterr().out
+        assert "verdict:" in out
+        assert "P(change|network outage)" in out
+
+    def test_atlas_scrape(self, capsys):
+        run_example("atlas_scrape.py")
+        out = capsys.readouterr().out
+        assert "agree exactly" in out
+
+    @pytest.mark.slow
+    def test_blacklist_ttl(self, capsys):
+        run_example("blacklist_ttl.py", ["0.05"])
+        out = capsys.readouterr().out
+        assert "suggested TTL" in out
+
+    @pytest.mark.slow
+    def test_isp_policy_survey(self, capsys):
+        run_example("isp_policy_survey.py", ["0.05"])
+        out = capsys.readouterr().out
+        assert "inferred" in out

@@ -1,0 +1,87 @@
+"""Tests for repro.util.rng."""
+
+import pytest
+
+from repro.util import rng
+
+
+class TestSubstream:
+    def test_same_path_same_sequence(self):
+        a = rng.substream(7, "probe", 12, "power")
+        b = rng.substream(7, "probe", 12, "power")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_paths_differ(self):
+        a = rng.substream(7, "probe", 12)
+        b = rng.substream(7, "probe", 13)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = rng.substream(1, "x")
+        b = rng.substream(2, "x")
+        assert a.random() != b.random()
+
+
+class TestPoissonArrivals:
+    def test_zero_rate_no_arrivals(self):
+        stream = rng.substream(0, "t")
+        assert rng.poisson_arrivals(stream, 0.0, 0.0, 1e6) == []
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            rng.poisson_arrivals(rng.substream(0, "t"), -1.0, 0, 1)
+
+    def test_arrivals_sorted_and_in_window(self):
+        stream = rng.substream(3, "arr")
+        arrivals = rng.poisson_arrivals(stream, 1 / 100.0, 50.0, 5000.0)
+        assert arrivals == sorted(arrivals)
+        assert all(50.0 <= t < 5000.0 for t in arrivals)
+
+    def test_rate_controls_expected_count(self):
+        stream = rng.substream(11, "arr")
+        arrivals = rng.poisson_arrivals(stream, 1 / 10.0, 0.0, 100000.0)
+        # Expected 10,000 arrivals; allow a generous band.
+        assert 9000 < len(arrivals) < 11000
+
+
+class TestLognormal:
+    def test_rejects_nonpositive_median(self):
+        with pytest.raises(ValueError):
+            rng.lognormal_from_median(rng.substream(0, "l"), 0.0, 1.0)
+
+    def test_median_is_approximately_respected(self):
+        stream = rng.substream(5, "log")
+        samples = sorted(
+            rng.lognormal_from_median(stream, 240.0, 1.0) for _ in range(4001)
+        )
+        assert 200 < samples[2000] < 290
+
+    def test_zero_sigma_is_deterministic(self):
+        stream = rng.substream(5, "log")
+        assert rng.lognormal_from_median(stream, 60.0, 0.0) == pytest.approx(60.0)
+
+
+class TestWeightedChoice:
+    def test_single_item(self):
+        assert rng.weighted_choice(rng.substream(0, "w"), ["a"], [1.0]) == "a"
+
+    def test_zero_weight_never_chosen(self):
+        stream = rng.substream(9, "w")
+        picks = {rng.weighted_choice(stream, ["a", "b"], [0.0, 1.0])
+                 for _ in range(50)}
+        assert picks == {"b"}
+
+    def test_validation(self):
+        stream = rng.substream(0, "w")
+        with pytest.raises(ValueError):
+            rng.weighted_choice(stream, ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            rng.weighted_choice(stream, [], [])
+        with pytest.raises(ValueError):
+            rng.weighted_choice(stream, ["a", "b"], [0.0, 0.0])
+
+    def test_weights_bias_outcomes(self):
+        stream = rng.substream(4, "w")
+        picks = [rng.weighted_choice(stream, ["a", "b"], [9.0, 1.0])
+                 for _ in range(2000)]
+        assert picks.count("a") > 1600

@@ -1,0 +1,116 @@
+"""Tests for repro.util.stats."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import stats
+
+
+class TestEmpiricalCdf:
+    def test_empty(self):
+        assert stats.empirical_cdf([]) == []
+
+    def test_steps_collapse_duplicates(self):
+        points = stats.empirical_cdf([1.0, 1.0, 2.0, 3.0])
+        assert [(p.value, p.fraction) for p in points] == [
+            (1.0, 0.5), (2.0, 0.75), (3.0, 1.0)]
+
+    def test_last_fraction_is_one(self):
+        points = stats.empirical_cdf([5.0, -1.0, 2.0])
+        assert points[-1].fraction == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_monotone_property(self, values):
+        points = stats.empirical_cdf(values)
+        fractions = [p.fraction for p in points]
+        assert all(a < b for a, b in zip(fractions, fractions[1:])) or len(fractions) == 1
+        assert points[-1].fraction == pytest.approx(1.0)
+
+
+class TestWeightedCdf:
+    def test_weights_accumulate(self):
+        points = stats.weighted_cdf([(24.0, 3.0), (12.0, 1.0)])
+        assert [(p.value, pytest.approx(p.fraction)) for p in points] == [
+            (12.0, pytest.approx(0.25)), (24.0, pytest.approx(1.0))]
+
+    def test_duplicate_values_merge(self):
+        points = stats.weighted_cdf([(5.0, 1.0), (5.0, 1.0)])
+        assert len(points) == 1
+        assert points[0].fraction == pytest.approx(1.0)
+
+    def test_zero_total_is_empty(self):
+        assert stats.weighted_cdf([(1.0, 0.0)]) == []
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            stats.weighted_cdf([(1.0, -0.5)])
+
+
+class TestCdfEvaluation:
+    def setup_method(self):
+        self.points = stats.empirical_cdf([1.0, 2.0, 2.0, 4.0])
+
+    def test_fraction_at(self):
+        assert stats.cdf_fraction_at(self.points, 0.5) == 0.0
+        assert stats.cdf_fraction_at(self.points, 1.0) == pytest.approx(0.25)
+        assert stats.cdf_fraction_at(self.points, 3.0) == pytest.approx(0.75)
+        assert stats.cdf_fraction_at(self.points, 10.0) == pytest.approx(1.0)
+
+    def test_mass_at(self):
+        assert stats.cdf_mass_at(self.points, 2.0) == pytest.approx(0.5)
+        assert stats.cdf_mass_at(self.points, 3.0) == 0.0
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        bins = stats.histogram([0.5, 1.5, 1.6, 2.5], [0, 1, 2, 3])
+        assert [b.count for b in bins] == [1, 2, 1]
+
+    def test_out_of_range_ignored(self):
+        bins = stats.histogram([-1, 0, 2.9, 3.0, 99], [0, 1, 2, 3])
+        assert sum(b.count for b in bins) == 2
+
+    def test_right_edge_exclusive(self):
+        bins = stats.histogram([1.0], [0, 1, 2])
+        assert [b.count for b in bins] == [0, 1]
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            stats.histogram([], [0])
+        with pytest.raises(ValueError):
+            stats.histogram([], [0, 0, 1])
+
+    @given(st.lists(st.floats(0, 10), max_size=100))
+    def test_counts_conserved(self, values):
+        edges = [0, 2, 4, 6, 8, 10]
+        bins = stats.histogram(values, edges)
+        in_range = sum(1 for v in values if 0 <= v < 10)
+        assert sum(b.count for b in bins) == in_range
+
+
+class TestSummaries:
+    def test_mean(self):
+        assert stats.mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            stats.mean([])
+
+    def test_median_odd_even(self):
+        assert stats.median([3, 1, 2]) == 2
+        assert stats.median([4, 1, 2, 3]) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            stats.median([])
+
+    def test_quantile_bounds(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert stats.quantile(values, 0.0) == 1.0
+        assert stats.quantile(values, 1.0) == 4.0
+        assert stats.quantile(values, 0.5) == pytest.approx(2.5)
+        with pytest.raises(ValueError):
+            stats.quantile(values, 1.5)
+        with pytest.raises(ValueError):
+            stats.quantile([], 0.5)
+
+    def test_fraction_safe(self):
+        assert stats.fraction(1, 2) == 0.5
+        assert stats.fraction(1, 0) == 0.0

@@ -1,0 +1,35 @@
+"""Tests for repro.util.tables."""
+
+import pytest
+
+from repro.util import tables
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = tables.render_table(
+            ["AS", "N"], [["Orange", 122], ["BT", 67]], title="Table 5")
+        lines = text.splitlines()
+        assert lines[0] == "Table 5"
+        assert lines[1].startswith("AS")
+        assert "Orange" in lines[3]
+        # Columns align: every data row has the separator at the same offset.
+        assert lines[3].index("|") == lines[4].index("|")
+
+    def test_float_formatting(self):
+        text = tables.render_table(["x"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            tables.render_table(["a", "b"], [["only-one"]])
+
+    def test_no_title(self):
+        text = tables.render_table(["h"], [["v"]])
+        assert text.splitlines()[0] == "h"
+
+
+class TestPercent:
+    def test_rounding(self):
+        assert tables.percent(0.757) == "76%"
+        assert tables.percent(0.5, digits=1) == "50.0%"

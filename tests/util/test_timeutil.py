@@ -1,0 +1,79 @@
+"""Tests for repro.util.timeutil."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import timeutil
+
+
+class TestConstants:
+    def test_year_2015_bounds_span_a_non_leap_year(self):
+        assert timeutil.YEAR_2015_END - timeutil.YEAR_2015_START == 365 * timeutil.DAY
+
+    def test_week_is_seven_days(self):
+        assert timeutil.WEEK == 7 * timeutil.DAY
+
+
+class TestEpoch:
+    def test_epoch_of_2015_start(self):
+        assert timeutil.epoch(2015, 1, 1) == timeutil.YEAR_2015_START
+
+    def test_epoch_respects_time_fields(self):
+        base = timeutil.epoch(2015, 3, 10)
+        assert timeutil.epoch(2015, 3, 10, 1, 2, 3) == base + 3723
+
+    def test_hours_and_days_roundtrip(self):
+        assert timeutil.to_hours(timeutil.hours(5.5)) == pytest.approx(5.5)
+        assert timeutil.days(2) == 48 * timeutil.HOUR
+
+
+class TestCalendar:
+    def test_hour_of_day(self):
+        assert timeutil.hour_of_day(timeutil.epoch(2015, 6, 15, 23, 59)) == 23
+        assert timeutil.hour_of_day(timeutil.epoch(2015, 6, 16, 0, 0)) == 0
+
+    def test_day_of_year(self):
+        assert timeutil.day_of_year(timeutil.epoch(2015, 1, 1)) == 1
+        assert timeutil.day_of_year(timeutil.epoch(2015, 12, 31)) == 365
+
+    def test_month_of(self):
+        assert timeutil.month_of(timeutil.epoch(2015, 7, 31, 23)) == (2015, 7)
+
+    def test_iter_month_starts_covers_year(self):
+        months = list(timeutil.iter_month_starts(
+            timeutil.YEAR_2015_START, timeutil.YEAR_2015_END))
+        assert len(months) == 12
+        assert months[0][:2] == (2015, 1)
+        assert months[-1][:2] == (2015, 12)
+
+    def test_iter_month_starts_partial_window(self):
+        start = timeutil.epoch(2015, 11, 20)
+        end = timeutil.epoch(2016, 1, 5)
+        months = [(y, m) for y, m, _ in timeutil.iter_month_starts(start, end)]
+        assert months == [(2015, 11), (2015, 12), (2016, 1)]
+
+
+class TestLogTimeFormat:
+    def test_format_matches_paper_table1_style(self):
+        stamp = timeutil.epoch(2015, 1, 1, 3, 22, 16)
+        assert timeutil.format_log_time(stamp) == "Jan  1 03:22:16"
+
+    def test_format_two_digit_day(self):
+        stamp = timeutil.epoch(2015, 12, 31, 0, 0, 0)
+        assert timeutil.format_log_time(stamp) == "Dec 31 00:00:00"
+
+    def test_parse_roundtrip(self):
+        stamp = timeutil.epoch(2015, 8, 9, 17, 5, 59)
+        assert timeutil.parse_log_time(timeutil.format_log_time(stamp)) == stamp
+
+    @pytest.mark.parametrize("bad", ["", "Jan 1", "Foo  1 00:00:00",
+                                     "Jan  1 00:00", "Jan 1 00:00:00:00"])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            timeutil.parse_log_time(bad)
+
+    @given(st.integers(0, 365 * 86400 - 1))
+    def test_parse_format_roundtrip_property(self, offset):
+        stamp = timeutil.YEAR_2015_START + offset
+        assert timeutil.parse_log_time(timeutil.format_log_time(stamp)) == stamp
