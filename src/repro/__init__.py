@@ -27,6 +27,7 @@ Quickstart::
 from repro.core.pipeline import (
     AnalysisPipeline,
     AnalysisResults,
+    pipeline_for_bundle,
     pipeline_for_world,
 )
 from repro.sim.scenario import ScenarioConfig, paper_scenario
@@ -42,5 +43,6 @@ __all__ = [
     "__version__",
     "build_world",
     "paper_scenario",
+    "pipeline_for_bundle",
     "pipeline_for_world",
 ]

@@ -54,6 +54,7 @@ from repro.core.periodicity import (
 from repro.core.pipeline import (
     AnalysisPipeline,
     AnalysisResults,
+    pipeline_for_bundle,
     pipeline_for_world,
 )
 from repro.core.prefixes import (
@@ -131,6 +132,7 @@ __all__ = [
     "max_within",
     "outage_renumbering_table",
     "periodic_change_hours",
+    "pipeline_for_bundle",
     "pipeline_for_world",
     "prefix_change_table",
     "probe_outage_stats",

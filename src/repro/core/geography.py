@@ -14,9 +14,10 @@ from typing import Mapping, Sequence
 from repro.atlas.archive import ProbeArchive
 from repro.core.timefraction import DEFAULT_BIN, time_fraction_cdf
 from repro.util.stats import CdfPoint
+from repro.util.timeutil import DAY
 
 #: One "total address duration" year, the unit Figure 1's legend uses.
-YEAR_SECONDS = 365.0 * 24 * 3600
+YEAR_SECONDS = 365.0 * DAY
 
 
 @dataclass(frozen=True)

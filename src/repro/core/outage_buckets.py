@@ -21,7 +21,7 @@ BUCKETS: tuple[tuple[str, float, float], ...] = (
     ("5-10m", 5 * MINUTE, 10 * MINUTE),
     ("10-20m", 10 * MINUTE, 20 * MINUTE),
     ("20-30m", 20 * MINUTE, 30 * MINUTE),
-    ("30-60m", 30 * MINUTE, 60 * MINUTE),
+    ("30-60m", 30 * MINUTE, HOUR),
     ("1-3h", HOUR, 3 * HOUR),
     ("3-6h", 3 * HOUR, 6 * HOUR),
     ("6-12h", 6 * HOUR, 12 * HOUR),

@@ -338,3 +338,23 @@ def pipeline_for_world(world,
                             world.uptime, world.ip2as,
                             as_names=as_names, as_countries=as_countries,
                             min_connected=min_connected)
+
+
+def pipeline_for_bundle(bundle,
+                        min_connected: float | None = None
+                        ) -> AnalysisPipeline:
+    """Convenience: build a pipeline from a loaded on-disk dataset bundle.
+
+    Mirror of :func:`pipeline_for_world` for the write-once, analyze-many
+    workflow (:class:`repro.sim.io.DatasetBundle`); AS names and countries
+    were stored in the bundle's ``meta.json`` at simulation time.  Lives
+    here rather than in :mod:`repro.sim.io` because constructing the
+    analysis pipeline is a core-layer concern — sim must not import core.
+    """
+    if min_connected is None:
+        window = bundle.end - bundle.start
+        min_connected = min(30 * timeutil.DAY, window / 10)
+    return AnalysisPipeline(
+        bundle.connlog, bundle.archive, bundle.kroot, bundle.uptime,
+        bundle.ip2as, as_names=bundle.as_names,
+        as_countries=bundle.as_countries, min_connected=min_connected)

@@ -1,0 +1,40 @@
+"""repro.devtools — in-tree static analysis for the repro codebase.
+
+A zero-dependency (stdlib :mod:`ast` only) lint framework that machine-checks
+the invariants this reproduction depends on:
+
+* **determinism** — every random draw flows through a seeded
+  :class:`random.Random` substream (RPR001);
+* **time-unit safety** — all time arithmetic is written in terms of the
+  :mod:`repro.util.timeutil` constants, never magic second counts (RPR002);
+* **layer architecture** — the package DAG
+  ``util -> net -> {dhcp, ppp} -> isp -> atlas -> sim -> core -> experiments``
+  only ever points downward (RPR003);
+* **error policy** — no generic ``raise Exception`` or bare ``except:``
+  (RPR004);
+* **dataclass hygiene** — value-object dataclasses are frozen and mutable
+  defaults use ``field(default_factory=...)`` (RPR005).
+
+Run it as ``repro-lint src/repro`` (or ``python -m repro.devtools``); findings
+on a line can be suppressed with a ``# repro: noqa[RPR001]`` comment.
+
+This package is deliberately self-contained: it imports nothing from the rest
+of ``repro`` so that it can lint a broken tree, and the layer checker pins it
+outside the runtime DAG.
+"""
+
+from repro.devtools.diagnostics import Diagnostic, Severity
+from repro.devtools.driver import FileContext, lint_paths, lint_source
+from repro.devtools.registry import Checker, all_checkers, checker_for, register
+
+__all__ = [
+    "Checker",
+    "Diagnostic",
+    "FileContext",
+    "Severity",
+    "all_checkers",
+    "checker_for",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

@@ -1,0 +1,8 @@
+"""Allow ``python -m repro.devtools`` as an uninstalled-equivalent of
+``repro-lint`` (useful in environments where the console script is absent)."""
+
+import sys
+
+from repro.devtools.cli import main
+
+sys.exit(main())

@@ -1,0 +1,20 @@
+"""Built-in checkers.
+
+Importing this package registers every built-in rule:
+
+======  ==========================================================
+RPR001  determinism — no global-RNG or wall-clock calls
+RPR002  time-unit safety — no magic second literals in arithmetic
+RPR003  import layering — the package DAG only points downward
+RPR004  error policy — no ``raise Exception`` / bare ``except:``
+RPR005  dataclass hygiene — frozen value objects, safe defaults
+======  ==========================================================
+"""
+
+from repro.devtools.checkers import (  # noqa: F401  (registration imports)
+    dataclass_hygiene,
+    determinism,
+    error_policy,
+    layering,
+    time_units,
+)

@@ -1,0 +1,43 @@
+"""Small AST helpers shared by the built-in checkers."""
+
+from __future__ import annotations
+
+import ast
+
+
+def dotted_parts(node: ast.expr) -> list[str] | None:
+    """Flatten ``a.b.c`` attribute chains to ``["a", "b", "c"]``.
+
+    Returns ``None`` when the chain is rooted in anything other than a plain
+    name (a call result, a subscript, ...), in which case callers should not
+    guess at what the expression refers to.
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def decorator_call(node: ast.expr) -> tuple[str | None, ast.Call | None]:
+    """Resolve a decorator to ``(name, call)``.
+
+    ``@dataclass`` gives ``("dataclass", None)``; ``@dataclass(frozen=True)``
+    gives ``("dataclass", <Call>)``; ``@dataclasses.dataclass`` resolves the
+    attribute chain to its final component.
+    """
+    call: ast.Call | None = None
+    target = node
+    if isinstance(target, ast.Call):
+        call = target
+        target = target.func
+    if isinstance(target, ast.Name):
+        return target.id, call
+    if isinstance(target, ast.Attribute):
+        return target.attr, call
+    return None, call

@@ -1,0 +1,114 @@
+"""RPR005 — dataclass hygiene.
+
+Two rules:
+
+* dataclasses in the designated **value-object modules** (dataset record
+  types, protocol messages, address literals) must be ``frozen=True`` —
+  they are dict keys, set members and cached aggregation outputs, and a
+  mutable record type silently corrupts every one of those uses;
+* dataclass fields must never default to a shared mutable object: list /
+  dict / set literals (Python rejects the literals at class-definition time,
+  but ``field(default=[])`` and bare constructor calls slip through) must be
+  written ``field(default_factory=list)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.checkers._helpers import decorator_call, dotted_parts
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.driver import FileContext
+from repro.devtools.registry import Checker, register
+
+#: Modules whose dataclasses are value objects and must be frozen.
+VALUE_OBJECT_MODULES = frozenset({
+    "repro.atlas.types",
+    "repro.dhcp.lease",
+    "repro.dhcp.messages",
+    "repro.isp.spec",
+    "repro.net.ipv4",
+    "repro.devtools.diagnostics",
+})
+
+#: Constructor names whose no-arg call as a default shares one mutable object.
+_MUTABLE_FACTORIES = frozenset({"list", "dict", "set", "bytearray", "deque"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        parts = dotted_parts(node.func)
+        return bool(parts) and parts[-1] in _MUTABLE_FACTORIES
+    return False
+
+
+@register
+class DataclassHygieneChecker(Checker):
+    rule = "RPR005"
+    summary = ("value-object dataclasses must be frozen; mutable defaults "
+               "must use field(default_factory=...)")
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(context, node)
+
+    def _dataclass_decorator(self, node: ast.ClassDef) -> ast.Call | None | bool:
+        """Return the decorator Call, ``None`` for a bare ``@dataclass``,
+        or ``False`` when the class is not a dataclass at all."""
+        for decorator in node.decorator_list:
+            name, call = decorator_call(decorator)
+            if name == "dataclass":
+                return call if call is not None else None
+        return False
+
+    def _check_class(self, context: FileContext,
+                     node: ast.ClassDef) -> Iterator[Diagnostic]:
+        decorator = self._dataclass_decorator(node)
+        if decorator is False:
+            return
+        if context.module in VALUE_OBJECT_MODULES:
+            if not self._is_frozen(decorator):
+                yield self.diagnostic(
+                    context, node,
+                    "dataclass %s lives in value-object module %s and must "
+                    "be @dataclass(frozen=True)" % (node.name, context.module),
+                )
+        for statement in node.body:
+            yield from self._check_field(context, statement)
+
+    def _is_frozen(self, decorator: ast.Call | None) -> bool:
+        if decorator is None:
+            return False
+        for keyword in decorator.keywords:
+            if keyword.arg == "frozen":
+                return (isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True)
+        return False
+
+    def _check_field(self, context: FileContext,
+                     statement: ast.stmt) -> Iterator[Diagnostic]:
+        if not isinstance(statement, ast.AnnAssign) or statement.value is None:
+            return
+        value = statement.value
+        if isinstance(value, ast.Call):
+            parts = dotted_parts(value.func)
+            if parts and parts[-1] == "field":
+                for keyword in value.keywords:
+                    if keyword.arg == "default" and _is_mutable_default(keyword.value):
+                        yield self.diagnostic(
+                            context, keyword.value,
+                            "field(default=<mutable>) shares one object "
+                            "across instances; use field(default_factory=...)",
+                        )
+                return
+        if _is_mutable_default(value):
+            yield self.diagnostic(
+                context, value,
+                "mutable dataclass default shares one object across "
+                "instances; use field(default_factory=...)",
+            )

@@ -1,0 +1,143 @@
+"""RPR001 — determinism.
+
+The simulator must be bit-for-bit reproducible from a scenario seed.  Two
+classes of call silently break that:
+
+* the module-level :mod:`random` functions (``random.random()``,
+  ``random.choice()``, ...) and ``random.seed()``, which share one hidden
+  global state — any library code touching them couples unrelated
+  components' draw sequences;
+* unseeded ``random.Random()`` and ``random.SystemRandom()``, which seed
+  from the OS;
+* wall-clock reads (``time.time()``, ``datetime.now()``) inside the
+  simulation and analysis layers, whose results must depend only on the
+  scenario.
+
+All randomness flows through :func:`repro.util.rng.substream`, which derives
+a named, seeded :class:`random.Random` per component; :mod:`repro.util.rng`
+itself is therefore exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.checkers._helpers import dotted_parts
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.driver import FileContext
+from repro.devtools.registry import Checker, register
+
+#: The one module allowed to call into :mod:`random` freely.
+RNG_HOME = "repro.util.rng"
+
+#: Layers where wall-clock reads are forbidden (results must be functions of
+#: the scenario seed, never of when the code happened to run).
+WALLCLOCK_FORBIDDEN_LAYERS = frozenset({"sim", "core"})
+
+#: ``(penultimate, last)`` dotted-name suffixes that read the wall clock.
+WALLCLOCK_SUFFIXES = frozenset({
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+})
+
+
+@register
+class DeterminismChecker(Checker):
+    rule = "RPR001"
+    summary = ("randomness must flow through seeded repro.util.rng substreams;"
+               " no wall-clock reads in sim/core")
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        if context.module == RNG_HOME:
+            return
+        module_aliases, class_aliases = self._random_aliases(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_from_import(context, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(
+                    context, node, module_aliases, class_aliases)
+
+    def _random_aliases(self, tree: ast.Module) -> tuple[set[str], set[str]]:
+        """Names bound to the ``random`` module / the ``Random`` class."""
+        modules: set[str] = set()
+        classes: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        modules.add(alias.asname or alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name == "Random":
+                        classes.add(alias.asname or alias.name)
+        return modules, classes
+
+    def _check_from_import(self, context: FileContext,
+                           node: ast.ImportFrom) -> Iterator[Diagnostic]:
+        if node.module != "random" or node.level:
+            return
+        for alias in node.names:
+            if alias.name not in ("Random",):
+                yield self.diagnostic(
+                    context, node,
+                    "from random import %s binds a global-RNG function; "
+                    "draw from a seeded substream via repro.util.rng instead"
+                    % (alias.name,),
+                )
+
+    def _check_call(self, context: FileContext, node: ast.Call,
+                    module_aliases: set[str],
+                    class_aliases: set[str]) -> Iterator[Diagnostic]:
+        func = node.func
+        # Unseeded Random() via `from random import Random`.
+        if (isinstance(func, ast.Name) and func.id in class_aliases
+                and not node.args and not node.keywords):
+            yield self.diagnostic(
+                context, node,
+                "unseeded Random() seeds from the OS; pass an explicit seed "
+                "or use repro.util.rng.substream",
+            )
+            return
+        parts = dotted_parts(func)
+        if parts is None:
+            return
+        if len(parts) >= 2 and parts[0] in module_aliases:
+            attr = parts[-1]
+            if attr == "Random" and len(parts) == 2:
+                if not node.args and not node.keywords:
+                    yield self.diagnostic(
+                        context, node,
+                        "unseeded random.Random() seeds from the OS; pass an "
+                        "explicit seed or use repro.util.rng.substream",
+                    )
+                return
+            if attr == "SystemRandom":
+                yield self.diagnostic(
+                    context, node,
+                    "random.SystemRandom() is nondeterministic by design; "
+                    "use a seeded substream from repro.util.rng",
+                )
+                return
+            yield self.diagnostic(
+                context, node,
+                "random.%s() uses the shared global RNG; draw from a seeded "
+                "substream via repro.util.rng instead" % (attr,),
+            )
+            return
+        if (context.layer in WALLCLOCK_FORBIDDEN_LAYERS and len(parts) >= 2
+                and tuple(parts[-2:]) in WALLCLOCK_SUFFIXES):
+            yield self.diagnostic(
+                context, node,
+                "%s() reads the wall clock; %s code must be a pure function "
+                "of the scenario (pass timestamps in explicitly)"
+                % (".".join(parts), context.layer),
+            )

@@ -1,0 +1,80 @@
+"""RPR004 — error policy.
+
+Library code signals domain failures with the :mod:`repro.errors` hierarchy
+(so callers can catch ``ReproError``) and builtin ``ValueError`` /
+``TypeError`` for caller-contract violations.  Two patterns defeat both:
+
+* ``raise Exception(...)`` (or ``BaseException``) — uncatchable without a
+  blanket handler, carries no type information;
+* ``except:`` / ``except BaseException:`` / ``except Exception:`` — swallows
+  ``KeyboardInterrupt``/``SystemExit`` or masks genuine bugs as handled
+  conditions.
+
+A deliberate top-level catch-all (e.g. in a CLI main loop) should carry a
+``# repro: noqa[RPR004]`` with the reason in a nearby comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.checkers._helpers import dotted_parts
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.driver import FileContext
+from repro.devtools.registry import Checker, register
+
+#: Exception names too generic to raise or catch in library code.
+GENERIC_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+@register
+class ErrorPolicyChecker(Checker):
+    rule = "RPR004"
+    summary = ("raise repro.errors types, not generic Exception; "
+               "no bare or blanket except clauses")
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Raise):
+                yield from self._check_raise(context, node)
+            elif isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(context, node)
+
+    def _exception_name(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Call):
+            node = node.func
+        parts = dotted_parts(node)
+        return parts[-1] if parts else None
+
+    def _check_raise(self, context: FileContext,
+                     node: ast.Raise) -> Iterator[Diagnostic]:
+        if node.exc is None:  # re-raise inside a handler is fine
+            return
+        name = self._exception_name(node.exc)
+        if name in GENERIC_EXCEPTIONS:
+            yield self.diagnostic(
+                context, node,
+                "raise %s carries no type information; raise a repro.errors "
+                "type (or ValueError/TypeError for contract violations)"
+                % (name,),
+            )
+
+    def _check_handler(self, context: FileContext,
+                       node: ast.ExceptHandler) -> Iterator[Diagnostic]:
+        if node.type is None:
+            yield self.diagnostic(
+                context, node,
+                "bare except: swallows KeyboardInterrupt and SystemExit; "
+                "catch a specific exception type",
+            )
+            return
+        caught = node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+        for expr in caught:
+            name = self._exception_name(expr)
+            if name in GENERIC_EXCEPTIONS:
+                yield self.diagnostic(
+                    context, expr,
+                    "except %s masks bugs as handled conditions; catch "
+                    "repro.errors.ReproError or a specific type" % (name,),
+                )

@@ -1,0 +1,137 @@
+"""RPR003 — import layering.
+
+The package is a strict layer DAG; an import may only point at the same
+layer or a lower one:
+
+.. code-block:: text
+
+    errors                                   (rank 0: leaf exception types)
+      └─ util                                (rank 1: rng, timeutil, stats)
+           └─ net                            (rank 2: IPv4, tries, pfx2as)
+                └─ dhcp    ppp               (rank 3: siblings — no imports
+                     └──────┴─ isp            between them)   (rank 4)
+                               └─ atlas      (rank 5: dataset containers)
+                                    └─ sim   (rank 6: emits atlas datasets)
+                                         └─ core          (rank 7: analysis)
+                                              └─ experiments     (rank 8)
+
+``repro.devtools`` (this lint framework) sits outside the DAG entirely: it
+may import nothing from the runtime layers and nothing may import it.  The
+root facade module ``repro/__init__.py`` re-exports the public API and is
+exempt.
+
+Keeping the DAG machine-checked is what lets later PRs refactor hot paths
+aggressively without silently inverting a dependency.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.driver import FileContext
+from repro.devtools.registry import Checker, register
+
+#: Layer ranks; an import must satisfy rank(target) <= rank(importer), and
+#: equal-rank imports are only legal within one layer (dhcp and ppp are
+#: siblings, not a unit).
+LAYER_RANKS = {
+    "errors": 0,
+    "util": 1,
+    "net": 2,
+    "dhcp": 3,
+    "ppp": 3,
+    "isp": 4,
+    "atlas": 5,
+    "sim": 6,
+    "core": 7,
+    "experiments": 8,
+}
+
+#: The lint framework: self-contained, outside the runtime DAG.
+ISOLATED_LAYERS = frozenset({"devtools"})
+
+
+@register
+class LayeringChecker(Checker):
+    rule = "RPR003"
+    summary = "package imports must follow the layer DAG downward"
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        importer = context.layer
+        if importer is None:
+            # Not a repro submodule (the root facade, scripts, fixtures).
+            return
+        if importer not in LAYER_RANKS and importer not in ISOLATED_LAYERS:
+            yield self.diagnostic(
+                context, context.tree,
+                "module %s is in unknown layer %r; add it to the layer DAG "
+                "in repro.devtools.checkers.layering" % (context.module, importer),
+            )
+            return
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield from self._check_edge(
+                        context, node, importer, alias.name.split("."))
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_base(context, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    yield from self._check_edge(
+                        context, node, importer, base + [alias.name])
+
+    def _resolve_base(self, context: FileContext,
+                      node: ast.ImportFrom) -> list[str] | None:
+        """Absolute dotted path the ``from ... import`` names hang off."""
+        if node.level == 0:
+            return (node.module or "").split(".") if node.module else []
+        package = context.module.split(".")
+        if not context.is_package:
+            package = package[:-1]
+        drop = node.level - 1
+        if drop:
+            if drop >= len(package):
+                return None
+            package = package[:-drop]
+        return package + (node.module.split(".") if node.module else [])
+
+    def _check_edge(self, context: FileContext, node: ast.stmt,
+                    importer: str, target: list[str]) -> Iterator[Diagnostic]:
+        if not target or target[0] != "repro" or len(target) < 2:
+            return
+        layer = target[1]
+        if layer not in LAYER_RANKS and layer not in ISOLATED_LAYERS:
+            return  # plain symbol off the root facade, e.g. `repro.__version__`
+        if importer in ISOLATED_LAYERS:
+            if layer != importer:
+                yield self.diagnostic(
+                    context, node,
+                    "repro.%s is outside the layer DAG and must stay "
+                    "self-contained, but imports repro.%s" % (importer, layer),
+                )
+            return
+        if layer in ISOLATED_LAYERS:
+            yield self.diagnostic(
+                context, node,
+                "repro.%s is a dev-only package; runtime layer repro.%s "
+                "must not import it" % (layer, importer),
+            )
+            return
+        importer_rank = LAYER_RANKS[importer]
+        target_rank = LAYER_RANKS[layer]
+        if target_rank > importer_rank:
+            yield self.diagnostic(
+                context, node,
+                "upward import: repro.%s (rank %d) must not import repro.%s "
+                "(rank %d); invert the dependency or move the shared code "
+                "down the DAG" % (importer, importer_rank, layer, target_rank),
+            )
+        elif target_rank == importer_rank and layer != importer:
+            yield self.diagnostic(
+                context, node,
+                "cross-layer import between siblings: repro.%s and repro.%s "
+                "are independent peers" % (importer, layer),
+            )

@@ -1,0 +1,75 @@
+"""RPR002 — time-unit safety.
+
+Every timestamp in this codebase is epoch seconds and every duration is in
+seconds; the paper's analyses (duration CDF modes, outage windows) are
+destroyed by an off-by-unit error.  Writing ``3600`` inline gives the reader
+no way to tell an hour from a count, so second counts that are round
+multiples of a minute must be spelled with the :mod:`repro.util.timeutil`
+vocabulary: ``MINUTE``, ``HOUR``, ``DAY``, ``WEEK`` or the ``hours()`` /
+``days()`` helpers.
+
+The checker flags integer-valued literals >= 60 that are multiples of 60
+when they appear as operands of arithmetic or comparisons (the contexts
+where a magic duration can hide).  :mod:`repro.util.timeutil` itself, which
+defines the constants, is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.driver import FileContext
+from repro.devtools.registry import Checker, register
+
+TIMEUTIL_HOME = "repro.util.timeutil"
+
+#: AST contexts that count as "time arithmetic" for a bare literal.
+_ARITHMETIC_PARENTS = (ast.BinOp, ast.AugAssign, ast.Compare)
+
+#: Smallest flagged value / divisor for "looks like a second count".
+_SECONDS_PER_MINUTE = 60.0
+
+
+def suggest_spelling(value: float) -> str:
+    """Human phrasing of ``value`` seconds in timeutil vocabulary."""
+    for unit, name in ((604800.0, "WEEK"), (86400.0, "DAY"),
+                      (3600.0, "HOUR"), (60.0, "MINUTE")):
+        if value % unit == 0:
+            count = int(value / unit)
+            return name if count == 1 else "%d * %s" % (count, name)
+    return "a timeutil expression"
+
+
+@register
+class TimeUnitChecker(Checker):
+    rule = "RPR002"
+    summary = ("second counts in arithmetic must use repro.util.timeutil "
+               "constants, not bare literals")
+
+    def check(self, context: FileContext) -> Iterator[Diagnostic]:
+        if context.module == TIMEUTIL_HOME:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Constant):
+                continue
+            value = node.value
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if value < _SECONDS_PER_MINUTE:
+                continue
+            if float(value) % _SECONDS_PER_MINUTE != 0:
+                continue
+            if not float(value).is_integer():
+                continue
+            parent = getattr(node, "repro_parent", None)
+            if isinstance(parent, ast.UnaryOp):
+                parent = getattr(parent, "repro_parent", None)
+            if not isinstance(parent, _ARITHMETIC_PARENTS):
+                continue
+            yield self.diagnostic(
+                context, node,
+                "magic time literal %r: write %s using repro.util.timeutil "
+                "constants" % (value, suggest_spelling(float(value))),
+            )

@@ -1,0 +1,96 @@
+"""``repro-lint`` — command-line front end for :mod:`repro.devtools`.
+
+Usage::
+
+    repro-lint src/repro                # lint the tree, human-readable output
+    repro-lint --json src/repro         # machine-readable diagnostics
+    repro-lint --rules RPR003 src/repro # run a subset of rules
+    repro-lint --list-rules             # print the rule catalog
+
+Exits 0 when no error-severity diagnostics were produced, 1 otherwise, and
+2 on usage errors (e.g. an unknown rule id).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.devtools.diagnostics import Severity
+from repro.devtools.driver import lint_paths
+from repro.devtools.registry import all_checkers
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static analysis for the repro codebase "
+                    "(determinism, time units, layering, errors, dataclasses).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit diagnostics as a JSON array on stdout",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="RPR001,RPR003",
+        help="comma-separated subset of rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    options = build_parser().parse_args(argv)
+
+    if options.list_rules:
+        for checker in all_checkers():
+            print("%s  %s" % (checker.rule, checker.summary))
+        return 0
+
+    rules = None
+    if options.rules is not None:
+        rules = [rule.strip().upper() for rule in options.rules.split(",")
+                 if rule.strip()]
+        known = {checker.rule for checker in all_checkers()}
+        unknown = sorted(set(rules) - known)
+        if unknown:
+            print("repro-lint: unknown rule(s): %s" % ", ".join(unknown),
+                  file=sys.stderr)
+            return 2
+        if not rules:
+            print("repro-lint: --rules given but empty; pass rule ids or "
+                  "omit the flag to run every rule", file=sys.stderr)
+            return 2
+
+    try:
+        diagnostics = lint_paths(options.paths, rules=rules)
+    except OSError as error:
+        print("repro-lint: cannot read %s: %s"
+              % (getattr(error, "filename", "path"), error.strerror or error),
+              file=sys.stderr)
+        return 2
+
+    if options.as_json:
+        print(json.dumps([d.to_dict() for d in diagnostics], indent=2))
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.format())
+        if diagnostics:
+            print("repro-lint: %d finding(s)" % len(diagnostics),
+                  file=sys.stderr)
+
+    failed = any(d.severity is Severity.ERROR for d in diagnostics)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

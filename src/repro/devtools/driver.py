@@ -1,0 +1,161 @@
+"""Per-file lint driver.
+
+The driver owns everything that is not rule-specific: discovering Python
+files, parsing them, deriving dotted module names, attaching parent links to
+AST nodes (several checkers need to know the context a node appears in), and
+honouring ``# repro: noqa[RULE]`` suppression comments.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.devtools.diagnostics import Diagnostic
+from repro.devtools.registry import select_checkers
+
+#: Suppression comment: ``# repro: noqa`` silences every rule on the line,
+#: ``# repro: noqa[RPR001]`` / ``# repro: noqa[RPR001,RPR003]`` only those.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]+)\])?"
+)
+
+#: Sentinel stored in the noqa map when a line suppresses every rule.
+_ALL_RULES = frozenset({"*"})
+
+
+@dataclass
+class FileContext:
+    """Everything a checker may want to know about one parsed file."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    source: str
+    lines: list[str] = field(default_factory=list)
+    is_package: bool = False
+
+    @property
+    def layer(self) -> str | None:
+        """The top-level ``repro`` subpackage this module lives in, if any."""
+        parts = self.module.split(".")
+        if len(parts) >= 2 and parts[0] == "repro":
+            return parts[1]
+        return None
+
+
+def module_name_for(path: Path) -> str:
+    """Derive the dotted module name of ``path`` from its package layout.
+
+    Walks up through directories that contain ``__init__.py``, so it works
+    for the real tree and for fixture trees in temporary directories alike.
+    """
+    path = path.resolve()
+    parts: list[str] = [] if path.name == "__init__.py" else [path.stem]
+    current = path.parent
+    while (current / "__init__.py").is_file():
+        parts.insert(0, current.name)
+        parent = current.parent
+        if parent == current:
+            break
+        current = parent
+    return ".".join(parts) if parts else path.stem
+
+
+def parse_source(source: str, path: str = "<string>",
+                 module: str | None = None,
+                 is_package: bool = False) -> FileContext:
+    """Parse ``source`` into a :class:`FileContext` with parent links set."""
+    tree = ast.parse(source, filename=path)
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            child.repro_parent = parent  # type: ignore[attr-defined]
+    if module is None:
+        module = Path(path).stem
+    return FileContext(
+        path=path,
+        module=module,
+        tree=tree,
+        source=source,
+        lines=source.splitlines(),
+        is_package=is_package,
+    )
+
+
+def noqa_rules(context: FileContext) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on that line."""
+    suppressed: dict[int, frozenset[str]] = {}
+    for number, text in enumerate(context.lines, start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        listed = match.group("rules")
+        if listed is None:
+            suppressed[number] = _ALL_RULES
+        else:
+            suppressed[number] = frozenset(
+                rule.strip().upper() for rule in listed.split(",") if rule.strip()
+            )
+    return suppressed
+
+
+def lint_source(source: str, path: str = "<string>",
+                module: str | None = None,
+                rules: Iterable[str] | None = None,
+                is_package: bool = False) -> list[Diagnostic]:
+    """Lint a source string; the workhorse behind :func:`lint_paths` and tests."""
+    try:
+        context = parse_source(source, path=path, module=module,
+                               is_package=is_package)
+    except SyntaxError as exc:
+        return [Diagnostic(
+            path=path, line=exc.lineno or 1, col=exc.offset or 0,
+            rule="RPR000", message="syntax error: %s" % (exc.msg,),
+        )]
+    suppressed = noqa_rules(context)
+    findings: list[Diagnostic] = []
+    for checker in select_checkers(rules):
+        for diagnostic in checker.check(context):
+            on_line = suppressed.get(diagnostic.line)
+            if on_line is not None and (on_line is _ALL_RULES
+                                        or diagnostic.rule in on_line):
+                continue
+            findings.append(diagnostic)
+    return sorted(findings)
+
+
+def iter_python_files(paths: Sequence[str | Path]) -> Iterable[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    seen: set[Path] = set()
+    collected: list[Path] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        else:
+            candidates = [root]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            if "__pycache__" in resolved.parts:
+                continue
+            seen.add(resolved)
+            collected.append(candidate)
+    return collected
+
+
+def lint_paths(paths: Sequence[str | Path],
+               rules: Iterable[str] | None = None) -> list[Diagnostic]:
+    """Lint every Python file reachable from ``paths``."""
+    findings: list[Diagnostic] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        findings.extend(lint_source(
+            source, path=str(path), module=module_name_for(path), rules=rules,
+            is_package=path.name == "__init__.py",
+        ))
+    return sorted(findings)

@@ -25,6 +25,7 @@ from typing import Protocol
 from repro.dhcp.lease import Lease
 from repro.errors import SimulationError
 from repro.net.ipv4 import IPv4Address
+from repro.util.timeutil import HOUR
 
 
 class Allocator(Protocol):
@@ -150,7 +151,7 @@ class DhcpServer:
     def _survives_reclaim(self, expired_for: float) -> bool:
         if expired_for <= 0:
             return True
-        probability = math.exp(-self._churn_rate * expired_for / 3600.0)
+        probability = math.exp(-self._churn_rate * expired_for / HOUR)
         return self._rng.random() < probability
 
     def _renew_binding(self, client_id: str, binding: Lease,

@@ -53,7 +53,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if inspect.signature(driver).parameters:
         if args.data is not None:
-            from repro.sim.io import load_bundle, pipeline_for_bundle
+            from repro.core.pipeline import pipeline_for_bundle
+            from repro.sim.io import load_bundle
             results = pipeline_for_bundle(load_bundle(args.data)).run()
         else:
             results = paper_results(scale=args.scale, seed=args.seed)

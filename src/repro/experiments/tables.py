@@ -24,7 +24,7 @@ from repro.sim.scenario import ScenarioConfig
 from repro.sim.world import build_world
 from repro.util import timeutil
 from repro.util.intervals import Interval, IntervalSet
-from repro.util.timeutil import DAY, HOUR
+from repro.util.timeutil import DAY, HOUR, MINUTE
 
 
 @experiment("table1")
@@ -72,10 +72,10 @@ def table2(results: AnalysisResults) -> ExperimentOutput:
 def table3() -> ExperimentOutput:
     """Table 3: k-root ping records across a network outage."""
     start = timeutil.epoch(2015, 1, 27, 9, 0, 0)
-    outage = Interval(start + 300, start + 1500)
+    outage = Interval(start + 5 * MINUTE, start + 25 * MINUTE)
     series = KRootSeries(16893, start - HOUR, start + 3 * HOUR,
                          network_down=IntervalSet([outage]), phase=102.0)
-    records = series.records(start, start + 1800)
+    records = series.records(start, start + 30 * MINUTE)
     detected = detect_network_outages(records)
     lines = ["ID\tTimestamp\tN sent\tN success\tLTS"]
     for record in records:

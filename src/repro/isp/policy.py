@@ -89,7 +89,7 @@ class _BasePlant:
                 and period % DAY == 0
                 and rng.random() < self.spec.sync_fraction):
             start_h, end_h = self.spec.sync_window
-            sync_second = rng.uniform(start_h * 3600.0, end_h * 3600.0)
+            sync_second = rng.uniform(start_h * HOUR, end_h * HOUR)
         holds = rng.random() < self.spec.holds_state_fraction
         threshold = lognormal_from_median(
             rng, self.spec.hold_threshold_median,

@@ -181,14 +181,3 @@ def load_bundle(directory: str | Path) -> DatasetBundle:
     )
 
 
-def pipeline_for_bundle(bundle: DatasetBundle, min_connected: float | None = None):
-    """Build an AnalysisPipeline over a loaded bundle."""
-    from repro.core.pipeline import AnalysisPipeline
-
-    if min_connected is None:
-        window = bundle.end - bundle.start
-        min_connected = min(30 * timeutil.DAY, window / 10)
-    return AnalysisPipeline(
-        bundle.connlog, bundle.archive, bundle.kroot, bundle.uptime,
-        bundle.ip2as, as_names=bundle.as_names,
-        as_countries=bundle.as_countries, min_connected=min_connected)

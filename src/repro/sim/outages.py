@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from repro.errors import SimulationError
 from repro.isp.spec import IspSpec
 from repro.util.rng import lognormal_from_median, poisson_arrivals
-from repro.util.timeutil import HOUR, MINUTE
+from repro.util.timeutil import DAY, HOUR, MINUTE
 
 
 class InterruptionKind(enum.Enum):
@@ -69,7 +69,7 @@ DEFAULT_BREAK_RATE_PER_YEAR = 26.0
 #: the probes see none all year, matching Table 6's P(ac|pw)=1 column.
 DEFAULT_PROBE_REBOOT_RATE_PER_YEAR = 0.7
 
-_YEAR_SECONDS = 365.0 * 24 * 3600
+_YEAR_SECONDS = 365.0 * DAY
 
 
 def generate_interruptions(rng: random.Random, spec: IspSpec, start: float,

@@ -4,13 +4,12 @@ import json
 
 import pytest
 
-from repro.core.pipeline import pipeline_for_world
+from repro.core.pipeline import pipeline_for_bundle, pipeline_for_world
 from repro.errors import DatasetError, ParseError
 from repro.experiments.scenarios import small_world
 from repro.sim.io import (
     DatasetBundle,
     load_bundle,
-    pipeline_for_bundle,
     write_world,
 )
 
