@@ -15,6 +15,14 @@ from repro.atlas.types import ConnectionLogEntry
 from repro.errors import DatasetError, ParseError
 from repro.net.ipv4 import IPv4Address
 from repro.util import timeutil
+from repro.util.ingest import (
+    IngestReport,
+    ReadPolicy,
+    format_line_error,
+)
+
+#: Dataset label used in ingest accounting and diagnostics.
+DATASET_NAME = "connlog"
 
 
 class ConnectionLog:
@@ -69,36 +77,100 @@ class ConnectionLog:
             stream.write("%d\t%.0f\t%.0f\t%s\n"
                          % (entry.probe_id, entry.start, entry.end, address))
 
+    @staticmethod
+    def _parse_line(text: str) -> ConnectionLogEntry:
+        """Parse one record line; raises :class:`ParseError` sans location."""
+        fields = text.split("\t")
+        if len(fields) != 4:
+            raise ParseError("expected 4 fields, got %d" % len(fields))
+        probe_text, start_text, end_text, address_text = fields
+        try:
+            probe_id = int(probe_text)
+            start = float(start_text)
+            end = float(end_text)
+        except ValueError:
+            raise ParseError("malformed numbers") from None
+        if ":" in address_text:
+            return ConnectionLogEntry(probe_id, start, end, None,
+                                      ipv6_address=address_text)
+        return ConnectionLogEntry(
+            probe_id, start, end, IPv4Address.parse(address_text))
+
     @classmethod
-    def read(cls, stream: TextIO) -> "ConnectionLog":
-        """Parse the text format produced by :meth:`write`."""
-        log = cls()
+    def read(cls, stream: TextIO,
+             policy: ReadPolicy = ReadPolicy.STRICT,
+             report: IngestReport | None = None,
+             source: str | None = None) -> "ConnectionLog":
+        """Parse the text format produced by :meth:`write`.
+
+        ``STRICT`` raises on the first malformed/out-of-order record;
+        ``REPAIR`` quarantines malformed lines, re-sorts out-of-order
+        entries per probe and quarantines overlapping duplicates,
+        accounting every decision in ``report``.
+        """
+        source = source or getattr(stream, "name", "<connlog>")
+        report = report if report is not None else IngestReport()
+        rows: list[tuple[int, ConnectionLogEntry]] = []
         for line_number, line in enumerate(stream, start=1):
             text = line.strip()
             if not text or text.startswith("#"):
                 continue
-            fields = text.split("\t")
-            if len(fields) != 4:
-                raise ParseError(
-                    "connection log line %d: expected 4 fields, got %d"
-                    % (line_number, len(fields))
-                )
-            probe_text, start_text, end_text, address_text = fields
             try:
-                probe_id = int(probe_text)
-                start = float(start_text)
-                end = float(end_text)
-            except ValueError:
-                raise ParseError(
-                    "connection log line %d: malformed numbers" % line_number
-                ) from None
-            if ":" in address_text:
-                entry = ConnectionLogEntry(probe_id, start, end, None,
-                                           ipv6_address=address_text)
-            else:
-                entry = ConnectionLogEntry(
-                    probe_id, start, end, IPv4Address.parse(address_text))
-            log.add(entry)
+                rows.append((line_number, cls._parse_line(text)))
+            except ParseError as error:
+                if policy is ReadPolicy.STRICT:
+                    raise ParseError(
+                        format_line_error(source, line_number, error)
+                    ) from None
+                report.quarantined(DATASET_NAME, source, line_number,
+                                   str(error))
+        if policy is ReadPolicy.STRICT:
+            log = cls()
+            for line_number, entry in rows:
+                try:
+                    log.add(entry)
+                except DatasetError as error:
+                    raise DatasetError(
+                        format_line_error(source, line_number, error)
+                    ) from None
+                report.parsed(DATASET_NAME)
+            return log
+        return cls._assemble_repaired(rows, report, source)
+
+    @classmethod
+    def _assemble_repaired(cls, rows: list[tuple[int, ConnectionLogEntry]],
+                           report: IngestReport,
+                           source: str) -> "ConnectionLog":
+        """REPAIR assembly: sort per probe, drop overlapping records."""
+        by_probe: dict[int, list[tuple[int, ConnectionLogEntry]]] = {}
+        for line_number, entry in rows:
+            by_probe.setdefault(entry.probe_id, []).append((line_number,
+                                                            entry))
+        log = cls()
+        for probe_id in sorted(by_probe):
+            items = by_probe[probe_id]
+            ordered = sorted(items, key=lambda item: (item[1].start,
+                                                      item[1].end))
+            # A record is displaced when sorting moved it; compare the
+            # original file order with the sorted order positionally.
+            displaced = {ordered[i][0] for i in range(len(items))
+                         if ordered[i][0] != items[i][0]}
+            last_end = float("-inf")
+            for line_number, entry in ordered:
+                if entry.start < last_end:
+                    report.quarantined(
+                        DATASET_NAME, source, line_number,
+                        "probe %d: connection starting %s overlaps the "
+                        "previous one" % (probe_id, entry.start))
+                    continue
+                log.add(entry)
+                last_end = entry.end
+                if line_number in displaced:
+                    report.repaired(
+                        DATASET_NAME, source, line_number,
+                        "probe %d: out-of-order entry re-sorted" % probe_id)
+                else:
+                    report.parsed(DATASET_NAME)
         return log
 
     # -- presentation ------------------------------------------------------

@@ -12,6 +12,19 @@ from typing import Iterable, Iterator, TextIO
 
 from repro.atlas.types import UptimeRecord
 from repro.errors import DatasetError, ParseError
+from repro.util.ingest import (
+    IngestReport,
+    ReadPolicy,
+    format_line_error,
+)
+
+#: Dataset label used in ingest accounting and diagnostics.
+DATASET_NAME = "uptime"
+
+#: Uptime counters are 32-bit seconds on the probe; a raw value at or
+#: beyond this bound can only be a wrapped/corrupted read-out, since it
+#: would mean more than 136 years since boot.
+UPTIME_WRAP_MODULUS = float(2 ** 32)
 
 
 class UptimeDataset:
@@ -56,25 +69,101 @@ class UptimeDataset:
             stream.write("%d\t%.0f\t%.0f\n"
                          % (record.probe_id, record.timestamp, record.uptime))
 
+    @staticmethod
+    def _parse_line(text: str) -> UptimeRecord:
+        """Parse one record line; raises :class:`ParseError` sans location."""
+        fields = text.split("\t")
+        if len(fields) != 3:
+            raise ParseError("expected 3 fields, got %d" % len(fields))
+        try:
+            # UptimeRecord itself rejects negative counters (ParseError).
+            return UptimeRecord(int(fields[0]), float(fields[1]),
+                                float(fields[2]))
+        except ValueError:
+            raise ParseError("malformed numbers") from None
+
     @classmethod
-    def read(cls, stream: TextIO) -> "UptimeDataset":
-        """Parse the text format produced by :meth:`write`."""
-        dataset = cls()
+    def read(cls, stream: TextIO,
+             policy: ReadPolicy = ReadPolicy.STRICT,
+             report: IngestReport | None = None,
+             source: str | None = None) -> "UptimeDataset":
+        """Parse the text format produced by :meth:`write`.
+
+        ``STRICT`` raises on malformed lines, wrapped counters and
+        out-of-order records; ``REPAIR`` quarantines garbage, unwraps
+        counters modulo 2**32 and re-sorts per-probe timestamps,
+        accounting every decision in ``report``.
+        """
+        source = source or getattr(stream, "name", "<uptime>")
+        report = report if report is not None else IngestReport()
+        rows: list[tuple[int, UptimeRecord]] = []
         for line_number, line in enumerate(stream, start=1):
             text = line.strip()
             if not text or text.startswith("#"):
                 continue
-            fields = text.split("\t")
-            if len(fields) != 3:
-                raise ParseError(
-                    "uptime line %d: expected 3 fields, got %d"
-                    % (line_number, len(fields))
-                )
             try:
-                dataset.add(UptimeRecord(int(fields[0]), float(fields[1]),
-                                         float(fields[2])))
-            except ValueError:
-                raise ParseError(
-                    "uptime line %d: malformed numbers" % line_number
-                ) from None
+                record = cls._parse_line(text)
+            except ParseError as error:
+                if policy is ReadPolicy.STRICT:
+                    raise ParseError(
+                        format_line_error(source, line_number, error)
+                    ) from None
+                report.quarantined(DATASET_NAME, source, line_number,
+                                   str(error))
+                continue
+            if record.uptime >= UPTIME_WRAP_MODULUS:
+                if policy is ReadPolicy.STRICT:
+                    raise ParseError(format_line_error(
+                        source, line_number,
+                        "uptime counter %r beyond the 32-bit wrap"
+                        % record.uptime))
+                record = UptimeRecord(record.probe_id, record.timestamp,
+                                      record.uptime % UPTIME_WRAP_MODULUS)
+                report.repaired(DATASET_NAME, source, line_number,
+                                "wrapped uptime counter reduced modulo 2**32")
+                rows.append((-line_number, record))
+                continue
+            rows.append((line_number, record))
+        if policy is ReadPolicy.STRICT:
+            dataset = cls()
+            for line_number, record in rows:
+                try:
+                    dataset.add(record)
+                except DatasetError as error:
+                    raise DatasetError(
+                        format_line_error(source, line_number, error)
+                    ) from None
+                report.parsed(DATASET_NAME)
+            return dataset
+        return cls._assemble_repaired(rows, report, source)
+
+    @classmethod
+    def _assemble_repaired(cls, rows: list[tuple[int, UptimeRecord]],
+                           report: IngestReport,
+                           source: str) -> "UptimeDataset":
+        """REPAIR assembly: sort timestamps per probe, count re-orderings.
+
+        Rows carrying a negative line number were already accounted as
+        repaired (counter unwrap) and are not double-counted.
+        """
+        by_probe: dict[int, list[tuple[int, UptimeRecord]]] = {}
+        for line_number, record in rows:
+            by_probe.setdefault(record.probe_id, []).append((line_number,
+                                                             record))
+        dataset = cls()
+        for probe_id in sorted(by_probe):
+            items = by_probe[probe_id]
+            ordered = sorted(items, key=lambda item: item[1].timestamp)
+            displaced = {ordered[i][0] for i in range(len(items))
+                         if ordered[i][0] != items[i][0]}
+            for line_number, record in ordered:
+                dataset.add(record)
+                if line_number < 0:
+                    continue  # already accounted as a counter-wrap repair
+                if line_number in displaced:
+                    report.repaired(
+                        DATASET_NAME, source, line_number,
+                        "probe %d: out-of-order record re-sorted" % probe_id)
+                else:
+                    report.parsed(DATASET_NAME)
         return dataset

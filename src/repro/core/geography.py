@@ -39,9 +39,16 @@ class GroupDurations:
 
 def durations_by_continent(durations_by_probe: Mapping[int, Sequence[float]],
                            archive: ProbeArchive) -> list[GroupDurations]:
-    """Pool durations per continent, largest total first (Figure 1)."""
+    """Pool durations per continent, largest total first (Figure 1).
+
+    Probes absent from the archive (e.g. their metadata records were
+    quarantined by a ``REPAIR`` load) cannot be geolocated and are
+    skipped rather than failing the whole figure.
+    """
     pooled: dict[str, list[float]] = defaultdict(list)
     for probe_id, durations in durations_by_probe.items():
+        if not archive.has_probe(probe_id):
+            continue
         meta = archive.get(probe_id)
         pooled[meta.continent].extend(durations)
     groups = [GroupDurations(continent, tuple(durations))
@@ -52,9 +59,11 @@ def durations_by_continent(durations_by_probe: Mapping[int, Sequence[float]],
 
 def durations_by_country(durations_by_probe: Mapping[int, Sequence[float]],
                          archive: ProbeArchive) -> dict[str, GroupDurations]:
-    """Pool durations per country code."""
+    """Pool durations per country code (unarchived probes skipped)."""
     pooled: dict[str, list[float]] = defaultdict(list)
     for probe_id, durations in durations_by_probe.items():
+        if not archive.has_probe(probe_id):
+            continue
         pooled[archive.get(probe_id).country].extend(durations)
     return {country: GroupDurations(country, tuple(durations))
             for country, durations in pooled.items()}
@@ -74,6 +83,8 @@ def country_as_breakdown(durations_by_probe: Mapping[int, Sequence[float]],
     """
     pooled: dict[int, list[float]] = defaultdict(list)
     for probe_id, durations in durations_by_probe.items():
+        if not archive.has_probe(probe_id):
+            continue
         if archive.get(probe_id).country != country:
             continue
         asn = asn_by_probe.get(probe_id)

@@ -229,7 +229,16 @@ class AnalysisResults:
 
 
 class AnalysisPipeline:
-    """Runs the full analysis over one set of input datasets."""
+    """Runs the full analysis over one set of input datasets.
+
+    Degradation contract: the three auxiliary datasets are treated as
+    *partial* — the paper's probes were routinely missing from one of
+    them.  A probe absent from the k-root dataset contributes no outage
+    stats (it still feeds periodicity and prefix analysis); a probe
+    absent from SOS-uptime simply has no reboots; a probe absent from
+    the archive is skipped by geography and the v3 power analysis.
+    Only the connection log decides which probes exist at all.
+    """
 
     def __init__(self, connlog: ConnectionLog, archive: ProbeArchive,
                  kroot: KRootDataset, uptime: UptimeDataset,

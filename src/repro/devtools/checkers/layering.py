@@ -6,14 +6,18 @@ layer or a lower one:
 .. code-block:: text
 
     errors                                   (rank 0: leaf exception types)
-      └─ util                                (rank 1: rng, timeutil, stats)
+      └─ util                                (rank 1: rng, timeutil, ingest)
            └─ net                            (rank 2: IPv4, tries, pfx2as)
                 └─ dhcp    ppp               (rank 3: siblings — no imports
                      └──────┴─ isp            between them)   (rank 4)
                                └─ atlas      (rank 5: dataset containers)
                                     └─ sim   (rank 6: emits atlas datasets)
-                                         └─ core          (rank 7: analysis)
-                                              └─ experiments     (rank 8)
+                                         └─ faults  (rank 7: corrupts
+                                         │           bundles sim.io wrote;
+                                         │           consumed by tests and
+                                         │           its own CLI only)
+                                         └─ core          (rank 8: analysis)
+                                              └─ experiments     (rank 9)
 
 ``repro.devtools`` (this lint framework) sits outside the DAG entirely: it
 may import nothing from the runtime layers and nothing may import it.  The
@@ -45,8 +49,9 @@ LAYER_RANKS = {
     "isp": 4,
     "atlas": 5,
     "sim": 6,
-    "core": 7,
-    "experiments": 8,
+    "faults": 7,
+    "core": 8,
+    "experiments": 9,
 }
 
 #: The lint framework: self-contained, outside the runtime DAG.

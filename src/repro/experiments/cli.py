@@ -38,6 +38,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--data", metavar="DIR", default=None,
                         help="analyze a dataset bundle written by "
                              "repro-simulate instead of simulating inline")
+    parser.add_argument("--read-policy", choices=["strict", "repair"],
+                        default="strict",
+                        help="with --data: 'strict' aborts on the first "
+                             "malformed record, 'repair' quarantines bad "
+                             "records and degrades gracefully, printing an "
+                             "ingest summary to stderr (default "
+                             "%(default)s)")
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -55,7 +62,13 @@ def main(argv: list[str] | None = None) -> int:
         if args.data is not None:
             from repro.core.pipeline import pipeline_for_bundle
             from repro.sim.io import load_bundle
-            results = pipeline_for_bundle(load_bundle(args.data)).run()
+            from repro.util.ingest import IngestReport, ReadPolicy
+            policy = ReadPolicy(args.read_policy)
+            report = IngestReport()
+            bundle = load_bundle(args.data, policy=policy, report=report)
+            if policy is ReadPolicy.REPAIR and not report.clean:
+                print(report.render(), file=sys.stderr)
+            results = pipeline_for_bundle(bundle).run()
         else:
             results = paper_results(scale=args.scale, seed=args.seed)
         output = driver(results)

@@ -1,0 +1,27 @@
+"""Deterministic fault injection for on-disk dataset bundles.
+
+The paper's datasets were scraped operational data: truncated connection
+logs, wrapped uptime counters, months missing from CAIDA's pfx2as
+archive.  This package corrupts a bundle written by
+:func:`repro.sim.io.write_world` the same ways — deterministically, from
+a seed, via :func:`repro.util.rng.substream` — so the ingestion layer's
+``ReadPolicy.REPAIR`` contract can be exercised against known damage and
+its :class:`~repro.util.ingest.IngestReport` reconciled fault-by-fault.
+
+:mod:`repro.faults.injectors` holds the pure line-level corruption
+primitives; :mod:`repro.faults.plan` applies a configurable corruption
+budget to a bundle directory and returns a :class:`FaultReport`
+accounting every injected fault.  The package sits above ``sim`` in the
+layer DAG: it consumes bundle layouts, and only tests and the
+``repro-faults`` CLI consume it.
+"""
+
+from repro.faults.injectors import FaultKind, InjectedFault
+from repro.faults.plan import FaultPlan, FaultReport
+
+__all__ = [
+    "FaultKind",
+    "FaultPlan",
+    "FaultReport",
+    "InjectedFault",
+]

@@ -1,0 +1,307 @@
+"""Apply a configurable corruption budget to an on-disk bundle.
+
+:class:`FaultPlan` is a frozen description of *how much* of each fault
+kind to inject; :meth:`FaultPlan.apply` corrupts a bundle directory in
+place, deterministically from the plan's seed, and returns a
+:class:`FaultReport` that accounts every injected fault together with
+the pre-corruption record counts — exactly the bookkeeping the
+fault-injection suite needs to reconcile an
+:class:`~repro.util.ingest.IngestReport` against the damage.
+
+Rates are fractions of eligible record lines (``0.05`` corrupts ~5 % of
+lines with that fault); structural faults (missing k-root series,
+missing pfx2as months, missing bundle files) are absolute counts.  The
+injected target sets are mutually disjoint per file, so each fault's
+effect on ingest accounting is independent and exactly predictable.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.faults.injectors import (
+    FaultKind,
+    InjectedFault,
+    drop_kroot_series,
+    duplicate_lines,
+    garble_lines,
+    garble_uptime_values,
+    malform_kroot_series,
+    same_probe_adjacent_pairs,
+    swap_adjacent_pairs,
+    truncate_lines,
+    wrap_uptime_counters,
+)
+from repro.util.rng import substream
+
+#: Bundle files eligible for BUNDLE_MISSING_FILE, with their dataset
+#: label (meta.json is excluded: without it no load can even start).
+_DROPPABLE = {
+    "archive.tsv": "archive",
+    "connlog.tsv": "connlog",
+    "uptime.tsv": "uptime",
+    "kroot.json": "kroot",
+}
+
+
+def _dataset_of(fault: InjectedFault) -> str:
+    """Dataset label a fault's record delta applies to."""
+    if fault.kind is FaultKind.BUNDLE_MISSING_FILE:
+        return _DROPPABLE[Path(fault.target).name]
+    return fault.kind.value.split("-")[0]
+
+
+@dataclass
+class FaultReport:
+    """Everything a plan injected, plus pre-corruption record counts."""
+
+    seed: int
+    #: Record lines per dataset before any corruption was applied.
+    written: dict[str, int] = field(default_factory=dict)
+    faults: list[InjectedFault] = field(default_factory=list)
+
+    def count(self, kind: FaultKind) -> int:
+        """How many faults of one kind were injected."""
+        return sum(1 for fault in self.faults if fault.kind is kind)
+
+    def records_delta(self, dataset: str) -> int:
+        """Net record-line change the plan caused for one dataset."""
+        return sum(fault.records_delta for fault in self.faults
+                   if _dataset_of(fault) == dataset)
+
+    def expected_records(self, dataset: str) -> int:
+        """Record lines a reader should encounter after corruption.
+
+        This is the right-hand side of the reconciliation invariant:
+        ``parsed + repaired + quarantined == written + injected delta``.
+        """
+        return self.written.get(dataset, 0) + self.records_delta(dataset)
+
+    def render(self) -> str:
+        """Human-readable fault listing."""
+        lines = ["injected %d faults (seed %d):"
+                 % (len(self.faults), self.seed)]
+        for fault in self.faults:
+            location = fault.target if fault.line is None else (
+                "%s:%d" % (fault.target, fault.line))
+            lines.append("  %-24s %s: %s"
+                         % (fault.kind.value, location, fault.detail))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly representation for ``repro-faults --json``."""
+        return {
+            "seed": self.seed,
+            "written": dict(self.written),
+            "faults": [{
+                "kind": fault.kind.value,
+                "target": fault.target,
+                "line": fault.line,
+                "detail": fault.detail,
+                "records_delta": fault.records_delta,
+            } for fault in self.faults],
+        }
+
+
+def _record_indices(lines: list[str]) -> list[int]:
+    """Indices of record lines (skipping blanks and comments)."""
+    return [index for index, line in enumerate(lines)
+            if line.strip() and not line.strip().startswith("#")]
+
+
+def _budget(rate: float, population: int) -> int:
+    """How many lines a fractional rate corrupts."""
+    if rate < 0:
+        raise ValueError("negative fault rate %r" % (rate,))
+    return min(population, int(round(rate * population)))
+
+
+def _take(candidates: list[int], count: int, used: set[int],
+          rng: random.Random) -> list[int]:
+    """Sample ``count`` indices disjoint from ``used``, marking them."""
+    free = [index for index in candidates if index not in used]
+    chosen = sorted(rng.sample(free, min(count, len(free))))
+    used.update(chosen)
+    return chosen
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic corruption budget for one bundle directory."""
+
+    seed: int
+    connlog_garbled: float = 0.0
+    connlog_truncated: float = 0.0
+    connlog_duplicated: float = 0.0
+    connlog_out_of_order: float = 0.0
+    uptime_wrap: float = 0.0
+    uptime_garbage: float = 0.0
+    kroot_missing_series: int = 0
+    kroot_malformed_series: int = 0
+    pfx2as_missing_months: int = 0
+    pfx2as_bad_lines: float = 0.0
+    drop_files: tuple[str, ...] = ()
+
+    @classmethod
+    def uniform(cls, seed: int, rate: float) -> "FaultPlan":
+        """Every line-level fault at one rate plus one structural gap each."""
+        return cls(
+            seed=seed,
+            connlog_garbled=rate, connlog_truncated=rate,
+            connlog_duplicated=rate, connlog_out_of_order=rate,
+            uptime_wrap=rate, uptime_garbage=rate,
+            kroot_missing_series=1, kroot_malformed_series=1,
+            pfx2as_missing_months=1, pfx2as_bad_lines=rate,
+        )
+
+    # -- application -------------------------------------------------------
+
+    def apply(self, directory: str | Path) -> FaultReport:
+        """Corrupt the bundle in place; returns the fault accounting."""
+        root = Path(directory)
+        report = FaultReport(seed=self.seed)
+        self._measure_written(root, report)
+        self._corrupt_connlog(root, report)
+        self._corrupt_uptime(root, report)
+        self._corrupt_kroot(root, report)
+        self._corrupt_pfx2as(root, report)
+        self._drop_files(root, report)
+        return report
+
+    def _measure_written(self, root: Path, report: FaultReport) -> None:
+        """Count pre-corruption record lines per dataset."""
+        for name, dataset in (("archive.tsv", "archive"),
+                              ("connlog.tsv", "connlog"),
+                              ("uptime.tsv", "uptime")):
+            path = root / name
+            lines = path.read_text().splitlines() if path.exists() else []
+            report.written[dataset] = len(_record_indices(lines))
+        kroot_path = root / "kroot.json"
+        report.written["kroot"] = (
+            len(json.loads(kroot_path.read_text()))
+            if kroot_path.exists() else 0)
+        total = 0
+        for path in sorted((root / "pfx2as").glob("*.txt")):
+            total += len(_record_indices(path.read_text().splitlines()))
+        report.written["pfx2as"] = total
+
+    def _corrupt_connlog(self, root: Path, report: FaultReport) -> None:
+        path = root / "connlog.tsv"
+        if not path.exists():
+            return
+        rng = substream(self.seed, "faults", "connlog")
+        lines = path.read_text().splitlines()
+        records = _record_indices(lines)
+        used: set[int] = set()
+
+        pairs = [index for index in same_probe_adjacent_pairs(lines)]
+        n_swaps = _budget(self.connlog_out_of_order, len(pairs))
+        swap_at: list[int] = []
+        for index in rng.sample(pairs, len(pairs)):
+            if len(swap_at) == n_swaps:
+                break
+            if index in used or index + 1 in used:
+                continue
+            swap_at.append(index)
+            used.update((index, index + 1))
+        report.faults += swap_adjacent_pairs(
+            lines, sorted(swap_at), str(path), FaultKind.CONNLOG_OUT_OF_ORDER)
+
+        report.faults += garble_lines(
+            lines, _take(records, _budget(self.connlog_garbled,
+                                          len(records)), used, rng),
+            rng, str(path), FaultKind.CONNLOG_GARBLED)
+        report.faults += truncate_lines(
+            lines, _take(records, _budget(self.connlog_truncated,
+                                          len(records)), used, rng),
+            rng, str(path), FaultKind.CONNLOG_TRUNCATED)
+        report.faults += duplicate_lines(
+            lines, _take(records, _budget(self.connlog_duplicated,
+                                          len(records)), used, rng),
+            str(path), FaultKind.CONNLOG_DUPLICATED)
+        path.write_text("\n".join(lines) + "\n")
+
+    def _corrupt_uptime(self, root: Path, report: FaultReport) -> None:
+        path = root / "uptime.tsv"
+        if not path.exists():
+            return
+        rng = substream(self.seed, "faults", "uptime")
+        lines = path.read_text().splitlines()
+        records = _record_indices(lines)
+        used: set[int] = set()
+        report.faults += wrap_uptime_counters(
+            lines, _take(records, _budget(self.uptime_wrap, len(records)),
+                         used, rng), str(path))
+        report.faults += garble_uptime_values(
+            lines, _take(records, _budget(self.uptime_garbage,
+                                          len(records)), used, rng),
+            rng, str(path))
+        path.write_text("\n".join(lines) + "\n")
+
+    def _corrupt_kroot(self, root: Path, report: FaultReport) -> None:
+        path = root / "kroot.json"
+        if not path.exists():
+            return
+        if not (self.kroot_missing_series or self.kroot_malformed_series):
+            return
+        rng = substream(self.seed, "faults", "kroot")
+        states = json.loads(path.read_text())
+        used: set[int] = set()
+        indices = list(range(len(states)))
+        malformed = _take(indices, self.kroot_malformed_series, used, rng)
+        missing = _take(indices, self.kroot_missing_series, used, rng)
+        report.faults += malform_kroot_series(states, malformed, rng,
+                                              str(path))
+        report.faults += drop_kroot_series(states, missing, str(path))
+        path.write_text(json.dumps(states))
+
+    def _corrupt_pfx2as(self, root: Path, report: FaultReport) -> None:
+        pfx_dir = root / "pfx2as"
+        files = sorted(pfx_dir.glob("*.txt"))
+        if not files:
+            return
+        rng = substream(self.seed, "faults", "pfx2as")
+        # Never remove the last snapshot: REPAIR's fallback needs at
+        # least one month to map the gap onto.
+        removable = min(self.pfx2as_missing_months, len(files) - 1)
+        for path in rng.sample(files, removable):
+            lost = len(_record_indices(path.read_text().splitlines()))
+            path.unlink()
+            report.faults.append(InjectedFault(
+                FaultKind.PFX2AS_MISSING_MONTH, str(path), None,
+                "month file removed (%d mappings lost)" % lost,
+                records_delta=-lost))
+            files.remove(path)
+        for path in files:
+            lines = path.read_text().splitlines()
+            records = _record_indices(lines)
+            chosen = _take(records, _budget(self.pfx2as_bad_lines,
+                                            len(records)), set(), rng)
+            if not chosen:
+                continue
+            report.faults += garble_lines(lines, chosen, rng, str(path),
+                                          FaultKind.PFX2AS_BAD_LINE)
+            path.write_text("\n".join(lines) + "\n")
+
+    def _drop_files(self, root: Path, report: FaultReport) -> None:
+        for name in self.drop_files:
+            if name not in _DROPPABLE:
+                raise ValueError(
+                    "cannot drop %r (eligible: %s)"
+                    % (name, ", ".join(sorted(_DROPPABLE))))
+            path = root / name
+            if not path.exists():
+                continue
+            # Count what the file holds *now*: earlier line faults may
+            # have changed the record count since `written` was measured.
+            if name == "kroot.json":
+                lost = len(json.loads(path.read_text()))
+            else:
+                lost = len(_record_indices(path.read_text().splitlines()))
+            path.unlink()
+            report.faults.append(InjectedFault(
+                FaultKind.BUNDLE_MISSING_FILE, str(path), None,
+                "bundle file removed", records_delta=-lost))

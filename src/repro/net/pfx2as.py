@@ -18,6 +18,14 @@ from repro.errors import DatasetError, ParseError
 from repro.net.ipv4 import IPv4Address, IPv4Prefix
 from repro.net.trie import PrefixTrie
 from repro.util import timeutil
+from repro.util.ingest import (
+    IngestReport,
+    ReadPolicy,
+    format_line_error,
+)
+
+#: Dataset label used in ingest accounting and diagnostics.
+DATASET_NAME = "pfx2as"
 
 
 @dataclass(frozen=True)
@@ -74,32 +82,51 @@ class Pfx2AsSnapshot:
                    mapping.asn)
             )
 
+    @staticmethod
+    def _parse_line(text: str) -> AsMapping:
+        """Parse one record line; raises :class:`ParseError` sans location."""
+        fields = text.split("\t")
+        if len(fields) != 3:
+            raise ParseError("expected 3 fields, got %d" % len(fields))
+        network_text, length_text, asn_text = fields
+        if not length_text.isdigit() or not asn_text.isdigit():
+            raise ParseError("non-numeric length or ASN")
+        network = IPv4Address.parse(network_text)
+        prefix = IPv4Prefix.containing(network, int(length_text))
+        if prefix.network != network.value:
+            raise ParseError("host bits set in prefix")
+        # AsMapping rejects non-positive ASNs (ParseError).
+        return AsMapping(prefix, int(asn_text))
+
     @classmethod
-    def read(cls, stream: TextIO) -> "Pfx2AsSnapshot":
-        """Parse the pfx2as text format, rejecting malformed lines."""
+    def read(cls, stream: TextIO,
+             policy: ReadPolicy = ReadPolicy.STRICT,
+             report: IngestReport | None = None,
+             source: str | None = None) -> "Pfx2AsSnapshot":
+        """Parse the pfx2as text format.
+
+        ``STRICT`` rejects the whole snapshot on the first malformed
+        line; ``REPAIR`` quarantines bad lines (those prefixes simply go
+        unmapped) and accounts them in ``report``.
+        """
+        source = source or getattr(stream, "name", "<pfx2as>")
+        report = report if report is not None else IngestReport()
         snapshot = cls()
         for line_number, line in enumerate(stream, start=1):
             text = line.strip()
             if not text or text.startswith("#"):
                 continue
-            fields = text.split("\t")
-            if len(fields) != 3:
-                raise ParseError(
-                    "pfx2as line %d: expected 3 fields, got %d"
-                    % (line_number, len(fields))
-                )
-            network_text, length_text, asn_text = fields
-            if not length_text.isdigit() or not asn_text.isdigit():
-                raise ParseError(
-                    "pfx2as line %d: non-numeric length or ASN" % line_number
-                )
-            network = IPv4Address.parse(network_text)
-            prefix = IPv4Prefix.containing(network, int(length_text))
-            if prefix.network != network.value:
-                raise ParseError(
-                    "pfx2as line %d: host bits set in prefix" % line_number
-                )
-            snapshot.add(AsMapping(prefix, int(asn_text)))
+            try:
+                snapshot.add(cls._parse_line(text))
+            except ParseError as error:
+                if policy is ReadPolicy.STRICT:
+                    raise ParseError(
+                        format_line_error(source, line_number, error)
+                    ) from None
+                report.quarantined(DATASET_NAME, source, line_number,
+                                   str(error))
+                continue
+            report.parsed(DATASET_NAME)
         return snapshot
 
 
@@ -107,13 +134,19 @@ class IpToAsDataset:
     """Monthly pfx2as snapshots keyed by ``(year, month)``.
 
     Lookups take the timestamp of the address assignment and consult the
-    snapshot published for that month, as the paper does.  A missing month
-    raises :class:`DatasetError` — the analysis must not silently fall back
-    to a different month's routing table.
+    snapshot published for that month, as the paper does.  By default a
+    missing month raises :class:`DatasetError` — the analysis must not
+    *silently* fall back to a different month's routing table.  Under
+    ``ReadPolicy.REPAIR`` the bundle loader constructs the dataset with
+    ``fallback=True`` after recording the gap, and lookups then use the
+    nearest earlier snapshot (or the earliest later one before the first
+    registered month), mirroring how the paper coped with gaps in
+    CAIDA's monthly archive.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fallback: bool = False) -> None:
         self._snapshots: dict[tuple[int, int], Pfx2AsSnapshot] = {}
+        self.fallback = fallback
 
     def __len__(self) -> int:
         return len(self._snapshots)
@@ -130,14 +163,29 @@ class IpToAsDataset:
         return sorted(self._snapshots)
 
     def snapshot_for(self, timestamp: float) -> Pfx2AsSnapshot:
-        """Return the snapshot for the month containing ``timestamp``."""
+        """Return the snapshot for the month containing ``timestamp``.
+
+        With ``fallback`` enabled a missing month resolves to the nearest
+        earlier registered snapshot (or the earliest later one); without
+        it, or when no snapshot exists at all, raises
+        :class:`DatasetError`.
+        """
         key = timeutil.month_of(timestamp)
         try:
             return self._snapshots[key]
         except KeyError:
+            if self.fallback and self._snapshots:
+                return self._snapshots[self._nearest_month(key)]
             raise DatasetError(
                 "no pfx2as snapshot for %04d-%02d" % key
             ) from None
+
+    def _nearest_month(self, key: tuple[int, int]) -> tuple[int, int]:
+        """Nearest earlier registered month, else the earliest later one."""
+        earlier = [month for month in self._snapshots if month <= key]
+        if earlier:
+            return max(earlier)
+        return min(self._snapshots)
 
     def origin_asn(self, address: IPv4Address, timestamp: float) -> int | None:
         """ASN originating ``address`` in the month of ``timestamp``."""

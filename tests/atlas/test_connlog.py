@@ -9,6 +9,7 @@ from repro.atlas.types import ConnectionLogEntry
 from repro.errors import DatasetError, ParseError
 from repro.net.ipv4 import IPv4Address
 from repro.util import timeutil
+from repro.util.ingest import IngestReport, ReadPolicy
 
 
 def v4(probe, start, end, text):
@@ -84,6 +85,69 @@ class TestSerialization:
     def test_read_rejects_malformed(self, line):
         with pytest.raises(ParseError):
             ConnectionLog.read(io.StringIO(line + "\n"))
+
+
+class TestStrictDiagnostics:
+    def test_malformed_line_names_source_and_line(self):
+        text = "206\t0\t100\t1.2.3.4\njunk\n"
+        with pytest.raises(ParseError, match=r"log\.tsv: line 2:"):
+            ConnectionLog.read(io.StringIO(text), source="log.tsv")
+
+    def test_source_defaults_to_placeholder(self):
+        with pytest.raises(ParseError, match=r"<connlog>: line 1:"):
+            ConnectionLog.read(io.StringIO("junk\n"))
+
+    def test_out_of_order_names_source_and_line(self):
+        text = ("206\t100\t200\t1.2.3.4\n"
+                "206\t0\t50\t1.2.3.5\n")
+        with pytest.raises(DatasetError, match=r"log\.tsv: line 2:"):
+            ConnectionLog.read(io.StringIO(text), source="log.tsv")
+
+    def test_strict_fills_report_on_success(self):
+        report = IngestReport()
+        ConnectionLog.read(io.StringIO("206\t0\t100\t1.2.3.4\n"),
+                           report=report)
+        assert report.dataset("connlog").parsed == 1
+        assert report.clean
+
+
+class TestRepairRead:
+    TEXT = ("206\t0\t100\t1.2.3.4\n"
+            "garbage line\n"
+            "206\t250\t300\t1.2.3.6\n"     # out of order with next
+            "206\t150\t200\t1.2.3.5\n"
+            "206\t150\t200\t1.2.3.5\n"     # duplicate -> overlap
+            "207\t0\t100\t10.0.0.1\n")
+
+    def read(self):
+        report = IngestReport()
+        log = ConnectionLog.read(io.StringIO(self.TEXT),
+                                 policy=ReadPolicy.REPAIR,
+                                 report=report, source="log.tsv")
+        return log, report
+
+    def test_quarantines_garbage_and_duplicates(self):
+        log, report = self.read()
+        assert log.entry_count() == 4
+        assert report.dataset("connlog").quarantined == 2
+
+    def test_resorts_out_of_order_entries(self):
+        log, report = self.read()
+        assert [e.start for e in log.entries(206)] == [0.0, 150.0, 250.0]
+        assert report.dataset("connlog").repaired == 2
+
+    def test_accounting_balances(self):
+        _, report = self.read()
+        # 6 record lines presented: parsed + repaired + quarantined.
+        assert report.dataset("connlog").total == 6
+
+    def test_repair_on_clean_input_is_clean(self):
+        report = IngestReport()
+        log = ConnectionLog.read(
+            io.StringIO("206\t0\t100\t1.2.3.4\n206\t100\t200\t1.2.3.5\n"),
+            policy=ReadPolicy.REPAIR, report=report)
+        assert log.entry_count() == 2
+        assert report.clean
 
 
 class TestPaperStyleRendering:

@@ -4,9 +4,10 @@ import io
 
 import pytest
 
-from repro.atlas.sosuptime import UptimeDataset
+from repro.atlas.sosuptime import UPTIME_WRAP_MODULUS, UptimeDataset
 from repro.atlas.types import UptimeRecord
 from repro.errors import DatasetError, ParseError
+from repro.util.ingest import IngestReport, ReadPolicy
 
 
 class TestUptimeDataset:
@@ -59,3 +60,55 @@ class TestUptimeDataset:
     def test_read_skips_comments(self):
         text = "# header\n\n206\t100\t5\n"
         assert len(UptimeDataset.read(io.StringIO(text)).records(206)) == 1
+
+
+class TestStrictDiagnostics:
+    def test_malformed_line_names_source_and_line(self):
+        text = "206\t100\t5\n206\tx\t5\n"
+        with pytest.raises(ParseError, match=r"up\.tsv: line 2:"):
+            UptimeDataset.read(io.StringIO(text), source="up.tsv")
+
+    def test_wrapped_counter_rejected(self):
+        wrapped = "206\t100\t%.0f\n" % (UPTIME_WRAP_MODULUS + 5)
+        with pytest.raises(ParseError, match=r"line 1: .*32-bit wrap"):
+            UptimeDataset.read(io.StringIO(wrapped))
+
+    def test_out_of_order_names_source_and_line(self):
+        text = "206\t1000\t5\n206\t900\t5\n"
+        with pytest.raises(DatasetError, match=r"up\.tsv: line 2:"):
+            UptimeDataset.read(io.StringIO(text), source="up.tsv")
+
+
+class TestRepairRead:
+    def test_unwraps_counter_modulo_2_32(self):
+        wrapped = "206\t100\t%.0f\n" % (UPTIME_WRAP_MODULUS + 42)
+        report = IngestReport()
+        dataset = UptimeDataset.read(io.StringIO(wrapped),
+                                     policy=ReadPolicy.REPAIR,
+                                     report=report)
+        assert dataset.records(206)[0].uptime == 42.0
+        assert report.dataset("uptime").repaired == 1
+
+    def test_quarantines_garbage_and_resorts(self):
+        text = ("206\t1000\t5\n"
+                "206\tgarbage\tX\n"
+                "206\t3000\t5\n"
+                "206\t2000\t5\n")
+        report = IngestReport()
+        dataset = UptimeDataset.read(io.StringIO(text),
+                                     policy=ReadPolicy.REPAIR,
+                                     report=report, source="up.tsv")
+        assert [r.timestamp for r in dataset.records(206)] \
+            == [1000.0, 2000.0, 3000.0]
+        ingest = report.dataset("uptime")
+        assert ingest.quarantined == 1
+        assert ingest.repaired == 2
+        assert ingest.total == 4
+
+    def test_repair_on_clean_input_is_clean(self):
+        report = IngestReport()
+        dataset = UptimeDataset.read(io.StringIO("206\t100\t5\n"),
+                                     policy=ReadPolicy.REPAIR,
+                                     report=report)
+        assert len(dataset.records(206)) == 1
+        assert report.clean

@@ -31,3 +31,26 @@ class TestCli:
     def test_bad_scale_rejected(self):
         with pytest.raises(SystemExit):
             main(["table2", "--scale", "abc"])
+
+
+class TestReadPolicy:
+    @pytest.fixture()
+    def corrupted_bundle(self, tmp_path):
+        from repro.experiments.scenarios import small_world
+        from repro.faults.plan import FaultPlan
+        from repro.sim.io import write_world
+        root = write_world(small_world(seed=17, days=25), tmp_path / "b")
+        FaultPlan.uniform(seed=3, rate=0.05).apply(root)
+        return root
+
+    def test_strict_default_aborts_on_corruption(self, corrupted_bundle):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            main(["table2", "--data", str(corrupted_bundle)])
+
+    def test_repair_completes_and_reports(self, corrupted_bundle, capsys):
+        assert main(["table2", "--data", str(corrupted_bundle),
+                     "--read-policy", "repair"]) == 0
+        captured = capsys.readouterr()
+        assert "Total Probes" in captured.out
+        assert "quarantined" in captured.err

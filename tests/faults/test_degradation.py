@@ -1,0 +1,152 @@
+"""Headline robustness test: corrupt a known world, REPAIR, reconcile.
+
+A seeded ``small_world`` bundle is corrupted by :class:`FaultPlan` at
+three fault rates and re-ingested under ``ReadPolicy.REPAIR``.  At every
+rate the suite asserts that (a) the load and the full analysis pipeline
+complete, (b) the ground-truth paper shapes survive — Daily-DSL keeps
+its 24 h Table 5 periodicity and Reactive-DSL keeps the highest
+P(ac|nw) — and (c) the :class:`IngestReport` accounts for every
+injected fault exactly: parsed + repaired + quarantined equals
+written + injected delta, per dataset and per fault kind.
+"""
+
+import statistics
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.scenarios import small_world
+from repro.faults.injectors import FaultKind
+from repro.faults.plan import FaultPlan
+from repro.sim.io import load_bundle, write_world
+from repro.core.pipeline import pipeline_for_bundle
+from repro.util.ingest import IngestReport, ReadPolicy
+
+pytestmark = pytest.mark.faults
+
+DATASETS = ("archive", "connlog", "uptime", "kroot", "pfx2as")
+RATES = (0.02, 0.05, 0.1)
+
+#: small_world ground truth (see repro.experiments.scenarios).
+DAILY_DSL = 64496        # PPP, forced 24 h reconnect
+REACTIVE_DSL = 64497     # PPP, readdresses on network outages
+STABLE_CABLE = 64498     # DHCP, stable across outages
+
+
+@pytest.fixture(scope="module")
+def world():
+    # 40 days spans two pfx2as months, so the uniform plan's
+    # missing-month fault has a file it is allowed to remove.
+    return small_world(seed=17, days=40)
+
+
+def corrupted(world, path, rate):
+    root = write_world(world, path)
+    fault_report = FaultPlan.uniform(seed=11, rate=rate).apply(root)
+    return root, fault_report
+
+
+@pytest.fixture(scope="module", params=RATES)
+def repaired(request, world, tmp_path_factory):
+    root, fault_report = corrupted(
+        world, tmp_path_factory.mktemp("degraded"), request.param)
+    ingest = IngestReport()
+    bundle = load_bundle(root, policy=ReadPolicy.REPAIR, report=ingest)
+    results = pipeline_for_bundle(bundle).run()
+    return fault_report, ingest, results
+
+
+class TestRepairCompletes:
+    def test_faults_were_actually_injected(self, repaired):
+        fault_report, _, _ = repaired
+        assert len(fault_report.faults) > 10
+        for kind in (FaultKind.CONNLOG_GARBLED, FaultKind.UPTIME_WRAP,
+                     FaultKind.KROOT_MALFORMED_SERIES,
+                     FaultKind.PFX2AS_MISSING_MONTH):
+            assert fault_report.count(kind) >= 1, kind
+
+    def test_repair_is_not_clean_but_pipeline_runs(self, repaired):
+        _, ingest, results = repaired
+        assert not ingest.clean
+        assert results.stats_by_probe
+
+    def test_strict_load_fails_on_same_bundle(self, world, tmp_path):
+        root, _ = corrupted(world, tmp_path / "strict", RATES[0])
+        with pytest.raises(ReproError):
+            load_bundle(root)
+
+
+class TestShapeSurvives:
+    def test_daily_dsl_stays_24h_periodic(self, repaired):
+        _, _, results = repaired
+        periods = {row.period_hours for row in results.table5_rows()
+                   if row.asn == DAILY_DSL}
+        assert periods == {24.0}
+
+    def test_reactive_dsl_keeps_highest_p_change_given_network(
+            self, repaired):
+        _, _, results = repaired
+        by_asn: dict[int, list[float]] = {}
+        for probe_id, stats in results.stats_by_probe.items():
+            asn = results.asn_by_probe.get(probe_id)
+            if asn is not None:
+                by_asn.setdefault(asn, []).append(
+                    stats.p_change_given_network)
+        means = {asn: statistics.mean(vals)
+                 for asn, vals in by_asn.items()}
+        assert means[REACTIVE_DSL] == max(means.values())
+        assert means[REACTIVE_DSL] > means.get(STABLE_CABLE, 0.0)
+
+
+class TestExactReconciliation:
+    def test_every_dataset_reconciles(self, repaired):
+        fault_report, ingest, _ = repaired
+        for dataset in DATASETS:
+            assert (ingest.dataset(dataset).total
+                    == fault_report.expected_records(dataset)), dataset
+
+    def test_connlog_faults_fully_accounted(self, repaired):
+        fault_report, ingest, _ = repaired
+        connlog = ingest.dataset("connlog")
+        destructive = sum(fault_report.count(kind) for kind in (
+            FaultKind.CONNLOG_GARBLED, FaultKind.CONNLOG_TRUNCATED,
+            FaultKind.CONNLOG_DUPLICATED))
+        assert connlog.quarantined == destructive
+        # Each adjacent swap displaces exactly the two records involved.
+        assert connlog.repaired == 2 * fault_report.count(
+            FaultKind.CONNLOG_OUT_OF_ORDER)
+
+    def test_uptime_faults_fully_accounted(self, repaired):
+        fault_report, ingest, _ = repaired
+        uptime = ingest.dataset("uptime")
+        assert uptime.repaired == fault_report.count(FaultKind.UPTIME_WRAP)
+        assert uptime.quarantined == fault_report.count(
+            FaultKind.UPTIME_GARBAGE)
+
+    def test_kroot_and_pfx2as_fully_accounted(self, repaired):
+        fault_report, ingest, _ = repaired
+        assert ingest.dataset("kroot").quarantined == fault_report.count(
+            FaultKind.KROOT_MALFORMED_SERIES)
+        assert ingest.dataset("pfx2as").quarantined == fault_report.count(
+            FaultKind.PFX2AS_BAD_LINE)
+        gap_notes = [issue for issue in ingest.issues_for("pfx2as")
+                     if "no snapshot for" in issue.message]
+        assert len(gap_notes) >= fault_report.count(
+            FaultKind.PFX2AS_MISSING_MONTH)
+
+
+class TestMissingFilesDegrade:
+    def test_dropped_datasets_load_empty_under_repair(
+            self, world, tmp_path):
+        root = write_world(world, tmp_path / "b")
+        FaultPlan(seed=2, drop_files=("uptime.tsv", "kroot.json")).apply(
+            root)
+        ingest = IngestReport()
+        bundle = load_bundle(root, policy=ReadPolicy.REPAIR, report=ingest)
+        assert bundle.uptime.probe_ids() == []
+        assert bundle.kroot.probe_ids() == []
+        assert len(ingest.issues) == 2
+        results = pipeline_for_bundle(bundle).run()
+        # No k-root / uptime evidence: outage attribution degrades to
+        # empty rather than crashing.
+        assert results.table2_rows()

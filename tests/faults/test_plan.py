@@ -1,0 +1,140 @@
+"""Tests for repro.faults.plan (FaultPlan / FaultReport bookkeeping)."""
+
+import json
+
+import pytest
+
+from repro.experiments.scenarios import small_world
+from repro.faults.injectors import FaultKind
+from repro.faults.plan import FaultPlan, FaultReport, _budget
+from repro.sim.io import write_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return small_world(seed=17, days=25)
+
+
+def fresh_bundle(world, path):
+    return write_world(world, path)
+
+
+class TestBudget:
+    def test_rounds_and_caps(self):
+        assert _budget(0.05, 100) == 5
+        assert _budget(0.5, 3) == 2
+        assert _budget(2.0, 4) == 4
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            _budget(-0.1, 10)
+
+
+class TestApply:
+    def test_written_counts_match_bundle(self, world, tmp_path):
+        root = fresh_bundle(world, tmp_path / "b")
+        report = FaultPlan(seed=1).apply(root)
+        connlog_lines = [
+            line for line in
+            (root / "connlog.tsv").read_text().splitlines()
+            if line.strip() and not line.startswith("#")]
+        assert report.written["connlog"] == len(connlog_lines)
+        assert report.written["kroot"] == len(
+            json.loads((root / "kroot.json").read_text()))
+        assert not report.faults
+
+    def test_deterministic_across_identical_bundles(self, world, tmp_path):
+        plan = FaultPlan.uniform(seed=5, rate=0.05)
+        first = plan.apply(fresh_bundle(world, tmp_path / "a"))
+        second = plan.apply(fresh_bundle(world, tmp_path / "b"))
+        strip = lambda report: [
+            (f.kind, f.line, f.records_delta) for f in report.faults]
+        assert strip(first) == strip(second)
+        assert (tmp_path / "a" / "connlog.tsv").read_text() \
+            == (tmp_path / "b" / "connlog.tsv").read_text()
+
+    def test_connlog_targets_disjoint(self, world, tmp_path):
+        root = fresh_bundle(world, tmp_path / "b")
+        report = FaultPlan.uniform(seed=5, rate=0.1).apply(root)
+        destructive = [
+            f.line for f in report.faults
+            if f.kind in (FaultKind.CONNLOG_GARBLED,
+                          FaultKind.CONNLOG_TRUNCATED,
+                          FaultKind.CONNLOG_DUPLICATED)]
+        assert len(destructive) == len(set(destructive))
+        swapped = {
+            line for f in report.faults
+            if f.kind is FaultKind.CONNLOG_OUT_OF_ORDER
+            for line in (f.line, f.line + 1)}
+        assert swapped.isdisjoint(destructive)
+
+    def test_expected_records_tracks_deltas(self, world, tmp_path):
+        root = fresh_bundle(world, tmp_path / "b")
+        plan = FaultPlan(seed=3, connlog_duplicated=0.1,
+                         kroot_missing_series=2)
+        report = plan.apply(root)
+        dups = report.count(FaultKind.CONNLOG_DUPLICATED)
+        assert dups > 0
+        assert (report.expected_records("connlog")
+                == report.written["connlog"] + dups)
+        assert (report.expected_records("kroot")
+                == report.written["kroot"] - 2)
+
+    def test_never_removes_last_pfx2as_month(self, world, tmp_path):
+        root = fresh_bundle(world, tmp_path / "b")
+        n_months = len(list((root / "pfx2as").glob("*.txt")))
+        FaultPlan(seed=2, pfx2as_missing_months=n_months + 5).apply(root)
+        assert len(list((root / "pfx2as").glob("*.txt"))) == 1
+
+    def test_drop_files_accounts_current_contents(self, world, tmp_path):
+        root = fresh_bundle(world, tmp_path / "b")
+        plan = FaultPlan(seed=4, connlog_duplicated=0.1,
+                         drop_files=("connlog.tsv",))
+        report = plan.apply(root)
+        assert not (root / "connlog.tsv").exists()
+        # Duplicates were inserted before the drop, so the dropped file
+        # held written + dups records; the net delta must cancel exactly.
+        assert report.expected_records("connlog") == 0
+
+    def test_unknown_drop_file_rejected(self, world, tmp_path):
+        root = fresh_bundle(world, tmp_path / "b")
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, drop_files=("meta.json",)).apply(root)
+
+
+class TestFaultReport:
+    def test_render_and_to_dict(self, world, tmp_path):
+        root = fresh_bundle(world, tmp_path / "b")
+        report = FaultPlan.uniform(seed=5, rate=0.05).apply(root)
+        text = report.render()
+        assert "seed 5" in text
+        assert FaultKind.CONNLOG_GARBLED.value in text
+        payload = report.to_dict()
+        assert payload["seed"] == 5
+        assert len(payload["faults"]) == len(report.faults)
+        assert payload["written"] == report.written
+
+    def test_empty_report(self):
+        report = FaultReport(seed=0)
+        assert report.records_delta("connlog") == 0
+        assert report.expected_records("connlog") == 0
+
+
+class TestFaultsCli:
+    def test_corrupts_in_place(self, world, tmp_path, capsys):
+        from repro.faults.cli import main
+        root = fresh_bundle(world, tmp_path / "b")
+        before = (root / "connlog.tsv").read_text()
+        assert main([str(root), "--seed", "1", "--rate", "0.05"]) == 0
+        assert "injected" in capsys.readouterr().out
+        assert (root / "connlog.tsv").read_text() != before
+
+    def test_json_output_and_drop(self, world, tmp_path, capsys):
+        from repro.faults.cli import main
+        root = fresh_bundle(world, tmp_path / "b")
+        assert main([str(root), "--seed", "1", "--rate", "0.0",
+                     "--drop", "uptime.tsv", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        kinds = {fault["kind"] for fault in payload["faults"]}
+        assert FaultKind.BUNDLE_MISSING_FILE.value in kinds
+        assert not (root / "uptime.tsv").exists()

@@ -8,6 +8,7 @@ from repro.errors import DatasetError, ParseError
 from repro.net.ipv4 import IPv4Address, IPv4Prefix
 from repro.net.pfx2as import AsMapping, IpToAsDataset, Pfx2AsSnapshot
 from repro.util import timeutil
+from repro.util.ingest import IngestReport, ReadPolicy
 
 
 def snapshot_with(*entries):
@@ -64,6 +65,22 @@ class TestSnapshotSerialization:
         with pytest.raises(ParseError):
             Pfx2AsSnapshot.read(io.StringIO(line + "\n"))
 
+    def test_strict_error_names_source_and_line(self):
+        text = "10.0.0.0\t8\t100\nbroken\n"
+        with pytest.raises(ParseError, match=r"2015-01\.txt: line 2:"):
+            Pfx2AsSnapshot.read(io.StringIO(text), source="2015-01.txt")
+
+    def test_repair_quarantines_bad_lines(self):
+        text = "10.0.0.0\t8\t100\nbroken\n11.0.0.0\t8\t200\n"
+        report = IngestReport()
+        snap = Pfx2AsSnapshot.read(io.StringIO(text),
+                                   policy=ReadPolicy.REPAIR,
+                                   report=report, source="2015-01.txt")
+        assert len(snap) == 2
+        ingest = report.dataset("pfx2as")
+        assert (ingest.parsed, ingest.quarantined) == (2, 1)
+        assert "2015-01.txt" in report.issues[0].format()
+
 
 class TestIpToAsDataset:
     def make_dataset(self):
@@ -96,3 +113,32 @@ class TestIpToAsDataset:
         dataset.add_snapshot(2015, 5, Pfx2AsSnapshot())
         dataset.add_snapshot(2015, 2, Pfx2AsSnapshot())
         assert dataset.months() == [(2015, 2), (2015, 5)]
+
+
+class TestMonthFallback:
+    def make_dataset(self, fallback):
+        dataset = IpToAsDataset(fallback=fallback)
+        dataset.add_snapshot(2015, 2, snapshot_with(("10.0.0.0/8", 200)))
+        dataset.add_snapshot(2015, 4, snapshot_with(("10.0.0.0/8", 400)))
+        return dataset
+
+    def test_gap_maps_to_nearest_earlier_month(self):
+        dataset = self.make_dataset(fallback=True)
+        addr = IPv4Address.parse("10.1.2.3")
+        assert dataset.origin_asn(addr, timeutil.epoch(2015, 3, 15)) == 200
+        assert dataset.origin_asn(addr, timeutil.epoch(2015, 6, 1)) == 400
+
+    def test_before_first_month_uses_earliest_later(self):
+        dataset = self.make_dataset(fallback=True)
+        addr = IPv4Address.parse("10.1.2.3")
+        assert dataset.origin_asn(addr, timeutil.epoch(2015, 1, 1)) == 200
+
+    def test_without_fallback_gap_still_raises(self):
+        dataset = self.make_dataset(fallback=False)
+        with pytest.raises(DatasetError):
+            dataset.snapshot_for(timeutil.epoch(2015, 3, 15))
+
+    def test_empty_dataset_raises_even_with_fallback(self):
+        dataset = IpToAsDataset(fallback=True)
+        with pytest.raises(DatasetError):
+            dataset.snapshot_for(timeutil.epoch(2015, 3, 15))

@@ -76,6 +76,104 @@ class TestLoad:
             load_bundle(root)
 
 
+class TestStrictFailures:
+    """DESIGN §6 failure-injection matrix under ReadPolicy.STRICT."""
+
+    @pytest.fixture()
+    def root(self, world, tmp_path):
+        return write_world(world, tmp_path / "bundle")
+
+    @pytest.mark.parametrize("name", ["archive.tsv", "connlog.tsv",
+                                      "uptime.tsv", "kroot.json"])
+    def test_missing_bundle_file_raises_dataset_error(self, root, name):
+        (root / name).unlink()
+        with pytest.raises(DatasetError, match="bundle file missing"):
+            load_bundle(root)
+
+    def test_malformed_meta_json_raises_dataset_error(self, root):
+        (root / "meta.json").write_text("{not json")
+        with pytest.raises(DatasetError, match="malformed JSON"):
+            load_bundle(root)
+
+    def test_malformed_archive_line_names_file_and_line(self, root):
+        with open(root / "archive.tsv", "a") as stream:
+            stream.write("x\tDE\tEU\t3\n")
+        lines = (root / "archive.tsv").read_text().splitlines()
+        with pytest.raises(ParseError,
+                           match=r"archive\.tsv: line %d:" % len(lines)):
+            load_bundle(root)
+
+    def test_bad_archive_version_names_file_and_line(self, root):
+        with open(root / "archive.tsv", "a") as stream:
+            stream.write("999999\tDE\tEU\t42\n")
+        with pytest.raises(ParseError, match=r"archive\.tsv: line \d+:"):
+            load_bundle(root)
+
+    def test_corrupted_connlog_line_names_file_and_line(self, root):
+        with open(root / "connlog.tsv", "a") as stream:
+            stream.write("!corrupt\n")
+        with pytest.raises(ParseError, match=r"connlog\.tsv: line \d+:"):
+            load_bundle(root)
+
+    def test_wrapped_uptime_counter_rejected(self, root):
+        with open(root / "uptime.tsv", "a") as stream:
+            stream.write("999999\t1\t%.0f\n" % 2 ** 32)
+        with pytest.raises(ParseError, match="32-bit wrap"):
+            load_bundle(root)
+
+    def test_malformed_kroot_state_names_source_and_index(self, root):
+        states = json.loads((root / "kroot.json").read_text())
+        del states[0]["cadence"]
+        (root / "kroot.json").write_text(json.dumps(states))
+        with pytest.raises(ParseError, match=r"kroot\.json: line 1:"):
+            load_bundle(root)
+
+    def test_bad_pfx2as_filename_rejected(self, root):
+        (root / "pfx2as" / "notamonth.txt").write_text("10.0.0.0\t8\t1\n")
+        with pytest.raises(DatasetError, match="unrecognized pfx2as"):
+            load_bundle(root)
+
+    def test_missing_pfx2as_month_surfaces_at_lookup(self, root):
+        for path in (root / "pfx2as").glob("*.txt"):
+            path.unlink()
+        bundle = load_bundle(root)
+        with pytest.raises(DatasetError, match="no pfx2as snapshot"):
+            bundle.ip2as.snapshot_for(bundle.start)
+
+
+class TestRepairLoad:
+    def test_clean_bundle_repair_matches_strict(self, bundle_dir):
+        from repro.util.ingest import IngestReport, ReadPolicy
+        report = IngestReport()
+        repaired = load_bundle(bundle_dir, policy=ReadPolicy.REPAIR,
+                               report=report)
+        strict = load_bundle(bundle_dir)
+        assert report.clean
+        assert repaired.connlog.entry_count() == strict.connlog.entry_count()
+        assert repaired.archive.probe_ids() == strict.archive.probe_ids()
+        assert repaired.ip2as.months() == strict.ip2as.months()
+        assert not repaired.ip2as.fallback
+
+    def test_missing_files_become_empty_datasets(self, world, tmp_path):
+        from repro.util.ingest import IngestReport, ReadPolicy
+        root = write_world(world, tmp_path / "b")
+        (root / "connlog.tsv").unlink()
+        report = IngestReport()
+        bundle = load_bundle(root, policy=ReadPolicy.REPAIR, report=report)
+        assert bundle.connlog.entry_count() == 0
+        assert not report.clean
+        assert any("connlog.tsv missing" in issue.message
+                   for issue in report.issues)
+
+    def test_meta_json_failures_stay_fatal_under_repair(
+            self, world, tmp_path):
+        from repro.util.ingest import ReadPolicy
+        root = write_world(world, tmp_path / "b")
+        (root / "meta.json").write_text("{not json")
+        with pytest.raises(DatasetError):
+            load_bundle(root, policy=ReadPolicy.REPAIR)
+
+
 class TestAnalysisEquivalence:
     def test_pipeline_over_bundle_matches_direct(self, bundle_dir, world):
         direct = pipeline_for_world(world).run()

@@ -1,0 +1,73 @@
+"""Tests for repro.util.ingest (read policy + ingest accounting)."""
+
+from repro.util.ingest import (
+    DatasetIngest,
+    IngestAction,
+    IngestReport,
+    ReadPolicy,
+    format_line_error,
+)
+
+
+class TestFormatLineError:
+    def test_unified_shape(self):
+        assert (format_line_error("data/connlog.tsv", 7, "bad record")
+                == "data/connlog.tsv: line 7: bad record")
+
+    def test_accepts_exception_objects(self):
+        message = format_line_error("x", 1, ValueError("boom"))
+        assert message.endswith("boom")
+
+
+class TestIngestReport:
+    def test_counts_accumulate_per_dataset(self):
+        report = IngestReport()
+        report.parsed("connlog", 3)
+        report.repaired("connlog", "f", 4, "re-sorted")
+        report.quarantined("connlog", "f", 9, "garbled")
+        report.parsed("uptime")
+        ingest = report.dataset("connlog")
+        assert (ingest.parsed, ingest.repaired, ingest.quarantined) == (3, 1, 1)
+        assert ingest.total == 5
+        assert report.dataset("uptime").total == 1
+
+    def test_notes_do_not_enter_record_counts(self):
+        report = IngestReport()
+        report.note("pfx2as", "dir", "month missing")
+        assert report.dataset("pfx2as").total == 0
+        assert len(report.issues_for("pfx2as")) == 1
+        assert report.issues[0].action is IngestAction.NOTE
+
+    def test_clean_flag(self):
+        report = IngestReport()
+        report.parsed("connlog")
+        assert report.clean
+        report.quarantined("connlog", "f", 1, "bad")
+        assert not report.clean
+
+    def test_render_lists_datasets_and_issues(self):
+        report = IngestReport()
+        report.parsed("connlog", 2)
+        report.quarantined("connlog", "log.tsv", 5, "garbled")
+        text = report.render()
+        assert "connlog" in text
+        assert "log.tsv:5" in text
+        assert "garbled" in text
+
+    def test_render_truncates_issue_list(self):
+        report = IngestReport()
+        for line in range(30):
+            report.quarantined("connlog", "f", line, "bad")
+        assert "... 10 more" in report.render(max_issues=20)
+
+    def test_to_dict_round_trips_counts(self):
+        report = IngestReport()
+        report.repaired("uptime", "u.tsv", 2, "unwrapped")
+        payload = report.to_dict()
+        assert payload["datasets"] == [DatasetIngest(
+            "uptime", repaired=1).to_dict()]
+        assert payload["issues"][0]["action"] == "repaired"
+
+    def test_policy_values(self):
+        assert ReadPolicy("strict") is ReadPolicy.STRICT
+        assert ReadPolicy("repair") is ReadPolicy.REPAIR
