@@ -19,8 +19,24 @@ from repro.experiments.scenarios import paper_results, paper_world
 
 
 def bench_scale() -> float:
-    """Scenario scale for benchmarks, from the environment."""
-    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+    """Scenario scale for benchmarks, from the environment.
+
+    Fails fast with an actionable message when ``REPRO_BENCH_SCALE`` is
+    unparsable or non-positive, instead of surfacing a bare
+    ``ValueError`` from deep inside a session fixture.
+    """
+    raw = os.environ.get("REPRO_BENCH_SCALE", "0.5")
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise pytest.UsageError(
+            "REPRO_BENCH_SCALE=%r is not a number; set it to a positive "
+            "scenario scale factor such as 0.5" % raw) from None
+    if scale <= 0:
+        raise pytest.UsageError(
+            "REPRO_BENCH_SCALE=%r must be positive; the scale multiplies "
+            "the paper scenario's probe populations" % raw)
+    return scale
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,135 @@
+"""Machine-readable runtime baseline: serial vs sharded vs warm cache.
+
+Writes ``BENCH_runtime.json`` (at the repo root by default) recording
+end-to-end analysis wall time over the paper scenario for:
+
+* ``serial``    — ``jobs=1``, no cache (the pre-runtime pipeline path);
+* ``parallel``  — ``jobs=N`` (default 4), no cache;
+* ``cold_cache``— ``jobs=N`` with an empty artifact cache (prime cost);
+* ``warm_cache``— ``jobs=1`` re-run against the primed cache.
+
+All four runs must produce the same canonical results digest — the
+harness asserts it — so the recorded speedups are for *identical* output.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/runtime_baseline.py
+    PYTHONPATH=src python benchmarks/runtime_baseline.py --scale 0.25 --jobs 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.runtime import (
+    RuntimeConfig,
+    code_version,
+    results_digest,
+    runner_for_bundle,
+)
+from repro.sim.io import load_bundle, write_world
+from repro.sim.scenario import paper_scenario
+from repro.sim.world import build_world
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _timed_run(bundle, config: RuntimeConfig) -> tuple[float, str, object]:
+    started = time.perf_counter()
+    runner = runner_for_bundle(bundle, config)
+    results = runner.run()
+    return time.perf_counter() - started, results_digest(results), runner
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Record the serial / sharded / warm-cache analysis "
+                    "baseline into BENCH_runtime.json")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="paper-scenario scale (default %(default)s)")
+    parser.add_argument("--seed", type=int, default=2015,
+                        help="scenario seed (default %(default)s)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="workers for the parallel runs "
+                             "(default %(default)s)")
+    parser.add_argument("--out", default=str(REPO_ROOT /
+                                             "BENCH_runtime.json"),
+                        help="output path (default %(default)s)")
+    args = parser.parse_args(argv)
+
+    print("simulating paper scenario (scale=%g seed=%d)..."
+          % (args.scale, args.seed), file=sys.stderr)
+    world = build_world(paper_scenario(scale=args.scale, seed=args.seed))
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        write_world(world, Path(tmp) / "bundle")
+        bundle = load_bundle(Path(tmp) / "bundle")
+
+        print("timing serial (jobs=1)...", file=sys.stderr)
+        serial_s, serial_digest, _ = _timed_run(bundle, RuntimeConfig())
+
+        print("timing parallel (jobs=%d)..." % args.jobs, file=sys.stderr)
+        parallel_s, parallel_digest, _ = _timed_run(
+            bundle, RuntimeConfig(jobs=args.jobs))
+
+        cache_dir = Path(tmp) / "cache"
+        print("timing cold cache (jobs=%d)..." % args.jobs, file=sys.stderr)
+        cold_s, cold_digest, _ = _timed_run(
+            bundle, RuntimeConfig(jobs=args.jobs, cache_dir=cache_dir))
+
+        print("timing warm cache (jobs=1)...", file=sys.stderr)
+        warm_s, warm_digest, warm_runner = _timed_run(
+            bundle, RuntimeConfig(jobs=1, cache_dir=cache_dir))
+
+        digests = {serial_digest, parallel_digest, cold_digest, warm_digest}
+        if len(digests) != 1:
+            raise AssertionError(
+                "execution modes disagree on results: %r" % (digests,))
+        if warm_runner.report.computed_stages:
+            raise AssertionError(
+                "warm run recomputed stages: %r"
+                % (warm_runner.report.computed_stages,))
+
+        payload = {
+            "scenario": {"scale": args.scale, "seed": args.seed,
+                         "probes": len(world.archive),
+                         "connlog_entries": world.connlog.entry_count(),
+                         "fingerprint": bundle.fingerprint},
+            "machine": {"python": platform.python_version(),
+                        "platform": platform.platform(),
+                        "cpu_count": os.cpu_count()},
+            "code_version": code_version(),
+            "results_digest": serial_digest,
+            "jobs": args.jobs,
+            "seconds": {"serial": round(serial_s, 3),
+                        "parallel": round(parallel_s, 3),
+                        "cold_cache": round(cold_s, 3),
+                        "warm_cache": round(warm_s, 3)},
+            "speedup_vs_serial": {
+                "parallel": round(serial_s / parallel_s, 2),
+                "warm_cache": round(serial_s / warm_s, 2)},
+        }
+        if (os.cpu_count() or 1) < args.jobs:
+            payload["notes"] = (
+                "parallel figure is not meaningful on this machine: "
+                "jobs=%d exceeds cpu_count=%d, so worker processes "
+                "time-slice a single core and fork/IPC overhead dominates"
+                % (args.jobs, os.cpu_count() or 1))
+
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload["seconds"]), file=sys.stderr)
+    print("wrote %s (parallel %.2fx, warm cache %.2fx vs serial)"
+          % (args.out, payload["speedup_vs_serial"]["parallel"],
+             payload["speedup_vs_serial"]["warm_cache"]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

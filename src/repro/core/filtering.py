@@ -118,6 +118,18 @@ class FilterReport:
         ]
 
 
+def report_from_verdicts(verdicts: dict[int, ProbeVerdict]) -> FilterReport:
+    """Assemble the Table 2 report from per-probe verdicts.
+
+    The total excludes short-lived probes, matching the paper's Table 2
+    denominator.  Split out from :meth:`ProbeFilter.run` so a sharded
+    executor can merge per-shard verdict maps into the identical report.
+    """
+    total = sum(1 for v in verdicts.values()
+                if v.category is not ProbeCategory.SHORT_LIVED)
+    return FilterReport(verdicts=verdicts, total=total)
+
+
 def looks_multihomed(addresses: Sequence[IPv4Address],
                      min_runs: int = MULTIHOMED_MIN_RUNS) -> bool:
     """Heuristic from Section 3.2: one address recurs in many separate runs.
@@ -147,16 +159,12 @@ class ProbeFilter:
 
     def run(self) -> FilterReport:
         """Classify every probe in the log."""
-        verdicts: dict[int, ProbeVerdict] = {}
-        total = 0
-        for probe_id in self._connlog.probe_ids():
-            verdict = self._classify(probe_id)
-            verdicts[probe_id] = verdict
-            if verdict.category is not ProbeCategory.SHORT_LIVED:
-                total += 1
-        return FilterReport(verdicts=verdicts, total=total)
+        verdicts = {probe_id: self.classify(probe_id)
+                    for probe_id in self._connlog.probe_ids()}
+        return report_from_verdicts(verdicts)
 
-    def _classify(self, probe_id: int) -> ProbeVerdict:
+    def classify(self, probe_id: int) -> ProbeVerdict:
+        """Classify one probe; pure per-probe kernel, shard-safe."""
         entries = self._connlog.entries(probe_id)
         if self._connlog.total_connected_time(probe_id) < self._min_connected:
             return ProbeVerdict(probe_id, ProbeCategory.SHORT_LIVED)

@@ -5,6 +5,15 @@ extract spans/changes/durations, detect reboots and firmware campaigns,
 associate gaps with outages, and compute per-probe outage statistics.
 :class:`AnalysisResults` then exposes one method per table/figure, which
 the experiment drivers and benchmarks call.
+
+Each stage is a named, module-level pure function (``stage_filter``,
+``stage_spans``, ``stage_changes``, ``stage_reboots``, ``stage_gaps``,
+``stage_stats``, ``stage_v3``) of its declared inputs only, plus per-probe
+kernels (``probe_spans``, ``probe_gap_events``) for the stages that are
+embarrassingly parallel across probes.  :class:`AnalysisPipeline` chains
+them serially; :mod:`repro.runtime` wires the same functions into a stage
+graph and fans the per-probe kernels out over shards, so the two paths
+cannot drift apart.
 """
 
 from __future__ import annotations
@@ -228,6 +237,114 @@ class AnalysisResults:
         return bucket_outages(events)
 
 
+# -- named pure stage functions ---------------------------------------------
+#
+# The decomposition of the serial pipeline.  Every function depends only on
+# its arguments, so results are a pure function of the input datasets; the
+# per-probe kernels are additionally independent across probes, which is
+# what makes shard-parallel execution (repro.runtime) bit-identical to the
+# serial path.
+
+def stage_filter(connlog: ConnectionLog, archive: ProbeArchive,
+                 ip2as: IpToAsDataset,
+                 min_connected: float = 30 * timeutil.DAY) -> FilterReport:
+    """Stage ``filter``: classify every probe (Table 2)."""
+    return ProbeFilter(connlog, archive, ip2as,
+                       min_connected=min_connected).run()
+
+
+def probe_spans(entries) -> tuple[list[AddressSpan], list[float]]:
+    """Per-probe kernel for stage ``spans``: spans and known durations."""
+    spans = extract_spans(entries)
+    return spans, known_durations(spans)
+
+
+def stage_spans(filter_report: FilterReport
+                ) -> tuple[dict[int, list[AddressSpan]],
+                           dict[int, list[float]]]:
+    """Stage ``spans``: address spans/durations per geography probe."""
+    spans_by_probe: dict[int, list[AddressSpan]] = {}
+    durations_by_probe: dict[int, list[float]] = {}
+    for probe_id in filter_report.analyzable_geo():
+        spans, durations = probe_spans(filter_report.verdicts[probe_id].entries)
+        spans_by_probe[probe_id] = spans
+        if durations:
+            durations_by_probe[probe_id] = durations
+    return spans_by_probe, durations_by_probe
+
+
+def stage_changes(filter_report: FilterReport
+                  ) -> tuple[dict[int, list[AddressChange]], dict[int, int]]:
+    """Stage ``changes``: changes and home AS per single-AS probe."""
+    changes_by_probe: dict[int, list[AddressChange]] = {}
+    asn_by_probe: dict[int, int] = {}
+    for probe_id in filter_report.analyzable_as():
+        verdict = filter_report.verdicts[probe_id]
+        if verdict.asn is None:
+            continue
+        changes_by_probe[probe_id] = verdict.changes
+        asn_by_probe[probe_id] = verdict.asn
+    return changes_by_probe, asn_by_probe
+
+
+def aggregate_reboots(raw_reboots: Mapping[int, list]
+                      ) -> tuple[dict[int, int], list[int], dict[int, list]]:
+    """Aggregation half of stage ``reboots``.
+
+    Per-probe detection is shard-parallel; this global barrier (firmware
+    campaigns are inferred from the all-probe day histogram) is what the
+    sharded executor runs in the parent after merging shard results.
+    """
+    day_counts = reboots_per_day(raw_reboots)
+    firmware_days = detect_firmware_days(day_counts)
+    campaign_times = [timeutil.YEAR_2015_START + (day - 1) * timeutil.DAY
+                      for day in firmware_days]
+    filtered = firmware_filtered_reboots(raw_reboots, campaign_times)
+    return day_counts, firmware_days, filtered
+
+
+def stage_reboots(uptime: UptimeDataset
+                  ) -> tuple[dict[int, int], list[int], dict[int, list]]:
+    """Stage ``reboots``: day counts, firmware days, filtered reboots."""
+    return aggregate_reboots(detect_all_reboots(uptime))
+
+
+def probe_gap_events(entries, series, reboots) -> list[GapEvent]:
+    """Per-probe kernel for stage ``gaps``: classify one probe's gaps."""
+    return associate_probe_gaps(entries, series, reboots)
+
+
+def stage_gaps(filter_report: FilterReport, kroot: KRootDataset,
+               filtered_reboots: Mapping[int, list]
+               ) -> dict[int, list[GapEvent]]:
+    """Stage ``gaps``: associate connection gaps with observed outages."""
+    gap_events_by_probe: dict[int, list[GapEvent]] = {}
+    for probe_id in filter_report.analyzable_as():
+        if not kroot.has_probe(probe_id):
+            continue
+        gap_events_by_probe[probe_id] = probe_gap_events(
+            filter_report.verdicts[probe_id].entries, kroot.series(probe_id),
+            filtered_reboots.get(probe_id, []))
+    return gap_events_by_probe
+
+
+def stage_stats(gap_events_by_probe: Mapping[int, list[GapEvent]]
+                ) -> dict[int, ProbeOutageStats]:
+    """Stage ``stats``: per-probe conditional outage statistics."""
+    return {probe_id: probe_outage_stats(probe_id, events)
+            for probe_id, events in gap_events_by_probe.items()}
+
+
+def stage_v3(asn_by_probe: Mapping[int, int],
+             archive: ProbeArchive) -> set[int]:
+    """Stage ``v3``: single-AS probes with v3 hardware (power analysis)."""
+    return {
+        pid for pid in asn_by_probe
+        if archive.has_probe(pid)
+        and archive.get(pid).version is ProbeVersion.V3
+    }
+
+
 class AnalysisPipeline:
     """Runs the full analysis over one set of input datasets.
 
@@ -256,56 +373,18 @@ class AnalysisPipeline:
         self._min_connected = min_connected
 
     def run(self) -> AnalysisResults:
-        """Execute all stages and return the results object."""
-        filter_report = ProbeFilter(self._connlog, self._archive,
-                                    self._ip2as,
-                                    min_connected=self._min_connected).run()
-
-        spans_by_probe: dict[int, list[AddressSpan]] = {}
-        durations_by_probe: dict[int, list[float]] = {}
-        for probe_id in filter_report.analyzable_geo():
-            verdict = filter_report.verdicts[probe_id]
-            spans = extract_spans(verdict.entries)
-            spans_by_probe[probe_id] = spans
-            durations = known_durations(spans)
-            if durations:
-                durations_by_probe[probe_id] = durations
-
-        changes_by_probe: dict[int, list[AddressChange]] = {}
-        asn_by_probe: dict[int, int] = {}
-        for probe_id in filter_report.analyzable_as():
-            verdict = filter_report.verdicts[probe_id]
-            if verdict.asn is None:
-                continue
-            changes_by_probe[probe_id] = verdict.changes
-            asn_by_probe[probe_id] = verdict.asn
-
-        raw_reboots = detect_all_reboots(self._uptime)
-        day_counts = reboots_per_day(raw_reboots)
-        firmware_days = detect_firmware_days(day_counts)
-        campaign_times = [timeutil.YEAR_2015_START
-                          + (day - 1) * timeutil.DAY
-                          for day in firmware_days]
-        filtered_reboots = firmware_filtered_reboots(raw_reboots,
-                                                     campaign_times)
-
-        gap_events_by_probe: dict[int, list[GapEvent]] = {}
-        stats_by_probe: dict[int, ProbeOutageStats] = {}
-        for probe_id in filter_report.analyzable_as():
-            verdict = filter_report.verdicts[probe_id]
-            if not self._kroot.has_probe(probe_id):
-                continue
-            events = associate_probe_gaps(
-                verdict.entries, self._kroot.series(probe_id),
-                filtered_reboots.get(probe_id, []))
-            gap_events_by_probe[probe_id] = events
-            stats_by_probe[probe_id] = probe_outage_stats(probe_id, events)
-
-        v3_probes = {
-            pid for pid in asn_by_probe
-            if self._archive.has_probe(pid)
-            and self._archive.get(pid).version is ProbeVersion.V3
-        }
+        """Execute all stages serially and return the results object."""
+        filter_report = stage_filter(self._connlog, self._archive,
+                                     self._ip2as,
+                                     min_connected=self._min_connected)
+        spans_by_probe, durations_by_probe = stage_spans(filter_report)
+        changes_by_probe, asn_by_probe = stage_changes(filter_report)
+        day_counts, firmware_days, filtered_reboots = stage_reboots(
+            self._uptime)
+        gap_events_by_probe = stage_gaps(filter_report, self._kroot,
+                                         filtered_reboots)
+        stats_by_probe = stage_stats(gap_events_by_probe)
+        v3_probes = stage_v3(asn_by_probe, self._archive)
 
         return AnalysisResults(
             filter_report=filter_report,

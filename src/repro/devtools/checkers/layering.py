@@ -16,8 +16,12 @@ layer or a lower one:
                                          │           bundles sim.io wrote;
                                          │           consumed by tests and
                                          │           its own CLI only)
-                                         └─ core          (rank 8: analysis)
-                                              └─ experiments     (rank 9)
+                                         └─ core     (rank 8: analysis)
+                                              └─ runtime    (rank 9:
+                                              │    sharded executor +
+                                              │    artifact cache over the
+                                              │    core stage functions)
+                                              └─ experiments    (rank 10)
 
 ``repro.devtools`` (this lint framework) sits outside the DAG entirely: it
 may import nothing from the runtime layers and nothing may import it.  The
@@ -51,7 +55,8 @@ LAYER_RANKS = {
     "sim": 6,
     "faults": 7,
     "core": 8,
-    "experiments": 9,
+    "runtime": 9,
+    "experiments": 10,
 }
 
 #: The lint framework: self-contained, outside the runtime DAG.

@@ -4,7 +4,12 @@ Usage::
 
     repro-experiment table5
     repro-experiment figure9 --scale 0.3 --seed 11
+    repro-experiment table5 --data data/ --jobs 4 --cache-dir .repro-cache
     repro-experiment --list
+
+``--jobs``, ``--cache-dir`` and ``--no-cache`` route the analysis through
+the sharded executor (:mod:`repro.runtime`); output is identical for any
+job count, and a warm cache skips every unchanged stage.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from repro.experiments import (  # noqa: F401  (registration)
 )
 from repro.experiments.registry import experiment_ids, get_experiment
 from repro.experiments.scenarios import DEFAULT_SCALE, paper_results
+from repro.runtime.cli import add_runtime_arguments, runtime_config
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -45,6 +51,7 @@ def main(argv: list[str] | None = None) -> int:
                              "records and degrades gracefully, printing an "
                              "ingest summary to stderr (default "
                              "%(default)s)")
+    add_runtime_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.list or not args.experiment:
@@ -58,9 +65,11 @@ def main(argv: list[str] | None = None) -> int:
         print(error, file=sys.stderr)
         return 2
 
+    # --jobs/--cache-dir route through the sharded executor; the plain
+    # serial path keeps the per-process lru_cache of paper_results.
+    use_runtime = args.jobs != 1 or args.cache_dir is not None
     if inspect.signature(driver).parameters:
         if args.data is not None:
-            from repro.core.pipeline import pipeline_for_bundle
             from repro.sim.io import load_bundle
             from repro.util.ingest import IngestReport, ReadPolicy
             policy = ReadPolicy(args.read_policy)
@@ -68,7 +77,18 @@ def main(argv: list[str] | None = None) -> int:
             bundle = load_bundle(args.data, policy=policy, report=report)
             if policy is ReadPolicy.REPAIR and not report.clean:
                 print(report.render(), file=sys.stderr)
-            results = pipeline_for_bundle(bundle).run()
+            if use_runtime:
+                from repro.runtime.executor import runner_for_bundle
+                results = runner_for_bundle(bundle,
+                                            runtime_config(args)).run()
+            else:
+                from repro.core.pipeline import pipeline_for_bundle
+                results = pipeline_for_bundle(bundle).run()
+        elif use_runtime:
+            from repro.experiments.scenarios import paper_world
+            from repro.runtime.executor import runner_for_world
+            world = paper_world(scale=args.scale, seed=args.seed)
+            results = runner_for_world(world, runtime_config(args)).run()
         else:
             results = paper_results(scale=args.scale, seed=args.seed)
         output = driver(results)

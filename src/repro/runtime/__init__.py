@@ -1,0 +1,54 @@
+"""repro.runtime — sharded parallel execution with artifact caching.
+
+The analysis pipeline (:mod:`repro.core.pipeline`) is a chain of pure
+stage functions, embarrassingly parallel per probe and fully deterministic.
+This package exploits both properties:
+
+* :mod:`repro.runtime.stages` declares the pipeline as an explicit stage
+  graph — named stages with declared inputs and outputs, validated as a
+  DAG;
+* :mod:`repro.runtime.executor` partitions probes into deterministic
+  shards and fans the per-probe stages out over a process pool, merging
+  shard results in canonical order so ``jobs=N`` output is bit-identical
+  to ``jobs=1``;
+* :mod:`repro.runtime.cache` stores stage outputs content-addressed on
+  the bundle fingerprint, stage name, code version and parameters, so
+  warm re-runs skip every unchanged stage.
+
+``repro-run`` (:mod:`repro.runtime.cli`) drives the graph from the shell;
+``repro-experiment`` threads ``--jobs/--cache-dir/--no-cache`` through to
+the same executor.
+"""
+
+from repro.runtime.cache import ArtifactCache, CacheStats, code_version
+from repro.runtime.digest import results_digest
+from repro.runtime.executor import (
+    RunReport,
+    RuntimeConfig,
+    ShardedRunner,
+    StageTiming,
+    runner_for_bundle,
+    runner_for_world,
+    world_fingerprint,
+)
+from repro.runtime.sharding import partition, shard_count
+from repro.runtime.stages import STAGES, StageSpec, topological_order
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "RunReport",
+    "RuntimeConfig",
+    "ShardedRunner",
+    "STAGES",
+    "StageSpec",
+    "StageTiming",
+    "code_version",
+    "partition",
+    "results_digest",
+    "runner_for_bundle",
+    "runner_for_world",
+    "shard_count",
+    "topological_order",
+    "world_fingerprint",
+]

@@ -1,0 +1,165 @@
+"""Content-addressed artifact cache for stage outputs.
+
+An artifact is one stage's output bundle, pickled to disk under a key
+derived from everything the output is a function of::
+
+    key = H(bundle fingerprint, stage name, code version, parameters)
+
+*Bundle fingerprint* is the content hash :mod:`repro.sim.io` computes
+over the dataset files at load time; *code version* hashes the source of
+every package that can influence stage results, so editing an analysis
+function invalidates the cache without any manual version bump; the
+*parameters* token covers scalar knobs such as ``min_connected``.  Keys
+say nothing about ``jobs`` or shard counts — the executor guarantees
+those do not change outputs, so a cache written by a parallel run warms
+a serial one and vice versa.
+
+The store is a flat directory of ``<key-prefix>/<key>.pkl`` files with
+atomic writes (temp file + rename), corrupt-entry self-healing (a
+truncated pickle is treated as a miss and deleted), and LRU eviction by
+access time once the store exceeds ``max_bytes``.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+
+import repro
+from repro.util import fingerprint as fp
+
+#: Packages whose source feeds the code-version hash: everything at or
+#: below ``core`` in the layer DAG that analysis results flow through,
+#: plus this package (executor/merge logic).
+CODE_VERSION_PACKAGES = ("errors.py", "util", "net", "atlas", "core",
+                         "runtime")
+
+#: Default store budget; a paper-scale bundle's artifacts are ~tens of MB.
+DEFAULT_MAX_BYTES = 2 * 1024 ** 3
+
+
+@lru_cache(maxsize=1)
+def code_version() -> str:
+    """Fingerprint of the analysis-relevant source tree.
+
+    Hashed once per process: the set of ``.py`` files (sorted by
+    package-relative path) and their contents under
+    :data:`CODE_VERSION_PACKAGES`.
+    """
+    root = Path(repro.__file__).parent
+    paths: list[Path] = []
+    for name in CODE_VERSION_PACKAGES:
+        target = root / name
+        if target.is_file():
+            paths.append(target)
+        else:
+            paths.extend(sorted(target.rglob("*.py")))
+    return fp.hash_files(paths)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one cache handle's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evicted: int = 0
+    #: Stage names served from cache, in lookup order.
+    hit_stages: list[str] = field(default_factory=list)
+    miss_stages: list[str] = field(default_factory=list)
+
+
+class ArtifactCache:
+    """Disk-backed, content-addressed store for pickled stage outputs."""
+
+    def __init__(self, directory: str | Path,
+                 max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        self.directory = Path(directory)
+        self.max_bytes = max_bytes
+        self.stats = CacheStats()
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- keys ---------------------------------------------------------------
+
+    @staticmethod
+    def key(bundle_fingerprint: str, stage: str, version: str,
+            params: str) -> str:
+        """Content address of one stage's outputs."""
+        return fp.combine(bundle_fingerprint, stage, version, params)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / (key + ".pkl")
+
+    # -- store/load ---------------------------------------------------------
+
+    def load(self, key: str, stage: str = "") -> tuple[bool, object]:
+        """Fetch an artifact; ``(False, None)`` on miss or corruption."""
+        path = self._path(key)
+        try:
+            with open(path, "rb") as stream:
+                value = pickle.load(stream)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            self.stats.miss_stages.append(stage or key)
+            return False, None
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError):
+            # A truncated or stale entry (e.g. a class that no longer
+            # unpickles) must behave exactly like a miss.
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            self.stats.miss_stages.append(stage or key)
+            return False, None
+        os.utime(path)  # refresh LRU access time
+        self.stats.hits += 1
+        self.stats.hit_stages.append(stage or key)
+        return True, value
+
+    def store(self, key: str, value: object) -> None:
+        """Write an artifact atomically, then enforce the size budget."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp.%d" % os.getpid())
+        with open(tmp, "wb") as stream:
+            pickle.dump(value, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        self.evict()
+
+    # -- maintenance --------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        """All artifact files, oldest access first."""
+        found = sorted(self.directory.glob("*/*.pkl"),
+                       key=lambda path: (path.stat().st_mtime, path.name))
+        return found
+
+    def total_bytes(self) -> int:
+        """Bytes currently stored."""
+        return sum(path.stat().st_size for path in self.entries())
+
+    def evict(self) -> int:
+        """Drop least-recently-used artifacts until under ``max_bytes``."""
+        removed = 0
+        entries = self.entries()
+        total = sum(path.stat().st_size for path in entries)
+        for path in entries:
+            if total <= self.max_bytes:
+                break
+            total -= path.stat().st_size
+            path.unlink(missing_ok=True)
+            removed += 1
+        self.stats.evicted += removed
+        return removed
+
+    def clear(self) -> int:
+        """Remove every artifact (``repro-run --clear-cache``)."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,57 @@
+"""Canonical digest of an :class:`AnalysisResults`.
+
+The executor's equivalence guarantee ("``jobs=N`` is bit-identical to
+``jobs=1``, warm cache identical to cold") needs a way to compare two
+results objects exactly.  This module serializes every derived output —
+per-probe spans, durations, changes, gap events, outage stats, reboot
+aggregates — into one canonical string (sorted keys, ``repr`` floats,
+which round-trips exactly) and hashes it.  Two results with equal digests
+agree on every table and figure, since all of those are pure functions of
+the digested fields.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import fields, is_dataclass
+
+from repro.core.pipeline import AnalysisResults
+from repro.util import fingerprint as fp
+
+
+def _canon(value: object) -> str:
+    """Deterministic, type-tagged rendering of one value."""
+    if is_dataclass(value) and not isinstance(value, type):
+        parts = ",".join("%s=%s" % (f.name, _canon(getattr(value, f.name)))
+                         for f in fields(value))
+        return "%s(%s)" % (type(value).__name__, parts)
+    if isinstance(value, enum.Enum):
+        return "%s.%s" % (type(value).__name__, value.name)
+    if isinstance(value, dict):
+        items = ",".join("%s:%s" % (_canon(key), _canon(value[key]))
+                         for key in sorted(value))
+        return "{%s}" % items
+    if isinstance(value, (set, frozenset)):
+        return "{%s}" % ",".join(_canon(item) for item in sorted(value))
+    if isinstance(value, (list, tuple)):
+        return "[%s]" % ",".join(_canon(item) for item in value)
+    # repr() of float is the shortest exact round-trip representation, so
+    # any bit-level numeric divergence changes the digest.
+    return repr(value)
+
+
+def results_digest(results: AnalysisResults) -> str:
+    """Hex fingerprint over every derived output of one analysis run."""
+    payload = _canon({
+        "table2": results.table2_rows(),
+        "spans": results.spans_by_probe,
+        "durations": results.durations_by_probe,
+        "changes": results.changes_by_probe,
+        "asn": results.asn_by_probe,
+        "gaps": results.gap_events_by_probe,
+        "stats": results.stats_by_probe,
+        "reboot_days": results.reboot_day_counts,
+        "firmware_days": results.firmware_days,
+        "v3": results._v3_probes,
+    })
+    return fp.hash_text(payload)

@@ -1,0 +1,373 @@
+"""The sharded, cache-aware stage-graph executor.
+
+:class:`ShardedRunner` walks the stage graph in topological order.  For
+each stage it first consults the artifact cache (keyed on the bundle
+fingerprint, stage name, code version and parameters — never on ``jobs``,
+because outputs are guaranteed identical across job counts); on a miss it
+either runs the stage function inline or, for per-probe stages with
+``jobs > 1``, partitions the probe ids into deterministic shards and fans
+them out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Equivalence guarantee: shards are contiguous chunks of the sorted probe
+ids, shard results are merged in shard order, and every kernel is a pure
+per-probe function, so the merged artifacts — and therefore every table
+and figure — are bit-identical to the serial pipeline's.  The test suite
+pins this with :func:`repro.runtime.digest.results_digest`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Mapping
+
+from repro.core.pipeline import (
+    AnalysisResults,
+    aggregate_reboots,
+    stage_filter,
+)
+from repro.core.filtering import FilterReport, report_from_verdicts
+from repro.runtime import workers
+from repro.runtime.cache import DEFAULT_MAX_BYTES, ArtifactCache, code_version
+from repro.runtime.sharding import partition, shard_count
+from repro.runtime.stages import STAGES, StageSpec, topological_order
+from repro.util import fingerprint as fp
+from repro.util import timeutil
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Execution knobs, orthogonal to what is computed."""
+
+    #: Worker processes; 1 means run everything in-process.
+    jobs: int = 1
+    #: Explicit shard count; default ``jobs * OVERSHARD`` per stage.
+    shards: int | None = None
+    #: Artifact cache directory; ``None`` disables caching entirely.
+    cache_dir: str | Path | None = None
+    #: Cache eviction budget.
+    max_cache_bytes: int = DEFAULT_MAX_BYTES
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1, got %r" % (self.jobs,))
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be >= 1, got %r" % (self.shards,))
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """How one stage executed."""
+
+    name: str
+    seconds: float
+    #: Served from the artifact cache (no computation at all).
+    cached: bool
+    #: Computed via the process pool (vs inline in the parent).
+    sharded: bool
+
+
+@dataclass
+class RunReport:
+    """Execution account of one :meth:`ShardedRunner.run`."""
+
+    jobs: int
+    fingerprint: str
+    timings: list[StageTiming] = field(default_factory=list)
+
+    @property
+    def cached_stages(self) -> list[str]:
+        return [t.name for t in self.timings if t.cached]
+
+    @property
+    def computed_stages(self) -> list[str]:
+        return [t.name for t in self.timings if not t.cached]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(t.seconds for t in self.timings)
+
+    def render(self) -> str:
+        """Stage table for ``repro-run``."""
+        lines = ["%-8s  %9s  %s" % ("stage", "seconds", "mode")]
+        for timing in self.timings:
+            mode = ("cached" if timing.cached
+                    else "sharded" if timing.sharded else "inline")
+            lines.append("%-8s  %9.3f  %s"
+                         % (timing.name, timing.seconds, mode))
+        lines.append("%-8s  %9.3f  jobs=%d"
+                      % ("total", self.total_seconds, self.jobs))
+        return "\n".join(lines)
+
+
+class ShardedRunner:
+    """Runs the analysis stage graph over one set of datasets."""
+
+    def __init__(self, connlog, archive, kroot, uptime, ip2as,
+                 as_names: Mapping[int, str] | None = None,
+                 as_countries: Mapping[int, str] | None = None,
+                 min_connected: float = 30 * timeutil.DAY,
+                 fingerprint: str = "",
+                 config: RuntimeConfig | None = None) -> None:
+        self._connlog = connlog
+        self._archive = archive
+        self._kroot = kroot
+        self._uptime = uptime
+        self._ip2as = ip2as
+        self._as_names = dict(as_names or {})
+        self._as_countries = dict(as_countries or {})
+        self._min_connected = min_connected
+        self.fingerprint = fingerprint
+        self.config = config or RuntimeConfig()
+        self.cache: ArtifactCache | None = None
+        if self.config.cache_dir is not None:
+            self.cache = ArtifactCache(
+                self.config.cache_dir,
+                max_bytes=self.config.max_cache_bytes)
+        self.report = RunReport(jobs=self.config.jobs,
+                                fingerprint=fingerprint)
+        self._pool: ProcessPoolExecutor | None = None
+
+    # -- public -------------------------------------------------------------
+
+    def run(self) -> AnalysisResults:
+        """Execute every stage (cache-skipping) and assemble the results."""
+        artifacts: dict[str, object] = {
+            "connlog": self._connlog,
+            "archive": self._archive,
+            "ip2as": self._ip2as,
+            "uptime": self._uptime,
+            "kroot": self._kroot,
+            "min_connected": self._min_connected,
+        }
+        self.report = RunReport(jobs=self.config.jobs,
+                                fingerprint=self.fingerprint)
+        params = fp.combine("min_connected", repr(self._min_connected))
+        version = code_version()
+        try:
+            for spec in topological_order():
+                started = time.perf_counter()
+                outputs, cached, sharded = self._run_stage(
+                    spec, artifacts, version, params)
+                artifacts.update(outputs)
+                self.report.timings.append(StageTiming(
+                    spec.name, time.perf_counter() - started, cached,
+                    sharded))
+        finally:
+            if self._pool is not None:
+                self._pool.shutdown()
+                self._pool = None
+                workers.reset_worker()
+        return self._assemble(artifacts)
+
+    # -- stage execution ----------------------------------------------------
+
+    def _run_stage(self, spec: StageSpec, artifacts: dict, version: str,
+                   params: str) -> tuple[dict, bool, bool]:
+        key = None
+        if self.cache is not None and self.fingerprint:
+            key = ArtifactCache.key(self.fingerprint, spec.name, version,
+                                    params)
+            hit, value = self.cache.load(key, stage=spec.name)
+            if hit:
+                return value, True, False
+        sharded = self.config.jobs > 1 and spec.fan_out
+        if not sharded and spec.name in ("spans", "gaps"):
+            self._ensure_full_filter_report(artifacts)
+        if sharded:
+            outputs = self._compute_sharded(spec, artifacts)
+        else:
+            result = spec.func(*(artifacts[name] for name in spec.inputs))
+            values = result if len(spec.outputs) > 1 else (result,)
+            outputs = dict(zip(spec.outputs, values))
+        if key is not None:
+            self.cache.store(key, self._cacheable(spec, outputs))
+        return outputs, False, sharded
+
+    @staticmethod
+    def _cacheable(spec: StageSpec, outputs: dict) -> dict:
+        """What actually goes to disk for one stage's outputs.
+
+        The filter report's per-probe connlog entries are a pure
+        intermediate — several times larger than every derived result
+        combined, and only consumed by later *compute* paths (which
+        re-derive them from the raw datasets anyway when sharded).
+        Stripping them keeps warm-cache loads fast; the serial compute
+        path restores them on demand via
+        :meth:`_ensure_full_filter_report`.
+        """
+        if spec.name != "filter":
+            return outputs
+        report: FilterReport = outputs["filter_report"]
+        slim = FilterReport(
+            verdicts={pid: replace(verdict, entries=[])
+                      for pid, verdict in report.verdicts.items()},
+            total=report.total)
+        slim.entries_stripped = True  # type: ignore[attr-defined]
+        return {"filter_report": slim}
+
+    def _ensure_full_filter_report(self, artifacts: dict) -> None:
+        """Recompute the filter report when a cached slim copy is about
+        to feed a serial per-probe stage that needs raw entries.
+
+        Only reachable on a *partial* cache hit (filter cached, a later
+        stage evicted or corrupted): all stage keys share the same
+        fingerprint/version/params, so a normal warm run hits every
+        stage and never lands here.
+        """
+        report = artifacts.get("filter_report")
+        if report is not None and getattr(report, "entries_stripped",
+                                          False):
+            artifacts["filter_report"] = stage_filter(
+                self._connlog, self._archive, self._ip2as,
+                self._min_connected)
+
+    def _map_shards(self, task, shards: list) -> list:
+        """Run one task per shard on the pool, results in shard order."""
+        if self._pool is None:
+            context = workers.WorkerContext(
+                connlog=self._connlog, archive=self._archive,
+                ip2as=self._ip2as, kroot=self._kroot, uptime=self._uptime,
+                min_connected=self._min_connected)
+            try:
+                mp_context = multiprocessing.get_context("fork")
+            except ValueError:
+                mp_context = None
+            if mp_context is not None:
+                # Install the context parent-side: forked workers inherit
+                # it for free instead of unpickling it once per process.
+                workers.init_worker(context)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.config.jobs, mp_context=mp_context)
+            else:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.config.jobs,
+                    initializer=workers.init_worker, initargs=(context,))
+        return list(self._pool.map(task, shards))
+
+    def _shards_of(self, probe_ids: list) -> list[list]:
+        return partition(probe_ids, shard_count(
+            self.config.jobs, len(probe_ids), self.config.shards))
+
+    def _compute_sharded(self, spec: StageSpec, artifacts: dict) -> dict:
+        """Fan one per-probe stage out over shards; merge canonically.
+
+        Probe ids are sorted (dataset accessors return them sorted),
+        shards are contiguous chunks, and the merge folds shard dicts in
+        shard order — so merged iteration order equals the serial path's.
+        """
+        if spec.name == "filter":
+            shards = self._shards_of(self._connlog.probe_ids())
+            verdicts: dict = {}
+            for chunk in self._map_shards(workers.shard_filter, shards):
+                verdicts.update(chunk)
+            return {"filter_report": report_from_verdicts(verdicts)}
+
+        if spec.name == "spans":
+            filter_report = artifacts["filter_report"]
+            shards = self._shards_of(filter_report.analyzable_geo())
+            spans_by_probe: dict = {}
+            durations_by_probe: dict = {}
+            for chunk in self._map_shards(workers.shard_spans, shards):
+                for probe_id, (spans, durations) in chunk.items():
+                    spans_by_probe[probe_id] = spans
+                    if durations:
+                        durations_by_probe[probe_id] = durations
+            return {"spans_by_probe": spans_by_probe,
+                    "durations_by_probe": durations_by_probe}
+
+        if spec.name == "reboots":
+            shards = self._shards_of(self._uptime.probe_ids())
+            raw: dict = {}
+            for chunk in self._map_shards(workers.shard_reboots, shards):
+                raw.update(chunk)
+            day_counts, firmware_days, filtered = aggregate_reboots(raw)
+            return {"reboot_day_counts": day_counts,
+                    "firmware_days": firmware_days,
+                    "filtered_reboots": filtered}
+
+        if spec.name == "gaps":
+            filter_report = artifacts["filter_report"]
+            filtered = artifacts["filtered_reboots"]
+            eligible = [pid for pid in filter_report.analyzable_as()
+                        if self._kroot.has_probe(pid)]
+            items = [(pid, filtered.get(pid, [])) for pid in eligible]
+            shards = self._shards_of(items)
+            gap_events: dict = {}
+            for chunk in self._map_shards(workers.shard_gaps, shards):
+                gap_events.update(chunk)
+            return {"gap_events_by_probe": gap_events}
+
+        raise ValueError("stage %r is not fan-out capable" % (spec.name,))
+
+    # -- assembly -----------------------------------------------------------
+
+    def _assemble(self, artifacts: dict) -> AnalysisResults:
+        return AnalysisResults(
+            filter_report=artifacts["filter_report"],
+            archive=self._archive,
+            ip2as=self._ip2as,
+            as_names=self._as_names,
+            as_countries=self._as_countries,
+            spans_by_probe=artifacts["spans_by_probe"],
+            durations_by_probe=artifacts["durations_by_probe"],
+            changes_by_probe=artifacts["changes_by_probe"],
+            asn_by_probe=artifacts["asn_by_probe"],
+            gap_events_by_probe=artifacts["gap_events_by_probe"],
+            stats_by_probe=artifacts["stats_by_probe"],
+            reboot_day_counts=artifacts["reboot_day_counts"],
+            firmware_days=artifacts["firmware_days"],
+            _v3_probes=artifacts["v3_probes"],
+        )
+
+
+def world_fingerprint(config) -> str:
+    """Content fingerprint of an inline-simulated world.
+
+    The world is a pure function of its :class:`ScenarioConfig` (the
+    simulator is seeded), so the config's canonical repr — dataclasses
+    all the way down — identifies the datasets exactly; simulator code
+    changes are covered by the cache's code-version component.
+    """
+    return fp.combine("world", repr(config))
+
+
+def runner_for_bundle(bundle, config: RuntimeConfig | None = None,
+                      min_connected: float | None = None) -> ShardedRunner:
+    """Build a runner from a loaded on-disk bundle.
+
+    Mirrors :func:`repro.core.pipeline.pipeline_for_bundle`, including the
+    ``min_connected`` default (30 days, capped at a tenth of the window).
+    """
+    if min_connected is None:
+        window = bundle.end - bundle.start
+        min_connected = min(30 * timeutil.DAY, window / 10)
+    return ShardedRunner(
+        bundle.connlog, bundle.archive, bundle.kroot, bundle.uptime,
+        bundle.ip2as, as_names=bundle.as_names,
+        as_countries=bundle.as_countries, min_connected=min_connected,
+        fingerprint=bundle.fingerprint, config=config)
+
+
+def runner_for_world(world, config: RuntimeConfig | None = None,
+                     min_connected: float | None = None) -> ShardedRunner:
+    """Build a runner from a simulated :class:`WorldData` in memory.
+
+    Mirrors :func:`repro.core.pipeline.pipeline_for_world`.
+    """
+    as_names: dict[int, str] = {}
+    as_countries: dict[int, str] = {}
+    for profile in world.config.profiles:
+        as_names[profile.spec.asn] = profile.spec.name
+        as_countries[profile.spec.asn] = profile.spec.country
+    if min_connected is None:
+        window = world.config.end - world.config.start
+        min_connected = min(30 * timeutil.DAY, window / 10)
+    return ShardedRunner(
+        world.connlog, world.archive, world.kroot, world.uptime,
+        world.ip2as, as_names=as_names, as_countries=as_countries,
+        min_connected=min_connected,
+        fingerprint=world_fingerprint(world.config), config=config)

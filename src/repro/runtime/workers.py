@@ -1,0 +1,126 @@
+"""Process-pool worker side of the sharded executor.
+
+Each worker process receives the full dataset context once (via the pool
+initializer) and then serves shard tasks that are nothing but probe-id
+lists, keeping per-task pickling traffic tiny.  Workers memoize the
+per-probe filter verdicts they compute, so later stages (spans, gaps)
+re-use classification work done for earlier shards that landed on the
+same process, and recompute it deterministically when they did not —
+either way the result is the pure function of the datasets that the
+serial path computes.
+
+Everything here must stay importable at module top level (the pool
+pickles task functions by qualified name) and free of global randomness;
+any future stochastic stage must draw from
+:func:`repro.util.rng.substream` keyed on the scenario seed and probe id,
+never from process-local state, or ``jobs=N`` output would diverge from
+``jobs=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.atlas.archive import ProbeArchive
+from repro.atlas.connlog import ConnectionLog
+from repro.atlas.kroot import KRootDataset
+from repro.atlas.sosuptime import UptimeDataset
+from repro.core.association import GapEvent
+from repro.core.filtering import ProbeFilter, ProbeVerdict
+from repro.core.pipeline import probe_gap_events, probe_spans
+from repro.core.reboots import Reboot, detect_reboots
+from repro.net.pfx2as import IpToAsDataset
+
+
+@dataclass
+class WorkerContext:
+    """Everything a worker needs, shipped once per process."""
+
+    connlog: ConnectionLog
+    archive: ProbeArchive
+    ip2as: IpToAsDataset
+    kroot: KRootDataset
+    uptime: UptimeDataset
+    min_connected: float
+
+
+_context: WorkerContext | None = None
+_filter: ProbeFilter | None = None
+_verdicts: dict[int, ProbeVerdict] = {}
+
+
+def init_worker(context: WorkerContext) -> None:
+    """Install the dataset context in this process.
+
+    With a ``fork`` multiprocessing context the executor calls this in
+    the *parent* before creating the pool — children inherit the
+    installed context through fork, skipping a per-worker pickle of the
+    full datasets.  Under ``spawn`` it runs as the pool initializer.
+    """
+    global _context, _filter
+    _context = context
+    _filter = ProbeFilter(context.connlog, context.archive, context.ip2as,
+                          min_connected=context.min_connected)
+    _verdicts.clear()
+
+
+def reset_worker() -> None:
+    """Drop the installed context (parent-side cleanup after a run)."""
+    global _context, _filter
+    _context = None
+    _filter = None
+    _verdicts.clear()
+
+
+def _require_context() -> WorkerContext:
+    if _context is None or _filter is None:
+        raise RuntimeError(
+            "worker context not initialized; shard tasks must run in a "
+            "pool created with initializer=init_worker")
+    return _context
+
+
+def _verdict(probe_id: int) -> ProbeVerdict:
+    """Memoized per-probe classification (pure, so memoization is safe)."""
+    _require_context()
+    verdict = _verdicts.get(probe_id)
+    if verdict is None:
+        verdict = _filter.classify(probe_id)
+        _verdicts[probe_id] = verdict
+    return verdict
+
+
+# -- shard tasks (one call per shard) ----------------------------------------
+
+def shard_filter(probe_ids: list[int]) -> dict[int, ProbeVerdict]:
+    """Stage ``filter``: classify one shard of probes."""
+    return {probe_id: _verdict(probe_id) for probe_id in probe_ids}
+
+
+def shard_spans(probe_ids: list[int]) -> dict[int, tuple[list, list]]:
+    """Stage ``spans``: spans and known durations for one shard."""
+    return {probe_id: probe_spans(_verdict(probe_id).entries)
+            for probe_id in probe_ids}
+
+
+def shard_reboots(probe_ids: list[int]) -> dict[int, list[Reboot]]:
+    """Stage ``reboots`` (detection half): raw reboots for one shard."""
+    context = _require_context()
+    return {probe_id: detect_reboots(context.uptime.records(probe_id))
+            for probe_id in probe_ids}
+
+
+def shard_gaps(items: list[tuple[int, list[Reboot]]]
+               ) -> dict[int, list[GapEvent]]:
+    """Stage ``gaps``: classify one shard's connection gaps.
+
+    ``items`` carries each probe's firmware-filtered reboots (computed
+    globally by the parent after the reboot barrier); entries and k-root
+    series come from the worker context.
+    """
+    context = _require_context()
+    return {
+        probe_id: probe_gap_events(_verdict(probe_id).entries,
+                                   context.kroot.series(probe_id), reboots)
+        for probe_id, reboots in items
+    }

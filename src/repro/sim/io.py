@@ -30,6 +30,7 @@ from repro.errors import DatasetError, ParseError
 from repro.net.pfx2as import IpToAsDataset, Pfx2AsSnapshot
 from repro.sim.world import WorldData
 from repro.util import timeutil
+from repro.util import fingerprint as fp
 from repro.util.ingest import (
     IngestReport,
     ReadPolicy,
@@ -42,6 +43,11 @@ BUNDLE_VERSION = 1
 #: Bundle files a load consults besides ``meta.json`` (which is always
 #: required: without the window and seed nothing can be interpreted).
 BUNDLE_FILES = ("archive.tsv", "connlog.tsv", "uptime.tsv", "kroot.json")
+
+#: Informational copy of the content fingerprint, written next to the data
+#: files.  Loads recompute the fingerprint from the bytes on disk rather
+#: than trusting this file, so it is excluded from the hash itself.
+FINGERPRINT_FILE = "fingerprint.txt"
 
 
 @dataclass
@@ -58,6 +64,24 @@ class DatasetBundle:
     ip2as: IpToAsDataset
     as_names: dict[int, str]
     as_countries: dict[int, str]
+    #: Content fingerprint of the on-disk files this bundle was loaded
+    #: from (:func:`bundle_fingerprint`); empty for synthetic bundles.
+    fingerprint: str = ""
+
+
+def bundle_fingerprint(directory: str | Path) -> str:
+    """Content fingerprint of a bundle directory.
+
+    Covers ``meta.json``, every dataset file and every pfx2as snapshot, in
+    a canonical order, so any byte-level edit — one repaired connlog line,
+    a swapped snapshot month — yields a different fingerprint.  The
+    runtime artifact cache keys stage outputs on this value.
+    """
+    root = Path(directory)
+    paths = [root / "meta.json"]
+    paths.extend(root / name for name in BUNDLE_FILES)
+    paths.extend(sorted((root / "pfx2as").glob("*.txt")))
+    return fp.hash_files(path for path in paths if path.exists())
 
 
 def _series_state(series: KRootSeries) -> dict:
@@ -133,6 +157,7 @@ def write_world(world: WorldData, directory: str | Path) -> Path:
         snapshot = world.ip2as.snapshot_for(timeutil.epoch(year, month, 1))
         with open(pfx_dir / ("%04d-%02d.txt" % (year, month)), "w") as stream:
             snapshot.write(stream)
+    (root / FINGERPRINT_FILE).write_text(bundle_fingerprint(root) + "\n")
     return root
 
 
@@ -339,6 +364,7 @@ def load_bundle(directory: str | Path,
         archive=archive, connlog=connlog, kroot=kroot, uptime=uptime,
         ip2as=ip2as,
         as_names=meta["as_names"], as_countries=meta["as_countries"],
+        fingerprint=bundle_fingerprint(root),
     )
 
 

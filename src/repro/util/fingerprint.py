@@ -1,0 +1,82 @@
+"""Content fingerprints for datasets and cache keys.
+
+A *fingerprint* is a hex SHA-256 digest that changes whenever the bytes it
+covers change.  :mod:`repro.sim.io` stamps every dataset bundle with the
+fingerprint of its files at write/load time, and the runtime artifact
+cache (:mod:`repro.runtime.cache`) keys stage outputs on that fingerprint
+plus the stage name, code version and parameters — so a single edited
+connlog line invalidates exactly the artifacts derived from it.
+
+Lives in :mod:`repro.util` (rank 1) because both ``sim`` (rank 6, the
+producer) and ``runtime`` (rank 9, the consumer) need it and neither may
+import the other.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Iterable
+
+#: Read granularity for file hashing; 1 MiB keeps memory flat on big files.
+_CHUNK_BYTES = 1 << 20
+
+#: Length of the abbreviated digest used in filenames and log lines.
+SHORT_LENGTH = 12
+
+
+def hash_bytes(payload: bytes) -> str:
+    """Hex SHA-256 of a byte string."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+def hash_text(text: str) -> str:
+    """Hex SHA-256 of a string's UTF-8 encoding."""
+    return hash_bytes(text.encode("utf-8"))
+
+
+def hash_file(path: str | Path) -> str:
+    """Hex SHA-256 of one file's contents, streamed."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as stream:
+        while True:
+            chunk = stream.read(_CHUNK_BYTES)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def hash_files(paths: Iterable[str | Path]) -> str:
+    """Combined fingerprint of several files.
+
+    Each file contributes its (repo-relative caller-chosen) name and its
+    content digest, in the order given; callers must pass a canonical
+    ordering (sorted paths) for the result to be stable.
+    """
+    digest = hashlib.sha256()
+    for path in paths:
+        path = Path(path)
+        digest.update(path.name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(hash_file(path).encode("ascii"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def combine(*parts: object) -> str:
+    """Fingerprint of an ordered sequence of printable parts.
+
+    Parts are separated by an unambiguous delimiter so ``("ab", "c")`` and
+    ``("a", "bc")`` cannot collide.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(str(part).encode("utf-8"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+def short(fingerprint: str, length: int = SHORT_LENGTH) -> str:
+    """Abbreviate a fingerprint for filenames and human-facing output."""
+    return fingerprint[:length]

@@ -1,0 +1,26 @@
+"""Shared fixtures: one small world, simulated and written once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scenarios import small_world
+from repro.sim.io import load_bundle, write_world
+
+
+@pytest.fixture(scope="session")
+def world():
+    """A compact simulated world (built once per session)."""
+    return small_world(seed=11, days=40)
+
+
+@pytest.fixture(scope="session")
+def bundle_dir(world, tmp_path_factory):
+    """The world written to disk as a dataset bundle."""
+    return write_world(world, tmp_path_factory.mktemp("bundle"))
+
+
+@pytest.fixture(scope="session")
+def bundle(bundle_dir):
+    """The bundle loaded back, fingerprint stamped."""
+    return load_bundle(bundle_dir)

@@ -1,0 +1,74 @@
+"""Artifact cache: addressing, atomicity, self-healing, eviction."""
+
+from __future__ import annotations
+
+from repro.runtime.cache import ArtifactCache, code_version
+
+
+def _key(stage: str = "spans", fingerprint: str = "f" * 64) -> str:
+    return ArtifactCache.key(fingerprint, stage, code_version(), "params")
+
+
+def test_roundtrip(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    payload = {"spans_by_probe": {1: ["a"], 2: []}}
+    cache.store(_key(), payload)
+    hit, value = cache.load(_key(), stage="spans")
+    assert hit and value == payload
+    assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+
+def test_miss_on_unknown_key(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    hit, value = cache.load(_key("gaps"), stage="gaps")
+    assert not hit and value is None
+    assert cache.stats.miss_stages == ["gaps"]
+
+
+def test_key_distinguishes_every_component():
+    base = _key()
+    assert _key(fingerprint="e" * 64) != base
+    assert _key(stage="gaps") != base
+    assert ArtifactCache.key("f" * 64, "spans", "other-version",
+                             "params") != base
+    assert ArtifactCache.key("f" * 64, "spans", code_version(),
+                             "other-params") != base
+
+
+def test_corrupt_entry_behaves_as_miss_and_heals(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.store(_key(), {"x": 1})
+    (path,) = cache.entries()
+    path.write_bytes(b"not a pickle")
+    hit, _ = cache.load(_key())
+    assert not hit
+    assert not path.exists()
+
+
+def test_eviction_drops_oldest_first(tmp_path):
+    import os
+    cache = ArtifactCache(tmp_path)
+    cache.store(_key("a"), list(range(100)))
+    (old,) = cache.entries()
+    os.utime(old, (1, 1))  # definitely least-recently used
+    # Budget fits exactly one entry: storing a second evicts the oldest.
+    cache.max_bytes = cache.total_bytes() + 10
+    cache.store(_key("b"), list(range(100)))
+    remaining = cache.entries()
+    assert old not in remaining and len(remaining) == 1
+    assert cache.stats.evicted == 1
+
+
+def test_clear_empties_store(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.store(_key("a"), 1)
+    cache.store(_key("b"), 2)
+    assert cache.clear() == 2
+    assert cache.entries() == []
+    assert cache.total_bytes() == 0
+
+
+def test_code_version_is_stable_and_hexadecimal():
+    assert code_version() == code_version()
+    assert len(code_version()) == 64
+    int(code_version(), 16)

@@ -1,0 +1,50 @@
+"""repro-run command-line driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.cli import main
+
+pytestmark = pytest.mark.runtime
+
+
+def test_list_stages(capsys):
+    assert main(["--list-stages"]) == 0
+    out = capsys.readouterr().out
+    assert "filter" in out and "gap_events_by_probe" in out
+
+
+def test_run_bundle_cold_then_warm(bundle_dir, tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["--data", str(bundle_dir), "--jobs", "2",
+                 "--cache-dir", cache_dir]) == 0
+    cold = capsys.readouterr().out
+    assert "sharded" in cold and "digest" in cold
+    assert "7 miss" in cold and "7 stored" in cold
+
+    assert main(["--data", str(bundle_dir), "--cache-dir", cache_dir]) == 0
+    warm = capsys.readouterr().out
+    assert "cached" in warm and "7 hit" in warm
+
+    digest = [line for line in cold.splitlines() if "digest" in line]
+    assert digest == [line for line in warm.splitlines()
+                      if "digest" in line]
+
+
+def test_run_rejects_missing_bundle(tmp_path, capsys):
+    assert main(["--data", str(tmp_path / "nope")]) == 1
+    assert "meta.json" in capsys.readouterr().err
+
+
+def test_clear_cache_requires_cache_dir(capsys):
+    assert main(["--clear-cache"]) == 2
+    assert "--cache-dir" in capsys.readouterr().err
+
+
+def test_clear_cache_empties_store(bundle_dir, tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["--data", str(bundle_dir), "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+    assert main(["--clear-cache", "--cache-dir", cache_dir]) == 0
+    assert "removed 7" in capsys.readouterr().out

@@ -1,0 +1,44 @@
+"""Fingerprint helpers and bundle stamping."""
+
+from __future__ import annotations
+
+from repro.sim.io import FINGERPRINT_FILE, bundle_fingerprint
+from repro.util import fingerprint as fp
+
+
+def test_hash_text_matches_hash_bytes():
+    assert fp.hash_text("abc") == fp.hash_bytes(b"abc")
+
+
+def test_hash_files_depends_on_order_and_content(tmp_path):
+    one = tmp_path / "one.txt"
+    two = tmp_path / "two.txt"
+    one.write_text("alpha")
+    two.write_text("beta")
+    forward = fp.hash_files([one, two])
+    assert forward == fp.hash_files([one, two])
+    assert forward != fp.hash_files([two, one])
+    one.write_text("alpha!")
+    assert forward != fp.hash_files([one, two])
+
+
+def test_combine_is_delimited():
+    assert fp.combine("ab", "c") != fp.combine("a", "bc")
+
+
+def test_short_abbreviates():
+    digest = fp.hash_text("x")
+    assert fp.short(digest) == digest[:fp.SHORT_LENGTH]
+
+
+def test_write_world_stamps_matching_fingerprint(bundle_dir, bundle):
+    stamped = (bundle_dir / FINGERPRINT_FILE).read_text().strip()
+    assert stamped == bundle_fingerprint(bundle_dir)
+    assert stamped == bundle.fingerprint
+    assert len(stamped) == 64
+
+
+def test_fingerprint_ignores_the_stamp_file_itself(bundle_dir):
+    before = bundle_fingerprint(bundle_dir)
+    (bundle_dir / FINGERPRINT_FILE).write_text("tampered\n")
+    assert bundle_fingerprint(bundle_dir) == before

@@ -1,0 +1,49 @@
+"""Sharding is deterministic, balanced, and order-preserving."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime.sharding import OVERSHARD, partition, shard_count
+
+
+@given(st.lists(st.integers(), max_size=200), st.integers(1, 40))
+def test_partition_reassembles_input(items, shards):
+    chunks = partition(items, shards)
+    flattened = [item for chunk in chunks for item in chunk]
+    assert flattened == items
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=200),
+       st.integers(1, 40))
+def test_partition_is_balanced_and_dense(items, shards):
+    chunks = partition(items, shards)
+    sizes = [len(chunk) for chunk in chunks]
+    assert all(size > 0 for size in sizes)
+    assert max(sizes) - min(sizes) <= 1
+    assert len(chunks) == min(shards, len(items))
+
+
+@given(st.lists(st.integers(), max_size=100), st.integers(1, 20))
+def test_partition_is_deterministic(items, shards):
+    assert partition(items, shards) == partition(items, shards)
+
+
+def test_partition_rejects_nonpositive_shards():
+    with pytest.raises(ValueError, match="shards must be positive"):
+        partition([1, 2, 3], 0)
+
+
+def test_shard_count_defaults_to_overshard():
+    assert shard_count(jobs=4, items=1000) == 4 * OVERSHARD
+
+
+def test_shard_count_clamps_to_items():
+    assert shard_count(jobs=4, items=3) == 3
+    assert shard_count(jobs=4, items=0) == 1
+
+
+def test_shard_count_explicit_override():
+    assert shard_count(jobs=4, items=1000, shards=7) == 7
