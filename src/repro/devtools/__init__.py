@@ -8,33 +8,64 @@ the invariants this reproduction depends on:
 * **time-unit safety** — all time arithmetic is written in terms of the
   :mod:`repro.util.timeutil` constants, never magic second counts (RPR002);
 * **layer architecture** — the package DAG
-  ``util -> net -> {dhcp, ppp} -> isp -> atlas -> sim -> core -> experiments``
-  only ever points downward (RPR003);
+  ``util -> net -> {dhcp, ppp} -> isp -> atlas -> sim -> core -> runtime ->
+  experiments`` only ever points downward (RPR003);
 * **error policy** — no generic ``raise Exception`` or bare ``except:``
   (RPR004);
 * **dataclass hygiene** — value-object dataclasses are frozen and mutable
-  defaults use ``field(default_factory=...)`` (RPR005).
+  defaults use ``field(default_factory=...)`` (RPR005);
+* **stage purity** — every function in the runtime stage graph infers PURE
+  on the effect lattice (RPR006);
+* **cache-key soundness** — the stage graph's transitive import closure is
+  covered by the ``CODE_VERSION_PACKAGES`` hash set (RPR007);
+* **worker state** — pool tasks are picklable and worker modules mutate
+  only initializer-owned globals (RPR008).
+
+RPR001–005 are per-file AST checks.  RPR006–008 are *interprocedural*:
+:mod:`repro.devtools.callgraph` summarizes every file into a project-wide
+call graph and import-reachability map, and :mod:`repro.devtools.effects`
+infers each function's position on the effect lattice
+``PURE < READS_ENV < MUTATES_GLOBAL < IO < NONDETERMINISTIC`` by fixpoint
+over that graph.
 
 Run it as ``repro-lint src/repro`` (or ``python -m repro.devtools``); findings
-on a line can be suppressed with a ``# repro: noqa[RPR001]`` comment.
+on a line can be suppressed with a ``# repro: noqa[RPR001]`` comment.  The
+driver supports incremental runs (``--cache``), SARIF output for CI
+annotations (``--format sarif``) and regression gating against a
+checked-in baseline (``--baseline`` / ``--update-baseline``).
 
-This package is deliberately self-contained: it imports nothing from the rest
-of ``repro`` so that it can lint a broken tree, and the layer checker pins it
-outside the runtime DAG.
+This package sits outside the runtime layer DAG: nothing imports it, and it
+imports only the leaf layers (``repro.errors``, ``repro.util``) so that it
+can lint a broken tree.
 """
 
 from repro.devtools.diagnostics import Diagnostic, Severity
-from repro.devtools.driver import FileContext, lint_paths, lint_source
-from repro.devtools.registry import Checker, all_checkers, checker_for, register
+from repro.devtools.driver import (
+    FileContext,
+    LintResult,
+    lint_paths,
+    lint_source,
+    run_lint,
+)
+from repro.devtools.registry import (
+    Checker,
+    ProjectChecker,
+    all_checkers,
+    checker_for,
+    register,
+)
 
 __all__ = [
     "Checker",
     "Diagnostic",
     "FileContext",
+    "LintResult",
+    "ProjectChecker",
     "Severity",
     "all_checkers",
     "checker_for",
     "lint_paths",
     "lint_source",
     "register",
+    "run_lint",
 ]

@@ -1,0 +1,86 @@
+"""Finding baselines: gate CI on *regression*, not on history.
+
+A baseline file records the findings a tree is known (and accepted) to
+have; a gated run then fails only on findings *not* in the baseline, so
+a new rule can land before every legacy violation is fixed.  Matching is
+a multiset over ``(path, rule, message)`` — line numbers are excluded on
+purpose, so unrelated edits that shift a known finding up or down the
+file do not resurrect it, while a *second* instance of the same finding
+(count exceeded) is still reported.
+
+Workflow: ``repro-lint --update-baseline lint-baseline.json`` snapshots
+the current findings; ``repro-lint --baseline lint-baseline.json`` in CI
+fails only on new ones.  The checked-in baseline for this repository is
+empty — the tree lints clean — so the file exists purely as the gating
+mechanism for future rule introductions.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from repro.devtools.diagnostics import Diagnostic
+
+#: Version of the baseline file layout.
+BASELINE_FORMAT = 1
+
+
+def _key(diagnostic: Diagnostic) -> tuple[str, str, str]:
+    return (diagnostic.path, diagnostic.rule, diagnostic.message)
+
+
+def write_baseline(diagnostics: Iterable[Diagnostic],
+                   path: str | Path) -> None:
+    """Snapshot ``diagnostics`` as the accepted baseline at ``path``."""
+    entries = [
+        {"path": p, "rule": rule, "message": message, "count": count}
+        for (p, rule, message), count in sorted(
+            Counter(_key(d) for d in diagnostics).items())
+    ]
+    payload = {"baseline_format": BASELINE_FORMAT, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Load a baseline into a multiset of finding keys.
+
+    Raises ``ValueError`` on a malformed file: silently treating a broken
+    baseline as empty would fail CI on every accepted finding at once,
+    which is noisy, while treating it as infinite would mask regressions.
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        if payload.get("baseline_format") != BASELINE_FORMAT:
+            raise ValueError("unsupported baseline_format: %r"
+                             % (payload.get("baseline_format"),))
+        accepted: Counter = Counter()
+        for entry in payload["findings"]:
+            key = (str(entry["path"]), str(entry["rule"]),
+                   str(entry["message"]))
+            accepted[key] += int(entry.get("count", 1))
+        return accepted
+    except (KeyError, TypeError) as exc:
+        raise ValueError("malformed baseline file %s: %s" % (path, exc))
+
+
+def filter_new(diagnostics: Iterable[Diagnostic],
+               accepted: Counter) -> list[Diagnostic]:
+    """Diagnostics not covered by the baseline multiset.
+
+    Each accepted ``(path, rule, message)`` key absorbs up to its count
+    of matching findings (in sorted order); everything beyond that is a
+    regression and is returned.
+    """
+    budget = Counter(accepted)
+    fresh: list[Diagnostic] = []
+    for diagnostic in sorted(diagnostics):
+        key = _key(diagnostic)
+        if budget[key] > 0:
+            budget[key] -= 1
+        else:
+            fresh.append(diagnostic)
+    return fresh

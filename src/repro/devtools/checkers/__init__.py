@@ -8,13 +8,23 @@ RPR002  time-unit safety — no magic second literals in arithmetic
 RPR003  import layering — the package DAG only points downward
 RPR004  error policy — no ``raise Exception`` / bare ``except:``
 RPR005  dataclass hygiene — frozen value objects, safe defaults
+RPR006  stage purity — runtime stage functions must infer PURE
+RPR007  cache-key soundness — stage closure ⊆ hashed code_version set
+RPR008  worker state — picklable pool tasks, initializer-owned globals
 ======  ==========================================================
+
+RPR001–005 are per-file AST checks; RPR006–008 are whole-project
+(interprocedural) checks over the call graph and effect lattice built by
+:mod:`repro.devtools.callgraph` and :mod:`repro.devtools.effects`.
 """
 
 from repro.devtools.checkers import (  # noqa: F401  (registration imports)
+    cache_soundness,
     dataclass_hygiene,
     determinism,
     error_policy,
     layering,
+    stage_purity,
     time_units,
+    worker_state,
 )

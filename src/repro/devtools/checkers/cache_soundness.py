@@ -1,0 +1,86 @@
+"""RPR007 — code_version must hash every module a stage can reach.
+
+The artifact cache's ``code_version`` component hashes the source of the
+packages listed in ``CODE_VERSION_PACKAGES``
+(:mod:`repro.runtime.cache`).  That set is sound only if it *covers the
+transitive import closure of the stage functions*: a module a stage can
+reach but that is not hashed can change behaviour without changing the
+cache key, so stale artifacts would keep validating.
+
+This checker recomputes the closure from the stage graph declarations
+(``StageSpec(...)`` sites) over the project import graph — excluding the
+root-package facade, whose convenience re-exports would otherwise make
+everything reachable from everything — and reports every reachable
+module that no ``CODE_VERSION_PACKAGES`` entry covers, with the import
+chain that makes it reachable.  The fix is almost always adding the
+module's package to ``CODE_VERSION_PACKAGES`` (over-hashing merely costs
+cache warmth; under-hashing costs correctness).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.devtools.registry import ProjectChecker, register
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.devtools.callgraph import Project
+    from repro.devtools.diagnostics import Diagnostic
+    from repro.devtools.effects import EffectAnalysis
+
+
+@register
+class CacheSoundnessChecker(ProjectChecker):
+    rule = "RPR007"
+    summary = "stage import closure must be covered by CODE_VERSION_PACKAGES"
+
+    def check_project(self, project: "Project", effects: "EffectAnalysis",
+                      ) -> Iterator["Diagnostic"]:
+        stage_roots: set[str] = set()
+        first_decl: tuple[str, int] | None = None
+        for module in sorted(project.summaries):
+            summary = project.summaries[module]
+            for decl in summary.stage_decls:
+                if first_decl is None:
+                    first_decl = (summary.path, decl.line)
+                stage_roots.add(module)
+                resolved = project.resolve_callable(decl.func)
+                if resolved is not None and resolved[0] == "function":
+                    func_module = project.resolve_module(resolved[1])
+                    if func_module is not None:
+                        stage_roots.add(func_module)
+        if not stage_roots or first_decl is None:
+            return  # no stage graph in this tree: nothing to keep sound
+
+        decls = [(module, project.summaries[module])
+                 for module in sorted(project.summaries)
+                 if project.summaries[module].code_version_decl is not None]
+        if not decls:
+            yield self.project_diagnostic(
+                first_decl[0], first_decl[1],
+                "a stage graph is declared but no CODE_VERSION_PACKAGES "
+                "assignment was found; the artifact cache key cannot cover "
+                "stage code")
+            return
+
+        for decl_module, summary in decls:
+            entries, decl_line = summary.code_version_decl
+            root_package = decl_module.split(".", 1)[0]
+            covered = [
+                "%s.%s" % (root_package,
+                           entry[:-3] if entry.endswith(".py") else entry)
+                for entry in entries
+            ]
+            closure = project.reachable_modules(
+                sorted(stage_roots), exclude=project.root_packages())
+            for module in sorted(closure):
+                if any(module == prefix or module.startswith(prefix + ".")
+                       for prefix in covered):
+                    continue
+                chain = " -> ".join(project.import_chain(closure, module))
+                yield self.project_diagnostic(
+                    summary.path, decl_line,
+                    "module %s is reachable from the stage graph (%s) but "
+                    "no CODE_VERSION_PACKAGES entry covers it; its code can "
+                    "change without invalidating cached artifacts"
+                    % (module, chain))

@@ -23,10 +23,11 @@ layer or a lower one:
                                               │    core stage functions)
                                               └─ experiments    (rank 10)
 
-``repro.devtools`` (this lint framework) sits outside the DAG entirely: it
-may import nothing from the runtime layers and nothing may import it.  The
-root facade module ``repro/__init__.py`` re-exports the public API and is
-exempt.
+``repro.devtools`` (this lint framework) sits outside the DAG entirely:
+nothing may import it, and it may import only the leaf layers ``errors``
+and ``util`` (the incremental lint cache reuses ``repro.util.fingerprint``
+rather than growing a second hashing implementation).  The root facade
+module ``repro/__init__.py`` re-exports the public API and is exempt.
 
 Keeping the DAG machine-checked is what lets later PRs refactor hot paths
 aggressively without silently inverting a dependency.
@@ -61,6 +62,10 @@ LAYER_RANKS = {
 
 #: The lint framework: self-contained, outside the runtime DAG.
 ISOLATED_LAYERS = frozenset({"devtools"})
+
+#: Leaf layers an isolated layer may still use: pure value vocabulary with
+#: no path back into the runtime stack.
+ISOLATED_IMPORTABLE = frozenset({"errors", "util"})
 
 
 @register
@@ -116,11 +121,12 @@ class LayeringChecker(Checker):
         if layer not in LAYER_RANKS and layer not in ISOLATED_LAYERS:
             return  # plain symbol off the root facade, e.g. `repro.__version__`
         if importer in ISOLATED_LAYERS:
-            if layer != importer:
+            if layer != importer and layer not in ISOLATED_IMPORTABLE:
                 yield self.diagnostic(
                     context, node,
-                    "repro.%s is outside the layer DAG and must stay "
-                    "self-contained, but imports repro.%s" % (importer, layer),
+                    "repro.%s is outside the layer DAG and may import only "
+                    "the leaf layers (%s), but imports repro.%s"
+                    % (importer, ", ".join(sorted(ISOLATED_IMPORTABLE)), layer),
                 )
             return
         if layer in ISOLATED_LAYERS:

@@ -1,0 +1,63 @@
+"""RPR006 — stage functions must infer PURE.
+
+The artifact cache addresses a stage's output by
+``H(bundle_fingerprint, stage, code_version, params)`` (DESIGN.md §9); if
+a stage function's result can depend on anything *outside* that key —
+clocks, environment, module state, the filesystem — two runs with equal
+keys may produce different artifacts and the cache silently serves the
+stale one.  So every function registered in a ``StageSpec`` must infer
+:attr:`~repro.devtools.effects.Effect.PURE` under the interprocedural
+effect analysis.
+
+Intentional exceptions go through the existing suppression machinery with
+a written justification on the ``StageSpec`` line::
+
+    StageSpec("ingest", ..., func=_io.read_bundle),  # repro: noqa[RPR006] -- reads the immutable input bundle only
+
+Findings carry the witness chain from the stage function down to the
+intrinsic impure operation, so the fix target is the end of the chain,
+not the stage function itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.devtools.effects import Effect, render_chain
+from repro.devtools.registry import ProjectChecker, register
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.devtools.callgraph import Project
+    from repro.devtools.diagnostics import Diagnostic
+    from repro.devtools.effects import EffectAnalysis
+
+
+@register
+class StagePurityChecker(ProjectChecker):
+    rule = "RPR006"
+    summary = "runtime stage functions must infer PURE on the effect lattice"
+
+    def check_project(self, project: "Project", effects: "EffectAnalysis",
+                      ) -> Iterator["Diagnostic"]:
+        for module in sorted(project.summaries):
+            summary = project.summaries[module]
+            for decl in summary.stage_decls:
+                resolved = project.resolve_callable(decl.func)
+                if resolved is None or resolved[0] != "function":
+                    yield self.project_diagnostic(
+                        summary.path, decl.line,
+                        "stage '%s' references '%s', which does not resolve "
+                        "to a project function; the purity of this stage "
+                        "cannot be verified" % (decl.stage, decl.func))
+                    continue
+                qualname = resolved[1]
+                effect = effects.effect_of(qualname)
+                if effect is Effect.PURE:
+                    continue
+                chain = render_chain(effects.explain(qualname))
+                yield self.project_diagnostic(
+                    summary.path, decl.line,
+                    "stage '%s' function %s infers %s but stages must be "
+                    "PURE for cache soundness: %s (fix the end of the "
+                    "chain, or suppress with a justified noqa[RPR006])"
+                    % (decl.stage, qualname, effect.name, chain))

@@ -2,13 +2,22 @@
 
 Usage::
 
-    repro-lint src/repro                # lint the tree, human-readable output
-    repro-lint --json src/repro         # machine-readable diagnostics
-    repro-lint --rules RPR003 src/repro # run a subset of rules
-    repro-lint --list-rules             # print the rule catalog
+    repro-lint src/repro                     # lint the tree, text output
+    repro-lint --json src/repro              # machine-readable diagnostics
+    repro-lint --format sarif --output lint.sarif src/repro
+    repro-lint --rules RPR003 src/repro      # run a subset of rules
+    repro-lint --cache .lint-cache.json src/repro   # warm runs skip files
+    repro-lint --baseline lint-baseline.json src/repro  # gate on regression
+    repro-lint --baseline lint-baseline.json --update-baseline src/repro
+    repro-lint --list-rules                  # print the rule catalog
 
-Exits 0 when no error-severity diagnostics were produced, 1 otherwise, and
-2 on usage errors (e.g. an unknown rule id).
+Exits 0 when no (non-baselined) error-severity diagnostics were produced,
+1 otherwise, and 2 on usage errors (e.g. an unknown rule id).
+
+The ``--json`` payload is an object carrying ``schema_version`` (bumped on
+any breaking change to the payload shape, so CI consumers can detect
+format drift), the ``findings`` array, and the incremental-cache
+counters.  Text output is stable and unversioned.
 """
 
 from __future__ import annotations
@@ -19,15 +28,20 @@ import sys
 from typing import Sequence
 
 from repro.devtools.diagnostics import Severity
-from repro.devtools.driver import lint_paths
+from repro.devtools.driver import run_lint
 from repro.devtools.registry import all_checkers
+
+#: Version of the ``--json`` payload shape.  1 was the bare findings array
+#: (no version field — the bug this field fixes); 2 is the current object.
+JSON_SCHEMA_VERSION = 2
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Static analysis for the repro codebase "
-                    "(determinism, time units, layering, errors, dataclasses).",
+                    "(determinism, time units, layering, errors, dataclasses, "
+                    "stage purity, cache soundness, worker state).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src/repro"],
@@ -35,11 +49,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--json", action="store_true", dest="as_json",
-        help="emit diagnostics as a JSON array on stdout",
+        help="shorthand for --format json",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write formatted output to FILE instead of stdout",
     )
     parser.add_argument(
         "--rules", default=None, metavar="RPR001,RPR003",
         help="comma-separated subset of rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--cache", default=None, metavar="FILE", dest="cache_path",
+        help="incremental analysis cache; warm runs skip unchanged files",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="accepted-findings file; only non-baselined findings fail",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the --baseline file from the current findings",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -50,11 +84,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     options = build_parser().parse_args(argv)
+    if options.as_json:
+        options.format = "json"
 
     if options.list_rules:
         for checker in all_checkers():
             print("%s  %s" % (checker.rule, checker.summary))
         return 0
+
+    if options.update_baseline and options.baseline is None:
+        print("repro-lint: --update-baseline requires --baseline FILE",
+              file=sys.stderr)
+        return 2
 
     rules = None
     if options.rules is not None:
@@ -72,21 +113,60 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
 
     try:
-        diagnostics = lint_paths(options.paths, rules=rules)
+        result = run_lint(options.paths, rules=rules,
+                          cache_path=options.cache_path)
     except OSError as error:
         print("repro-lint: cannot read %s: %s"
               % (getattr(error, "filename", "path"), error.strerror or error),
               file=sys.stderr)
         return 2
 
-    if options.as_json:
-        print(json.dumps([d.to_dict() for d in diagnostics], indent=2))
+    if options.cache_path is not None:
+        print("repro-lint: analyzed %d file(s), skipped %d unchanged"
+              % (result.files_analyzed, result.files_skipped),
+              file=sys.stderr)
+
+    if options.update_baseline:
+        from repro.devtools.baseline import write_baseline
+
+        write_baseline(result.diagnostics, options.baseline)
+        print("repro-lint: wrote %d finding(s) to %s"
+              % (len(result.diagnostics), options.baseline), file=sys.stderr)
+        return 0
+
+    diagnostics = result.diagnostics
+    if options.baseline is not None:
+        from repro.devtools.baseline import filter_new, load_baseline
+
+        try:
+            accepted = load_baseline(options.baseline)
+        except (OSError, ValueError) as error:
+            print("repro-lint: cannot load baseline %s: %s"
+                  % (options.baseline, error), file=sys.stderr)
+            return 2
+        diagnostics = filter_new(diagnostics, accepted)
+
+    if options.format == "json":
+        rendered = json.dumps({
+            "schema_version": JSON_SCHEMA_VERSION,
+            "findings": [d.to_dict() for d in diagnostics],
+            "files_analyzed": result.files_analyzed,
+            "files_skipped": result.files_skipped,
+        }, indent=2)
+    elif options.format == "sarif":
+        from repro.devtools.sarif import to_sarif
+
+        rendered = json.dumps(to_sarif(diagnostics), indent=2)
     else:
-        for diagnostic in diagnostics:
-            print(diagnostic.format())
-        if diagnostics:
-            print("repro-lint: %d finding(s)" % len(diagnostics),
-                  file=sys.stderr)
+        rendered = "\n".join(d.format() for d in diagnostics)
+
+    if options.output is not None:
+        with open(options.output, "w", encoding="utf-8") as stream:
+            stream.write(rendered + "\n")
+    elif rendered:
+        print(rendered)
+    if options.format == "text" and diagnostics:
+        print("repro-lint: %d finding(s)" % len(diagnostics), file=sys.stderr)
 
     failed = any(d.severity is Severity.ERROR for d in diagnostics)
     return 1 if failed else 0

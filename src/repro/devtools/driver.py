@@ -1,9 +1,13 @@
-"""Per-file lint driver.
+"""Lint driver: per-file pass, whole-project pass, incremental reuse.
 
 The driver owns everything that is not rule-specific: discovering Python
 files, parsing them, deriving dotted module names, attaching parent links to
-AST nodes (several checkers need to know the context a node appears in), and
-honouring ``# repro: noqa[RULE]`` suppression comments.
+AST nodes (several checkers need to know the context a node appears in),
+honouring ``# repro: noqa[RULE]`` suppression comments, stitching per-file
+summaries into the :class:`~repro.devtools.callgraph.Project` graph the
+interprocedural rules (RPR006–008) run over, and reusing cached per-file
+results for files whose content fingerprint has not changed
+(:mod:`repro.devtools.incremental`).
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.devtools.diagnostics import Diagnostic
-from repro.devtools.registry import select_checkers
+from repro.devtools.registry import ProjectChecker, select_checkers
 
 #: Suppression comment: ``# repro: noqa`` silences every rule on the line,
 #: ``# repro: noqa[RPR001]`` / ``# repro: noqa[RPR001,RPR003]`` only those.
@@ -148,14 +152,113 @@ def iter_python_files(paths: Sequence[str | Path]) -> Iterable[Path]:
     return collected
 
 
+@dataclass
+class LintResult:
+    """Outcome of one :func:`run_lint` invocation."""
+
+    diagnostics: list[Diagnostic]
+    files_analyzed: int = 0
+    files_skipped: int = 0
+
+
+def _analyze_file(path: Path, source: str, source_hash: str):
+    """Full per-file analysis: diagnostics (pre-noqa, all rules) + summary."""
+    from repro.devtools.callgraph import summarize_source
+    from repro.devtools.incremental import FileRecord
+
+    display = str(path)
+    module = module_name_for(path)
+    is_package = path.name == "__init__.py"
+    try:
+        context = parse_source(source, path=display, module=module,
+                               is_package=is_package)
+    except SyntaxError as exc:
+        return FileRecord(
+            path=display, source_hash=source_hash,
+            diagnostics=[Diagnostic(
+                path=display, line=exc.lineno or 1, col=exc.offset or 0,
+                rule="RPR000", message="syntax error: %s" % (exc.msg,))])
+    diagnostics: list[Diagnostic] = []
+    for checker in select_checkers(None):
+        diagnostics.extend(checker.check(context))
+    summary = summarize_source(context.tree, module, display,
+                               is_package=is_package)
+    return FileRecord(path=display, source_hash=source_hash,
+                      diagnostics=sorted(diagnostics),
+                      noqa=dict(noqa_rules(context)), summary=summary)
+
+
+def _visible(diagnostic: Diagnostic, selected: frozenset[str] | None,
+             noqa: dict[int, frozenset[str]]) -> bool:
+    """Apply rule selection and noqa suppression to one diagnostic."""
+    if (selected is not None and diagnostic.rule != "RPR000"
+            and diagnostic.rule not in selected):
+        return False
+    on_line = noqa.get(diagnostic.line)
+    return not (on_line is not None
+                and ("*" in on_line or diagnostic.rule in on_line))
+
+
+def run_lint(paths: Sequence[str | Path],
+             rules: Iterable[str] | None = None,
+             cache_path: str | Path | None = None) -> LintResult:
+    """Lint ``paths``: per-file rules, then the interprocedural pass.
+
+    With ``cache_path`` set, per-file results are reused for files whose
+    content fingerprint is unchanged (see
+    :mod:`repro.devtools.incremental`); the project-wide pass always
+    re-runs over the assembled summaries.  Cached entries hold pre-noqa,
+    all-rule diagnostics, so ``rules`` narrows the *report*, never the
+    cache.
+    """
+    import repro.util.fingerprint as fp
+    from repro.devtools.callgraph import Project
+    from repro.devtools.effects import EffectAnalysis
+
+    cache = None
+    if cache_path is not None:
+        from repro.devtools.incremental import LintCache
+        cache = LintCache.load(cache_path)
+
+    records = []
+    analyzed = skipped = 0
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        source_hash = fp.hash_text(source)
+        key = str(path.resolve())
+        record = cache.lookup(key, source_hash) if cache is not None else None
+        if record is not None:
+            skipped += 1
+        else:
+            record = _analyze_file(path, source, source_hash)
+            analyzed += 1
+            if cache is not None:
+                cache.store(key, record)
+        records.append(record)
+    if cache is not None:
+        cache.save()
+
+    project = Project([r.summary for r in records if r.summary is not None])
+    effects = EffectAnalysis(project)
+    project_diagnostics: list[Diagnostic] = []
+    for checker in select_checkers(rules):
+        if isinstance(checker, ProjectChecker):
+            project_diagnostics.extend(checker.check_project(project, effects))
+
+    selected = None if rules is None else frozenset(rules)
+    noqa_by_path = {record.path: record.noqa for record in records}
+    findings: list[Diagnostic] = []
+    for record in records:
+        findings.extend(d for d in record.diagnostics
+                        if _visible(d, selected, record.noqa))
+    findings.extend(
+        d for d in project_diagnostics
+        if _visible(d, selected, noqa_by_path.get(d.path, {})))
+    return LintResult(diagnostics=sorted(findings),
+                      files_analyzed=analyzed, files_skipped=skipped)
+
+
 def lint_paths(paths: Sequence[str | Path],
                rules: Iterable[str] | None = None) -> list[Diagnostic]:
     """Lint every Python file reachable from ``paths``."""
-    findings: list[Diagnostic] = []
-    for path in iter_python_files(paths):
-        source = path.read_text(encoding="utf-8")
-        findings.extend(lint_source(
-            source, path=str(path), module=module_name_for(path), rules=rules,
-            is_package=path.name == "__init__.py",
-        ))
-    return sorted(findings)
+    return run_lint(paths, rules=rules).diagnostics

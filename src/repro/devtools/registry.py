@@ -43,6 +43,33 @@ class Checker:
         )
 
 
+class ProjectChecker(Checker):
+    """Base class for whole-project (interprocedural) checkers.
+
+    Runs once per lint run against the stitched
+    :class:`~repro.devtools.callgraph.Project` graph instead of per file.
+    The per-file :meth:`Checker.check` hook is a no-op; subclasses
+    implement :meth:`check_project`.  ``noqa`` suppression still applies:
+    the driver filters project diagnostics against the suppression map of
+    whichever file each diagnostic anchors in.
+    """
+
+    def check(self, context: "FileContext") -> Iterator["Diagnostic"]:
+        return iter(())
+
+    def check_project(self, project, effects) -> Iterator["Diagnostic"]:
+        """Yield diagnostics for one ``(Project, EffectAnalysis)`` pair."""
+        raise NotImplementedError
+
+    def project_diagnostic(self, path: str, line: int,
+                           message: str) -> "Diagnostic":
+        """Build a diagnostic anchored at an arbitrary file location."""
+        from repro.devtools.diagnostics import Diagnostic
+
+        return Diagnostic(path=path, line=line, col=0, rule=self.rule,
+                          message=message)
+
+
 _CHECKERS: dict[str, Checker] = {}
 
 CheckerT = TypeVar("CheckerT", bound=Type[Checker])

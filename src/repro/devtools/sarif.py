@@ -1,0 +1,75 @@
+"""SARIF 2.1.0 rendering of lint results.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning ingests, so ``repro-lint --format sarif`` output uploads
+directly and findings surface as PR annotations.  The mapping is
+deliberately minimal: one run, one ``tool.driver`` carrying the rule
+catalog, one ``result`` per diagnostic.  SARIF regions are 1-based in
+both coordinates, while :class:`~repro.devtools.diagnostics.Diagnostic`
+columns are 0-based (``ast`` convention) — hence the ``col + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.devtools.diagnostics import Diagnostic, Severity
+from repro.devtools.registry import all_checkers
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _rule_catalog() -> list[dict[str, object]]:
+    return [
+        {
+            "id": checker.rule,
+            "shortDescription": {"text": checker.summary},
+        }
+        for checker in all_checkers()
+    ]
+
+
+def to_sarif(diagnostics: Iterable[Diagnostic]) -> dict[str, object]:
+    """Render diagnostics as a SARIF log dictionary (JSON-dump ready)."""
+    results = [
+        {
+            "ruleId": diagnostic.rule,
+            "level": _LEVELS[diagnostic.severity],
+            "message": {"text": diagnostic.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": diagnostic.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": diagnostic.line,
+                            "startColumn": diagnostic.col + 1,
+                        },
+                    },
+                }
+            ],
+        }
+        for diagnostic in diagnostics
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri":
+                            "https://github.com/repro/repro#repro-lint",
+                        "rules": _rule_catalog(),
+                    },
+                },
+                "results": results,
+            }
+        ],
+    }

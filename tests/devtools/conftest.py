@@ -1,0 +1,58 @@
+"""Shared fixtures for the devtools test suite."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.callgraph import Project, summarize_source
+from repro.devtools.driver import iter_python_files, module_name_for
+
+
+def write_tree(root: Path, files: dict[str, str]) -> Path:
+    """Materialize ``{relative_path: source}`` under ``root``.
+
+    Creates any missing parent packages' ``__init__.py`` so that
+    :func:`module_name_for` derives the intended dotted names.
+    """
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        current = path.parent
+        while current != root and current != current.parent:
+            init = current / "__init__.py"
+            if not init.exists():
+                init.write_text("", encoding="utf-8")
+            current = current.parent
+        path.write_text(source, encoding="utf-8")
+    return root
+
+
+def project_of(root: Path) -> Project:
+    """Summarize every file under ``root`` into a :class:`Project`."""
+    summaries = []
+    for path in iter_python_files([root]):
+        tree = ast.parse(path.read_text(encoding="utf-8"),
+                         filename=str(path))
+        summaries.append(summarize_source(
+            tree, module_name_for(path), str(path),
+            is_package=path.name == "__init__.py"))
+    return Project(summaries)
+
+
+@pytest.fixture
+def make_project(tmp_path):
+    """Factory: ``make_project({"pkg/mod.py": "..."}) -> Project``."""
+    def build(files: dict[str, str]) -> Project:
+        return project_of(write_tree(tmp_path, files))
+    return build
+
+
+@pytest.fixture
+def make_tree(tmp_path):
+    """Factory: ``make_tree({"pkg/mod.py": "..."}) -> Path`` (for run_lint)."""
+    def build(files: dict[str, str]) -> Path:
+        return write_tree(tmp_path, files)
+    return build

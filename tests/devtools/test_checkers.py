@@ -24,9 +24,10 @@ def rules_of(diagnostics) -> set[str]:
     return {d.rule for d in diagnostics}
 
 
-def test_registry_has_all_five_rules():
+def test_registry_has_all_eight_rules():
     assert [c.rule for c in all_checkers()] == [
-        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+        "RPR006", "RPR007", "RPR008"]
 
 
 # ---------------------------------------------------------------- RPR001

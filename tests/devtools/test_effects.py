@@ -1,0 +1,256 @@
+"""Effect-lattice inference: catalogs, propagation, conservatism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devtools.effects import Effect, EffectAnalysis, render_chain
+
+
+def analyze(make_project, files):
+    project = make_project(files)
+    return project, EffectAnalysis(project)
+
+
+def test_pure_value_code_infers_pure(make_project):
+    _, analysis = analyze(make_project, {
+        "pkg/mod.py": (
+            "import math\n\n"
+            "def norm(xs):\n"
+            "    total = math.sqrt(sum(x * x for x in xs))\n"
+            "    return [x / total for x in xs]\n"
+        ),
+    })
+    assert analysis.effect_of("pkg.mod.norm") is Effect.PURE
+
+
+@pytest.mark.parametrize("call, effect", [
+    ("time.time()", Effect.NONDETERMINISTIC),
+    ("random.random()", Effect.NONDETERMINISTIC),
+    ("os.urandom(8)", Effect.NONDETERMINISTIC),
+    ("os.getenv('HOME')", Effect.READS_ENV),
+    ("open('x')", Effect.IO),
+])
+def test_impure_catalog_seeds(make_project, tmp_path, call, effect):
+    name = "m_%s" % abs(hash(call))
+    _, analysis = analyze(make_project, {
+        "pkg/%s.py" % name: (
+            "import os, time, random\n\n"
+            "def f():\n"
+            "    return %s\n" % call
+        ),
+    })
+    assert analysis.effect_of("pkg.%s.f" % name) is effect
+
+
+def test_effects_propagate_through_call_chain(make_project):
+    _, analysis = analyze(make_project, {
+        "pkg/a.py": "from pkg import b\n\ndef top():\n    return b.mid()\n",
+        "pkg/b.py": (
+            "import time\n\n"
+            "def mid():\n    return leaf()\n\n"
+            "def leaf():\n    return time.time()\n"
+        ),
+    })
+    assert analysis.effect_of("pkg.a.top") is Effect.NONDETERMINISTIC
+    chain = render_chain(analysis.explain("pkg.a.top"))
+    assert "pkg.a.top" in chain and "pkg.b.leaf" in chain
+    assert "time.time()" in chain
+
+
+def test_recursive_cycle_of_pure_functions_stays_pure(make_project):
+    _, analysis = analyze(make_project, {
+        "pkg/cycle.py": (
+            "def even(n):\n"
+            "    return True if n == 0 else odd(n - 1)\n\n"
+            "def odd(n):\n"
+            "    return False if n == 0 else even(n - 1)\n"
+        ),
+    })
+    assert analysis.effect_of("pkg.cycle.even") is Effect.PURE
+    assert analysis.effect_of("pkg.cycle.odd") is Effect.PURE
+
+
+def test_impurity_in_a_cycle_infects_the_whole_cycle(make_project):
+    _, analysis = analyze(make_project, {
+        "pkg/cycle.py": (
+            "import time\n\n"
+            "def a(n):\n    return b(n)\n\n"
+            "def b(n):\n"
+            "    if n > 0:\n"
+            "        return a(n - 1)\n"
+            "    return time.time()\n"
+        ),
+    })
+    assert analysis.effect_of("pkg.cycle.a") is Effect.NONDETERMINISTIC
+
+
+def test_dynamic_dispatch_falls_back_to_impure(make_project):
+    _, analysis = analyze(make_project, {
+        "pkg/mod.py": (
+            "def apply(fn, x):\n"
+            "    return fn(x)\n"
+        ),
+    })
+    # unknown -> impure: a computed callable could be anything
+    assert analysis.effect_of("pkg.mod.apply") is Effect.NONDETERMINISTIC
+
+
+def test_unresolved_method_falls_back_to_impure(make_project):
+    _, analysis = analyze(make_project, {
+        "pkg/mod.py": (
+            "def poke(obj):\n"
+            "    return obj.frobnicate()\n"
+        ),
+    })
+    assert analysis.effect_of("pkg.mod.poke") is Effect.NONDETERMINISTIC
+
+
+def test_builtin_method_vocabulary_is_pure(make_project):
+    _, analysis = analyze(make_project, {
+        "pkg/mod.py": (
+            "def fmt(items):\n"
+            "    out = []\n"
+            "    for item in sorted(items):\n"
+            "        out.append(str(item).strip().lower())\n"
+            "    return ', '.join(out)\n"
+        ),
+    })
+    assert analysis.effect_of("pkg.mod.fmt") is Effect.PURE
+
+
+def test_lru_cache_preserves_purity(make_project):
+    _, analysis = analyze(make_project, {
+        "pkg/mod.py": (
+            "import functools\n\n"
+            "@functools.lru_cache(maxsize=None)\n"
+            "def fib(n):\n"
+            "    return n if n < 2 else fib(n - 1) + fib(n - 2)\n"
+        ),
+    })
+    assert analysis.effect_of("pkg.mod.fib") is Effect.PURE
+
+
+def test_unknown_decorator_is_conservative(make_project):
+    _, analysis = analyze(make_project, {
+        "pkg/mod.py": (
+            "from somewhere import magic\n\n"
+            "@magic\n"
+            "def f(x):\n"
+            "    return x\n"
+        ),
+    })
+    assert analysis.effect_of("pkg.mod.f") is Effect.NONDETERMINISTIC
+
+
+def test_project_decorator_folds_its_effect_in(make_project):
+    _, analysis = analyze(make_project, {
+        "pkg/deco.py": (
+            "import time\n\n"
+            "def stamp(fn):\n"
+            "    fn.at = time.time()\n"
+            "    return fn\n"
+        ),
+        "pkg/mod.py": (
+            "from pkg.deco import stamp\n\n"
+            "@stamp\n"
+            "def f(x):\n"
+            "    return x\n"
+        ),
+    })
+    assert analysis.effect_of("pkg.mod.f") is Effect.NONDETERMINISTIC
+
+
+def test_module_global_write_is_mutates_global(make_project):
+    _, analysis = analyze(make_project, {
+        "pkg/mod.py": (
+            "_REGISTRY = {}\n\n"
+            "def install(key, value):\n"
+            "    _REGISTRY[key] = value\n"
+        ),
+    })
+    assert analysis.effect_of("pkg.mod.install") is Effect.MUTATES_GLOBAL
+
+
+def test_local_mutation_is_pure(make_project):
+    _, analysis = analyze(make_project, {
+        "pkg/mod.py": (
+            "def tally(items):\n"
+            "    counts = {}\n"
+            "    for item in items:\n"
+            "        counts[item] = counts.get(item, 0) + 1\n"
+            "    return counts\n"
+        ),
+    })
+    assert analysis.effect_of("pkg.mod.tally") is Effect.PURE
+
+
+def test_method_dispatch_joins_reachable_class_only(make_project):
+    files = {
+        "pkg/caller.py": (
+            "from pkg.near import Near\n\n"
+            "def go():\n"
+            "    return Near().run()\n"
+        ),
+        "pkg/near.py": (
+            "class Near:\n"
+            "    def run(self):\n"
+            "        return 1\n"
+        ),
+        # same method name, impure, but never importable from caller
+        "pkg/far.py": (
+            "import time\n\n"
+            "class Far:\n"
+            "    def run(self):\n"
+            "        return time.time()\n"
+        ),
+    }
+    project = make_project(files)
+    analysis = EffectAnalysis(project)
+    assert analysis.effect_of("pkg.far.Far.run") is Effect.NONDETERMINISTIC
+    assert analysis.effect_of("pkg.caller.go") is Effect.PURE
+
+
+def test_method_dispatch_joins_impure_candidate_in_closure(make_project):
+    _, analysis = analyze(make_project, {
+        "pkg/caller.py": (
+            "from pkg.sink import Sink\n\n"
+            "def go(sink):\n"
+            "    return sink.run()\n"
+        ),
+        "pkg/sink.py": (
+            "class Sink:\n"
+            "    def run(self):\n"
+            "        with open('x') as f:\n"
+            "            return f.read()\n"
+        ),
+    })
+    assert analysis.effect_of("pkg.caller.go") is Effect.IO
+
+
+def test_classmethod_cls_call_resolves_to_own_constructor(make_project):
+    _, analysis = analyze(make_project, {
+        "pkg/mod.py": (
+            "class Box:\n"
+            "    def __init__(self, value):\n"
+            "        self.value = value\n\n"
+            "    @classmethod\n"
+            "    def of(cls, value):\n"
+            "        return cls(value)\n"
+        ),
+    })
+    assert analysis.effect_of("pkg.mod.Box.of") is Effect.PURE
+
+
+def test_tz_aware_fromtimestamp_is_pure_naive_reads_env(make_project):
+    _, analysis = analyze(make_project, {
+        "pkg/mod.py": (
+            "import datetime as _dt\n\n"
+            "def aware(ts):\n"
+            "    return _dt.datetime.fromtimestamp(ts, tz=_dt.timezone.utc)\n\n"
+            "def naive(ts):\n"
+            "    return _dt.datetime.fromtimestamp(ts)\n"
+        ),
+    })
+    assert analysis.effect_of("pkg.mod.aware") is Effect.PURE
+    assert analysis.effect_of("pkg.mod.naive") is Effect.READS_ENV

@@ -47,8 +47,10 @@ def test_cli_reports_deliberate_violations(tmp_path, capsys):
 
     assert main(["--json", str(bad)]) == 1
     payload = json.loads(capsys.readouterr().out)
-    assert {entry["rule"] for entry in payload} == {"RPR001", "RPR002"}
-    assert all(entry["path"] == str(bad) for entry in payload)
+    assert payload["schema_version"] == 2
+    findings = payload["findings"]
+    assert {entry["rule"] for entry in findings} == {"RPR001", "RPR002"}
+    assert all(entry["path"] == str(bad) for entry in findings)
 
 
 def test_cli_rule_subset_and_unknown_rule(tmp_path, capsys):

@@ -1,0 +1,243 @@
+"""Trigger / clean / noqa tests for the interprocedural rules RPR006–008."""
+
+from __future__ import annotations
+
+from repro.devtools.driver import run_lint
+
+
+def rules_of(result) -> set[str]:
+    return {d.rule for d in result.diagnostics}
+
+
+# A minimal runnable stage-graph skeleton the fixtures build on.
+def stage_tree(stage_body: str, extra: dict[str, str] | None = None,
+               noqa: str = "") -> dict[str, str]:
+    files = {
+        "pkg/graph.py": "class StageSpec:\n    pass\n",
+        "pkg/stages.py": (
+            "from pkg.graph import StageSpec\n"
+            "import pkg.work\n"
+            "STAGES = (\n"
+            "    StageSpec(name='one', inputs=(), outputs=('a',), "
+            "fan_out=None, func=pkg.work.run_one),%s\n"
+            ")\n" % noqa
+        ),
+        "pkg/work.py": stage_body,
+        "pkg/cache.py": (
+            "CODE_VERSION_PACKAGES = ('graph.py', 'stages.py', 'work.py', "
+            "'cache.py')\n"
+        ),
+    }
+    files.update(extra or {})
+    return files
+
+
+# ---------------------------------------------------------------- RPR006
+
+def test_rpr006_flags_impure_stage(make_tree):
+    tree = make_tree(stage_tree(
+        "import time\n\n"
+        "def run_one(data):\n"
+        "    return data, time.time()\n"
+    ))
+    result = run_lint([tree], rules=["RPR006"])
+    assert rules_of(result) == {"RPR006"}
+    message = result.diagnostics[0].message
+    assert "NONDETERMINISTIC" in message and "time.time()" in message
+
+
+def test_rpr006_clean_on_pure_stage(make_tree):
+    tree = make_tree(stage_tree(
+        "def run_one(data):\n"
+        "    return sorted(data)\n"
+    ))
+    assert run_lint([tree], rules=["RPR006"]).diagnostics == []
+
+
+def test_rpr006_flags_unresolvable_stage_function(make_tree):
+    files = stage_tree("def other():\n    return 1\n")
+    files["pkg/stages.py"] = files["pkg/stages.py"].replace(
+        "pkg.work.run_one", "pkg.work.missing")
+    tree = make_tree(files)
+    result = run_lint([tree], rules=["RPR006"])
+    assert rules_of(result) == {"RPR006"}
+    assert "does not resolve" in result.diagnostics[0].message
+
+
+def test_rpr006_noqa_with_justification_suppresses(make_tree):
+    tree = make_tree(stage_tree(
+        "import time\n\n"
+        "def run_one(data):\n"
+        "    return data, time.time()\n",
+        noqa="  # repro: noqa[RPR006] -- timing stage, not cached",
+    ))
+    assert run_lint([tree], rules=["RPR006"]).diagnostics == []
+
+
+# ---------------------------------------------------------------- RPR007
+
+def test_rpr007_flags_reachable_unhashed_module(make_tree):
+    tree = make_tree(stage_tree(
+        "from pkg import stray\n\n"
+        "def run_one(data):\n"
+        "    return stray.tweak(data)\n",
+        extra={"pkg/stray.py": "def tweak(data):\n    return data\n"},
+    ))
+    result = run_lint([tree], rules=["RPR007"])
+    assert rules_of(result) == {"RPR007"}
+    message = result.diagnostics[0].message
+    assert "pkg.stray" in message and "pkg.stages -> pkg.work" not in message
+    assert "CODE_VERSION_PACKAGES" in message
+
+
+def test_rpr007_reports_the_import_chain(make_tree):
+    tree = make_tree(stage_tree(
+        "from pkg import middle\n\n"
+        "def run_one(data):\n"
+        "    return middle.go(data)\n",
+        extra={
+            "pkg/middle.py": (
+                "from pkg import deep\n\n"
+                "def go(data):\n    return deep.go(data)\n"
+            ),
+            "pkg/deep.py": "def go(data):\n    return data\n",
+        },
+    ))
+    result = run_lint([tree], rules=["RPR007"])
+    deep = [d for d in result.diagnostics if "pkg.deep " in d.message]
+    assert len(deep) == 1
+    assert "pkg.middle -> pkg.deep" in deep[0].message
+
+
+def test_rpr007_clean_when_closure_is_covered(make_tree):
+    tree = make_tree(stage_tree(
+        "from pkg import stray\n\n"
+        "def run_one(data):\n"
+        "    return stray.tweak(data)\n",
+        extra={"pkg/stray.py": "def tweak(data):\n    return data\n"},
+    ))
+    cache = tree / "pkg" / "cache.py"
+    cache.write_text(cache.read_text(encoding="utf-8").replace(
+        "'cache.py')", "'cache.py', 'stray.py')"), encoding="utf-8")
+    assert run_lint([tree], rules=["RPR007"]).diagnostics == []
+
+
+def test_rpr007_flags_missing_code_version_declaration(make_tree):
+    files = stage_tree("def run_one(data):\n    return data\n")
+    del files["pkg/cache.py"]
+    tree = make_tree(files)
+    result = run_lint([tree], rules=["RPR007"])
+    assert rules_of(result) == {"RPR007"}
+    assert "no CODE_VERSION_PACKAGES" in result.diagnostics[0].message
+
+
+def test_rpr007_noqa_on_declaration_line_suppresses(make_tree):
+    files = stage_tree(
+        "from pkg import stray\n\n"
+        "def run_one(data):\n"
+        "    return stray.tweak(data)\n",
+        extra={"pkg/stray.py": "def tweak(data):\n    return data\n"},
+    )
+    files["pkg/cache.py"] = files["pkg/cache.py"].rstrip("\n") + \
+        "  # repro: noqa[RPR007] -- stray is config-only\n"
+    tree = make_tree(files)
+    assert run_lint([tree], rules=["RPR007"]).diagnostics == []
+
+
+# ---------------------------------------------------------------- RPR008
+
+def worker_tree(worker_body: str) -> dict[str, str]:
+    return {
+        "pkg/exec.py": (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "import pkg.work\n\n"
+            "def run(shards):\n"
+            "    pool = ProcessPoolExecutor(\n"
+            "        initializer=pkg.work.init, initargs=())\n"
+            "    return list(pool.map(pkg.work.task, shards))\n"
+        ),
+        "pkg/work.py": worker_body,
+    }
+
+
+def test_rpr008_flags_unsanctioned_global_write(make_tree):
+    tree = make_tree(worker_tree(
+        "_context = None\n"
+        "_scratch = {}\n\n"
+        "def init(ctx=None):\n"
+        "    global _context\n"
+        "    _context = ctx\n\n"
+        "def task(shard):\n"
+        "    _scratch[shard] = True\n"
+        "    return shard\n"
+    ))
+    result = run_lint([tree], rules=["RPR008"])
+    assert rules_of(result) == {"RPR008"}
+    message = result.diagnostics[0].message
+    assert "_scratch" in message and "_context" in message
+
+
+def test_rpr008_clean_when_writes_are_initializer_owned(make_tree):
+    tree = make_tree(worker_tree(
+        "_context = None\n"
+        "_memo = {}\n\n"
+        "def init(ctx=None):\n"
+        "    global _context\n"
+        "    _context = ctx\n"
+        "    _memo.clear()\n\n"
+        "def task(shard):\n"
+        "    _memo[shard] = shard\n"
+        "    return _memo[shard]\n"
+    ))
+    assert run_lint([tree], rules=["RPR008"]).diagnostics == []
+
+
+def test_rpr008_flags_lambda_pool_task(make_tree):
+    files = worker_tree("def init(ctx=None):\n    pass\n")
+    files["pkg/exec.py"] = files["pkg/exec.py"].replace(
+        "pkg.work.task", "lambda s: s")
+    tree = make_tree(files)
+    result = run_lint([tree], rules=["RPR008"])
+    assert rules_of(result) == {"RPR008"}
+    assert "pickled" in result.diagnostics[0].message
+
+
+def test_rpr008_flags_nested_function_pool_task(make_tree):
+    files = worker_tree("def init(ctx=None):\n    pass\n")
+    files["pkg/exec.py"] = (
+        "from concurrent.futures import ProcessPoolExecutor\n"
+        "import pkg.work\n\n"
+        "def run(shards):\n"
+        "    def task(shard):\n"
+        "        return shard\n"
+        "    pool = ProcessPoolExecutor(\n"
+        "        initializer=pkg.work.init, initargs=())\n"
+        "    return list(pool.map(task, shards))\n"
+    )
+    tree = make_tree(files)
+    result = run_lint([tree], rules=["RPR008"])
+    assert rules_of(result) == {"RPR008"}
+    assert "module level" in result.diagnostics[0].message
+
+
+def test_rpr008_noqa_suppresses(make_tree):
+    tree = make_tree(worker_tree(
+        "_context = None\n"
+        "_stats = {}\n\n"
+        "def init(ctx=None):\n"
+        "    global _context\n"
+        "    _context = ctx\n\n"
+        "def task(shard):\n"
+        "    _stats[shard] = True  # repro: noqa[RPR008] -- debug-only tally\n"
+        "    return shard\n"
+    ))
+    assert run_lint([tree], rules=["RPR008"]).diagnostics == []
+
+
+def test_real_tree_is_clean_under_project_rules():
+    import repro
+    from pathlib import Path
+
+    result = run_lint([Path(repro.__file__).resolve().parent],
+                      rules=["RPR006", "RPR007", "RPR008"])
+    assert result.diagnostics == [], [d.format() for d in result.diagnostics]

@@ -1,0 +1,105 @@
+"""CODE_VERSION_PACKAGES must stay in sync with stage reachability.
+
+The artifact cache key hashes the packages in ``CODE_VERSION_PACKAGES``;
+a module that a stage function can transitively import but that is not
+hashed could change behaviour without invalidating cached artifacts
+(DESIGN.md §10).  Two layers of defence:
+
+* RPR007 runs the full interprocedural closure check inside the lint
+  pass (and in CI) — asserted clean here so a desync fails the runtime
+  suite too, not just ``pytest -m lint``;
+* a direct structural check that every registered stage function's own
+  module is covered, which pins the invariant without going through the
+  analyzer at all.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.devtools.driver import run_lint
+from repro.runtime.cache import CODE_VERSION_PACKAGES
+from repro.runtime.stages import STAGES
+
+SRC_REPRO = Path(repro.__file__).resolve().parent
+
+
+def _covered_prefixes() -> list[str]:
+    return [
+        "repro.%s" % (entry[:-3] if entry.endswith(".py") else entry)
+        for entry in CODE_VERSION_PACKAGES
+    ]
+
+
+def test_stage_function_modules_are_hashed():
+    prefixes = _covered_prefixes()
+    for spec in STAGES:
+        module = spec.func.__module__
+        assert any(module == p or module.startswith(p + ".")
+                   for p in prefixes), (
+            "stage %r function lives in %s, which CODE_VERSION_PACKAGES "
+            "does not hash" % (spec.name, module))
+
+
+def test_stage_import_closure_is_covered():
+    result = run_lint([SRC_REPRO], rules=["RPR007"])
+    assert result.diagnostics == [], (
+        "code_version hash set out of sync with stage reachability:\n%s"
+        % "\n".join(d.format() for d in result.diagnostics))
+
+
+def test_rpr007_fires_when_reachable_module_is_unhashed(tmp_path):
+    """Acceptance proof: a stage reaching an unhashed module is caught.
+
+    Copies the real tree, makes ``repro.core.pipeline`` import
+    ``repro.sim`` (a legal *downward* DAG edge that RPR003 permits, but
+    one that CODE_VERSION_PACKAGES does not hash) and asserts RPR007
+    reports the gap with an import chain.
+    """
+    import shutil
+
+    tree = tmp_path / "repro"
+    shutil.copytree(SRC_REPRO, tree, ignore=shutil.ignore_patterns(
+        "__pycache__", "*.pyc"))
+    pipeline = tree / "core" / "pipeline.py"
+    pipeline.write_text(
+        pipeline.read_text(encoding="utf-8").replace(
+            "from __future__ import annotations",
+            "from __future__ import annotations\n"
+            "from repro.sim import outages as _outages",
+            1),
+        encoding="utf-8")
+
+    result = run_lint([tree], rules=["RPR007"])
+    messages = [d.message for d in result.diagnostics]
+    assert any("repro.sim" in m and "CODE_VERSION_PACKAGES" in m
+               for m in messages), messages
+
+
+def test_rpr007_clean_after_adding_package_to_hash_set(tmp_path):
+    """The fix RPR007 suggests (hash the package) actually silences it."""
+    import shutil
+
+    tree = tmp_path / "repro"
+    shutil.copytree(SRC_REPRO, tree, ignore=shutil.ignore_patterns(
+        "__pycache__", "*.pyc"))
+    pipeline = tree / "core" / "pipeline.py"
+    pipeline.write_text(
+        pipeline.read_text(encoding="utf-8").replace(
+            "from __future__ import annotations",
+            "from __future__ import annotations\n"
+            "from repro.sim import outages as _outages",
+            1),
+        encoding="utf-8")
+    # sim itself plus the layers it sits on that the base set omits
+    cache_module = tree / "runtime" / "cache.py"
+    cache_module.write_text(
+        cache_module.read_text(encoding="utf-8").replace(
+            '"core",', '"core", "dhcp", "ppp", "isp", "sim",', 1),
+        encoding="utf-8")
+
+    result = run_lint([tree], rules=["RPR007"])
+    assert result.diagnostics == [], [d.format() for d in result.diagnostics]
