@@ -28,6 +28,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.runtime import (
     RuntimeConfig,
     code_version,
@@ -97,6 +98,7 @@ def main(argv: list[str] | None = None) -> int:
                 "warm run recomputed stages: %r"
                 % (warm_runner.report.computed_stages,))
 
+        oversubscribed = (os.cpu_count() or 1) < args.jobs
         payload = {
             "scenario": {"scale": args.scale, "seed": args.seed,
                          "probes": len(world.archive),
@@ -113,20 +115,27 @@ def main(argv: list[str] | None = None) -> int:
                         "cold_cache": round(cold_s, 3),
                         "warm_cache": round(warm_s, 3)},
             "speedup_vs_serial": {
-                "parallel": round(serial_s / parallel_s, 2),
+                # An oversubscribed "speedup" only measures time-slicing
+                # overhead; publish null rather than a misleading number.
+                "parallel": (None if oversubscribed
+                             else round(serial_s / parallel_s, 2)),
                 "warm_cache": round(serial_s / warm_s, 2)},
+            "metrics": obs.metrics_snapshot(),
         }
-        if (os.cpu_count() or 1) < args.jobs:
+        if oversubscribed:
             payload["notes"] = (
-                "parallel figure is not meaningful on this machine: "
-                "jobs=%d exceeds cpu_count=%d, so worker processes "
-                "time-slice a single core and fork/IPC overhead dominates"
-                % (args.jobs, os.cpu_count() or 1))
+                "speedup_vs_serial.parallel is null: jobs=%d exceeds "
+                "cpu_count=%d, so worker processes time-slice a single "
+                "core and the ratio would measure fork/IPC overhead, "
+                "not parallelism" % (args.jobs, os.cpu_count() or 1))
 
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload["seconds"]), file=sys.stderr)
-    print("wrote %s (parallel %.2fx, warm cache %.2fx vs serial)"
-          % (args.out, payload["speedup_vs_serial"]["parallel"],
+    parallel_x = payload["speedup_vs_serial"]["parallel"]
+    print("wrote %s (parallel %s, warm cache %.2fx vs serial)"
+          % (args.out,
+             "n/a (oversubscribed)" if parallel_x is None
+             else "%.2fx" % parallel_x,
              payload["speedup_vs_serial"]["warm_cache"]))
     return 0
 

@@ -15,6 +15,15 @@ module that no ``CODE_VERSION_PACKAGES`` entry covers, with the import
 chain that makes it reachable.  The fix is almost always adding the
 module's package to ``CODE_VERSION_PACKAGES`` (over-hashing merely costs
 cache warmth; under-hashing costs correctness).
+
+The one exception is :data:`RESULT_INERT_PREFIXES`: the observability
+layer is reachable from the executor but *result-inert* — no value it
+produces flows into a stage output, so hashing it would invalidate every
+cached artifact on an instrumentation edit for no correctness gain.
+That inertness is itself machine-checked, just elsewhere: RPR006 fails
+any stage function whose call graph reaches ``repro.obs`` (its clock and
+pid reads make the function non-PURE), so the exemption cannot be used
+to smuggle result-affecting code past the cache key.
 """
 
 from __future__ import annotations
@@ -27,6 +36,11 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.devtools.callgraph import Project
     from repro.devtools.diagnostics import Diagnostic
     from repro.devtools.effects import EffectAnalysis
+
+#: Module prefixes excused from CODE_VERSION_PACKAGES coverage because
+#: they are observability-only: spans/metrics/trace output never feeds
+#: back into stage results (RPR006 enforces this — see module docstring).
+RESULT_INERT_PREFIXES = ("repro.obs",)
 
 
 @register
@@ -76,6 +90,9 @@ class CacheSoundnessChecker(ProjectChecker):
             for module in sorted(closure):
                 if any(module == prefix or module.startswith(prefix + ".")
                        for prefix in covered):
+                    continue
+                if any(module == prefix or module.startswith(prefix + ".")
+                       for prefix in RESULT_INERT_PREFIXES):
                     continue
                 chain = " -> ".join(project.import_chain(closure, module))
                 yield self.project_diagnostic(

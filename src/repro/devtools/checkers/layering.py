@@ -6,22 +6,29 @@ layer or a lower one:
 .. code-block:: text
 
     errors                                   (rank 0: leaf exception types)
-      └─ util                                (rank 1: rng, timeutil, ingest)
-           └─ net                            (rank 2: IPv4, tries, pfx2as)
-                └─ dhcp    ppp               (rank 3: siblings — no imports
-                     └──────┴─ isp            between them)   (rank 4)
-                               └─ atlas      (rank 5: dataset containers)
-                                    └─ sim   (rank 6: emits atlas datasets)
-                                         └─ faults  (rank 7: corrupts
-                                         │           bundles sim.io wrote;
-                                         │           consumed by tests and
-                                         │           its own CLI only)
-                                         └─ core     (rank 8: analysis)
-                                              └─ runtime    (rank 9:
-                                              │    sharded executor +
-                                              │    artifact cache over the
-                                              │    core stage functions)
-                                              └─ experiments    (rank 10)
+      └─ obs                                 (rank 1: spans/metrics/trace —
+           │                                  observability every layer may
+           │                                  import, itself importing only
+           │                                  errors)
+           └─ util                           (rank 2: rng, timeutil, ingest)
+                └─ net                       (rank 3: IPv4, tries, pfx2as)
+                     └─ dhcp    ppp          (rank 4: siblings — no imports
+                          └──────┴─ isp       between them)   (rank 5)
+                                    └─ atlas (rank 6: dataset containers)
+                                         └─ sim   (rank 7: emits atlas
+                                              │    datasets)
+                                              └─ faults  (rank 8: corrupts
+                                              │           bundles sim.io
+                                              │           wrote; consumed by
+                                              │           tests and its own
+                                              │           CLI only)
+                                              └─ core     (rank 9: analysis)
+                                                   └─ runtime    (rank 10:
+                                                   │    sharded executor +
+                                                   │    artifact cache over
+                                                   │    the core stage
+                                                   │    functions)
+                                                   └─ experiments  (rank 11)
 
 ``repro.devtools`` (this lint framework) sits outside the DAG entirely:
 nothing may import it, and it may import only the leaf layers ``errors``
@@ -47,17 +54,18 @@ from repro.devtools.registry import Checker, register
 #: siblings, not a unit).
 LAYER_RANKS = {
     "errors": 0,
-    "util": 1,
-    "net": 2,
-    "dhcp": 3,
-    "ppp": 3,
-    "isp": 4,
-    "atlas": 5,
-    "sim": 6,
-    "faults": 7,
-    "core": 8,
-    "runtime": 9,
-    "experiments": 10,
+    "obs": 1,
+    "util": 2,
+    "net": 3,
+    "dhcp": 4,
+    "ppp": 4,
+    "isp": 5,
+    "atlas": 6,
+    "sim": 7,
+    "faults": 8,
+    "core": 9,
+    "runtime": 10,
+    "experiments": 11,
 }
 
 #: The lint framework: self-contained, outside the runtime DAG.

@@ -20,6 +20,10 @@ class DatasetError(ReproError):
     """A dataset is internally inconsistent (out of order, missing month)."""
 
 
+class ObservabilityError(ReproError):
+    """A trace file or metrics payload violates the repro.obs schema."""
+
+
 class SimulationError(ReproError):
     """A scenario is invalid or the simulator reached an impossible state."""
 

@@ -23,9 +23,14 @@ from repro.experiments import (  # noqa: F401  (registration)
     figures,
     tables,
 )
+from repro import obs
 from repro.experiments.registry import experiment_ids, get_experiment
 from repro.experiments.scenarios import DEFAULT_SCALE, paper_results
-from repro.runtime.cli import add_runtime_arguments, runtime_config
+from repro.runtime.cli import (
+    add_runtime_arguments,
+    runtime_config,
+    write_run_trace,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -65,9 +70,11 @@ def main(argv: list[str] | None = None) -> int:
         print(error, file=sys.stderr)
         return 2
 
-    # --jobs/--cache-dir route through the sharded executor; the plain
-    # serial path keeps the per-process lru_cache of paper_results.
-    use_runtime = args.jobs != 1 or args.cache_dir is not None
+    # --jobs/--cache-dir/--trace route through the sharded executor; the
+    # plain serial path keeps the per-process lru_cache of paper_results.
+    use_runtime = (args.jobs != 1 or args.cache_dir is not None
+                   or args.trace is not None)
+    runner = None
     if inspect.signature(driver).parameters:
         if args.data is not None:
             from repro.sim.io import load_bundle
@@ -75,12 +82,13 @@ def main(argv: list[str] | None = None) -> int:
             policy = ReadPolicy(args.read_policy)
             report = IngestReport()
             bundle = load_bundle(args.data, policy=policy, report=report)
+            obs.record_ingest(report)
             if policy is ReadPolicy.REPAIR and not report.clean:
                 print(report.render(), file=sys.stderr)
             if use_runtime:
                 from repro.runtime.executor import runner_for_bundle
-                results = runner_for_bundle(bundle,
-                                            runtime_config(args)).run()
+                runner = runner_for_bundle(bundle, runtime_config(args))
+                results = runner.run()
             else:
                 from repro.core.pipeline import pipeline_for_bundle
                 results = pipeline_for_bundle(bundle).run()
@@ -88,13 +96,18 @@ def main(argv: list[str] | None = None) -> int:
             from repro.experiments.scenarios import paper_world
             from repro.runtime.executor import runner_for_world
             world = paper_world(scale=args.scale, seed=args.seed)
-            results = runner_for_world(world, runtime_config(args)).run()
+            runner = runner_for_world(world, runtime_config(args))
+            results = runner.run()
         else:
             results = paper_results(scale=args.scale, seed=args.seed)
         output = driver(results)
     else:
         output = driver()
     print(output.text)
+    if args.trace is not None and runner is not None:
+        from repro.runtime.digest import results_digest
+        write_run_trace(args.trace, runner, results_digest(results))
+        print("trace written to %s" % args.trace, file=sys.stderr)
     return 0
 
 

@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import obs
 from repro.faults.injectors import (
     FaultKind,
     InjectedFault,
@@ -169,6 +170,8 @@ class FaultPlan:
         self._corrupt_kroot(root, report)
         self._corrupt_pfx2as(root, report)
         self._drop_files(root, report)
+        for fault in report.faults:
+            obs.count("faults.injected.%s" % fault.kind.value)
         return report
 
     def _measure_written(self, root: Path, report: FaultReport) -> None:

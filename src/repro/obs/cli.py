@@ -1,0 +1,50 @@
+"""``repro-obs``: inspect trace files written by ``repro-run --trace``.
+
+Usage::
+
+    repro-run --data bundle/ --jobs 2 --trace trace.json
+    repro-obs report trace.json     # per-stage timing, skew, cache, ingest
+    repro-obs validate trace.json   # schema gate (CI)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.obs.report import render_report
+from repro.obs.trace import load_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate or summarize one trace file."""
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Summarize or validate the observability trace "
+                    "(spans + metrics) a traced repro-run exported")
+    commands = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in (
+            ("report", "render the human-readable run summary"),
+            ("validate", "check the trace against the schema and exit")):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("trace", help="trace JSON written by --trace")
+    args = parser.parse_args(argv)
+
+    try:
+        payload = load_trace(args.trace)
+    except (OSError, ReproError) as error:
+        print(error, file=sys.stderr)
+        return 1
+    if args.command == "validate":
+        print("%s: valid (%d events, %d counters, %d gauges)"
+              % (args.trace, len(payload["traceEvents"]),
+                 len(payload["metrics"].get("counters", {})),
+                 len(payload["metrics"].get("gauges", {}))))
+        return 0
+    print(render_report(payload))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

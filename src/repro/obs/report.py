@@ -1,0 +1,150 @@
+"""Human-readable summary of one run's trace file.
+
+``repro-obs report trace.json`` renders, from the spans and metrics a
+traced run exported:
+
+* per-stage wall time with execution mode and share of total;
+* shard skew per fan-out stage (min/mean/max shard seconds — a high
+  max/mean ratio means one shard straggled and capped the speedup);
+* cache effectiveness (hits, misses, stores, evictions, corrupt-entry
+  heals, bytes written);
+* ingest accounting (parsed / repaired / quarantined per dataset, with
+  the loss fraction) and injected-fault counts when present.
+
+Everything here is pure rendering over the loaded payload; the numbers
+were fixed when the trace was written.
+"""
+
+from __future__ import annotations
+
+_MICROSECONDS = 1e6
+
+
+def _stage_lines(events: list[dict]) -> list[str]:
+    stages = [event for event in events if event.get("cat") == "stage"]
+    if not stages:
+        return ["(no stage spans recorded)"]
+    total = sum(event["dur"] for event in stages) or 1.0
+    lines = ["%-8s  %9s  %6s  %s" % ("stage", "seconds", "share", "mode")]
+    for event in stages:
+        args = event.get("args", {})
+        mode = ("cached" if args.get("cached")
+                else "sharded" if args.get("sharded") else "inline")
+        lines.append("%-8s  %9.3f  %5.1f%%  %s"
+                     % (event["name"], event["dur"] / _MICROSECONDS,
+                        100.0 * event["dur"] / total, mode))
+    return lines
+
+
+def _skew_lines(events: list[dict]) -> list[str]:
+    by_stage: dict[str, list[float]] = {}
+    for event in events:
+        if event.get("cat") != "shard":
+            continue
+        stage = str(event.get("args", {}).get("stage", event["name"]))
+        by_stage.setdefault(stage, []).append(
+            event["dur"] / _MICROSECONDS)
+    if not by_stage:
+        return []
+    lines = ["%-8s  %6s  %9s  %9s  %9s  %s"
+             % ("stage", "shards", "min s", "mean s", "max s", "skew")]
+    for stage, durations in by_stage.items():
+        mean = sum(durations) / len(durations)
+        skew = (max(durations) / mean) if mean else 1.0
+        lines.append("%-8s  %6d  %9.3f  %9.3f  %9.3f  %.2fx"
+                     % (stage, len(durations), min(durations), mean,
+                        max(durations), skew))
+    return lines
+
+
+def _cache_lines(counters: dict[str, float],
+                 gauges: dict[str, float]) -> list[str]:
+    if not any(name.startswith("cache.") for name in counters):
+        return []
+    hits = counters.get("cache.hits", 0)
+    misses = counters.get("cache.misses", 0)
+    looked = hits + misses
+    rate = (100.0 * hits / looked) if looked else 0.0
+    lines = ["hits %d  misses %d  (%.1f%% hit rate)  stores %d"
+             % (hits, misses, rate, counters.get("cache.stores", 0)),
+             "evictions %d  corrupt-entry heals %d  bytes stored %d"
+             % (counters.get("cache.evictions", 0),
+                counters.get("cache.heals", 0),
+                counters.get("cache.bytes_stored", 0))]
+    if "cache.bytes_on_disk" in gauges:
+        lines.append("bytes on disk %d" % gauges["cache.bytes_on_disk"])
+    return lines
+
+
+def _ingest_lines(counters: dict[str, float]) -> list[str]:
+    datasets: dict[str, dict[str, float]] = {}
+    for name, value in counters.items():
+        parts = name.split(".")
+        if len(parts) == 3 and parts[0] == "ingest":
+            datasets.setdefault(parts[2], {})[parts[1]] = value
+    if not datasets:
+        return []
+    lines = ["%-12s %8s %9s %12s %7s"
+             % ("dataset", "parsed", "repaired", "quarantined", "loss")]
+    for dataset in sorted(datasets):
+        row = datasets[dataset]
+        parsed = row.get("parsed", 0)
+        repaired = row.get("repaired", 0)
+        quarantined = row.get("quarantined", 0)
+        total = parsed + repaired + quarantined
+        loss = (100.0 * quarantined / total) if total else 0.0
+        lines.append("%-12s %8d %9d %12d %6.2f%%"
+                     % (dataset, parsed, repaired, quarantined, loss))
+    return lines
+
+
+def _fault_lines(counters: dict[str, float]) -> list[str]:
+    kinds = {name.split(".", 2)[2]: value
+             for name, value in counters.items()
+             if name.startswith("faults.injected.")}
+    if not kinds:
+        return []
+    return ["%-24s %d" % (kind, kinds[kind]) for kind in sorted(kinds)]
+
+
+def _run_lines(gauges: dict[str, float],
+               meta: dict[str, object]) -> list[str]:
+    lines: list[str] = []
+    if "runtime.jobs.effective" in gauges:
+        jobs = int(gauges["runtime.jobs.effective"])
+        cpus = int(gauges.get("runtime.cpu_count", 0))
+        line = "jobs %d" % jobs
+        if cpus:
+            line += " of %d cpu%s" % (cpus, "" if cpus == 1 else "s")
+        if gauges.get("runtime.oversubscribed"):
+            line += "  OVERSUBSCRIBED (timings reflect time-slicing)"
+        lines.append(line)
+    for key in ("start_method", "fingerprint", "results_digest"):
+        if meta.get(key):
+            lines.append("%s %s" % (key.replace("_", " "), meta[key]))
+    return lines
+
+
+def render_report(payload: dict) -> str:
+    """The full ``repro-obs report`` text for one loaded trace."""
+    events = [event for event in payload.get("traceEvents", [])
+              if isinstance(event, dict)]
+    stores = payload.get("metrics", {})
+    counters = dict(stores.get("counters", {}))
+    gauges = dict(stores.get("gauges", {}))
+    meta = dict(payload.get("meta", {}))
+
+    sections: list[tuple[str, list[str]]] = [
+        ("run", _run_lines(gauges, meta)),
+        ("stages", _stage_lines(events)),
+        ("shard skew", _skew_lines(events)),
+        ("cache", _cache_lines(counters, gauges)),
+        ("ingest", _ingest_lines(counters)),
+        ("faults injected", _fault_lines(counters)),
+    ]
+    blocks = []
+    for title, lines in sections:
+        if not lines:
+            continue
+        blocks.append("\n".join(["== %s" % title] + lines))
+    return "\n\n".join(blocks) if blocks else "(empty trace)"

@@ -1,0 +1,163 @@
+"""Chrome ``trace_event`` export and schema validation.
+
+The trace file is one JSON object in the Trace Event Format's "object"
+flavor, loadable by ``chrome://tracing`` / Perfetto, plus two extension
+keys those viewers ignore::
+
+    {
+      "schema": "repro-obs-trace-1",
+      "displayTimeUnit": "ms",
+      "traceEvents": [ {"name", "cat", "ph": "X", "ts", "dur",
+                        "pid", "tid", "args"}, ... ],
+      "metrics": {"counters": {...}, "gauges": {...}},
+      "meta": {"jobs": ..., "start_method": ..., ...}
+    }
+
+Every event is a complete ("X") event; ``ts``/``dur`` are microseconds,
+with ``ts`` rebased so the earliest span starts at zero (perf-counter
+readings have an undefined epoch).  ``repro-obs report`` consumes the
+same file, so the trace is the single on-disk artifact of a run's
+observability.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import metrics_snapshot
+from repro.obs.spans import Span, current_spans
+
+#: Schema tag written into (and required from) every trace file.
+TRACE_SCHEMA = "repro-obs-trace-1"
+
+_MICROSECONDS = 1e6
+
+#: Fields every trace event must carry, with the types we accept.
+_EVENT_FIELDS: tuple[tuple[str, type | tuple[type, ...]], ...] = (
+    ("name", str),
+    ("cat", str),
+    ("ph", str),
+    ("ts", (int, float)),
+    ("dur", (int, float)),
+    ("pid", int),
+    ("tid", int),
+    ("args", dict),
+)
+
+
+def trace_events(spans: Iterable[Span]) -> list[dict[str, object]]:
+    """Spans as complete trace events, rebased to the earliest start."""
+    spans = list(spans)
+    if not spans:
+        return []
+    origin = min(span.start for span in spans)
+    return [{
+        "name": span.name,
+        "cat": span.category,
+        "ph": "X",
+        "ts": round((span.start - origin) * _MICROSECONDS, 1),
+        "dur": round(span.seconds * _MICROSECONDS, 1),
+        "pid": span.pid,
+        "tid": span.pid,
+        "args": dict(span.attrs),
+    } for span in spans]
+
+
+def trace_payload(spans: Iterable[Span],
+                  snapshot: dict[str, dict[str, float]],
+                  meta: dict[str, object] | None = None
+                  ) -> dict[str, object]:
+    """Assemble the full trace-file object."""
+    return {
+        "schema": TRACE_SCHEMA,
+        "displayTimeUnit": "ms",
+        "traceEvents": trace_events(spans),
+        "metrics": snapshot,
+        "meta": dict(meta or {}),
+    }
+
+
+def write_trace(path: str | Path,
+                spans: Iterable[Span] | None = None,
+                snapshot: dict[str, dict[str, float]] | None = None,
+                meta: dict[str, object] | None = None) -> dict[str, object]:
+    """Write the current process's spans and metrics as a trace file.
+
+    Returns the payload written, for callers that also want to render or
+    inspect it.
+    """
+    payload = trace_payload(
+        current_spans() if spans is None else spans,
+        metrics_snapshot() if snapshot is None else snapshot,
+        meta)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n")
+    return payload
+
+
+def load_trace(path: str | Path) -> dict[str, object]:
+    """Read and validate a trace file written by :func:`write_trace`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise ObservabilityError(
+            "%s is not valid JSON: %s" % (path, error)) from error
+    validate_trace(payload)
+    return payload
+
+
+def validate_trace(payload: object) -> None:
+    """Check a parsed trace against the schema; raise on violation.
+
+    Raises :class:`~repro.errors.ObservabilityError` naming the first
+    offending element, so CI's schema gate produces a pointed message
+    rather than a diff of two JSON blobs.
+    """
+    if not isinstance(payload, dict):
+        raise ObservabilityError("trace payload must be a JSON object, got %s"
+                                 % type(payload).__name__)
+    schema = payload.get("schema")
+    if schema != TRACE_SCHEMA:
+        raise ObservabilityError("unknown trace schema %r (expected %r)"
+                                 % (schema, TRACE_SCHEMA))
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ObservabilityError("traceEvents must be a list")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ObservabilityError("traceEvents[%d] is not an object"
+                                     % index)
+        for name, types in _EVENT_FIELDS:
+            if name not in event:
+                raise ObservabilityError(
+                    "traceEvents[%d] is missing %r" % (index, name))
+            if not isinstance(event[name], types) or isinstance(
+                    event[name], bool):
+                raise ObservabilityError(
+                    "traceEvents[%d].%s has type %s"
+                    % (index, name, type(event[name]).__name__))
+        if event["ph"] != "X":
+            raise ObservabilityError(
+                "traceEvents[%d].ph must be 'X' (complete event), got %r"
+                % (index, event["ph"]))
+        if event["ts"] < 0 or event["dur"] < 0:
+            raise ObservabilityError(
+                "traceEvents[%d] has negative ts/dur" % index)
+    stores = payload.get("metrics")
+    if not isinstance(stores, dict):
+        raise ObservabilityError("metrics must be an object")
+    for kind in ("counters", "gauges"):
+        values = stores.get(kind, {})
+        if not isinstance(values, dict):
+            raise ObservabilityError("metrics.%s must be an object" % kind)
+        for name, value in values.items():
+            if isinstance(value, bool) or not isinstance(value,
+                                                         (int, float)):
+                raise ObservabilityError(
+                    "metrics.%s[%r] must be numeric, got %s"
+                    % (kind, name, type(value).__name__))
+    if not isinstance(payload.get("meta", {}), dict):
+        raise ObservabilityError("meta must be an object")

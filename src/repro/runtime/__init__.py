@@ -27,6 +27,7 @@ from repro.runtime.executor import (
     RuntimeConfig,
     ShardedRunner,
     StageTiming,
+    resolve_start_method,
     runner_for_bundle,
     runner_for_world,
     world_fingerprint,
@@ -45,6 +46,7 @@ __all__ = [
     "StageTiming",
     "code_version",
     "partition",
+    "resolve_start_method",
     "results_digest",
     "runner_for_bundle",
     "runner_for_world",

@@ -68,6 +68,10 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evicted: int = 0
+    #: Corrupt entries deleted and served as misses (self-healing).
+    healed: int = 0
+    #: Cumulative artifact bytes written by this handle.
+    bytes_stored: int = 0
     #: Stage names served from cache, in lookup order.
     hit_stages: list[str] = field(default_factory=list)
     miss_stages: list[str] = field(default_factory=list)
@@ -111,6 +115,7 @@ class ArtifactCache:
             # A truncated or stale entry (e.g. a class that no longer
             # unpickles) must behave exactly like a miss.
             path.unlink(missing_ok=True)
+            self.stats.healed += 1
             self.stats.misses += 1
             self.stats.miss_stages.append(stage or key)
             return False, None
@@ -126,31 +131,52 @@ class ArtifactCache:
         tmp = path.with_suffix(".tmp.%d" % os.getpid())
         with open(tmp, "wb") as stream:
             pickle.dump(value, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        self.stats.bytes_stored += tmp.stat().st_size
         os.replace(tmp, path)
         self.stats.stores += 1
         self.evict()
 
     # -- maintenance --------------------------------------------------------
 
+    def _entries_with_stats(self) -> list[tuple[Path, os.stat_result]]:
+        """Artifact files with their stat results, oldest access first.
+
+        Files that vanish between ``glob`` and ``stat`` (a concurrent
+        run evicting) are simply skipped; ties on ``st_mtime`` — common
+        on filesystems with coarse timestamp granularity — break on the
+        file name so the order stays deterministic.
+        """
+        found = []
+        for path in self.directory.glob("*/*.pkl"):
+            try:
+                found.append((path, path.stat()))
+            except FileNotFoundError:
+                continue
+        found.sort(key=lambda item: (item[1].st_mtime, item[0].name))
+        return found
+
     def entries(self) -> list[Path]:
         """All artifact files, oldest access first."""
-        found = sorted(self.directory.glob("*/*.pkl"),
-                       key=lambda path: (path.stat().st_mtime, path.name))
-        return found
+        return [path for path, _ in self._entries_with_stats()]
 
     def total_bytes(self) -> int:
         """Bytes currently stored."""
-        return sum(path.stat().st_size for path in self.entries())
+        return sum(stat.st_size for _, stat in self._entries_with_stats())
 
     def evict(self) -> int:
-        """Drop least-recently-used artifacts until under ``max_bytes``."""
+        """Drop least-recently-used artifacts until under ``max_bytes``.
+
+        "Recently used" is ``st_mtime``, which :meth:`load` refreshes via
+        ``os.utime`` on every hit — so an entry a warm run just served is
+        the *last* eviction candidate even though it was written first.
+        """
         removed = 0
-        entries = self.entries()
-        total = sum(path.stat().st_size for path in entries)
-        for path in entries:
+        entries = self._entries_with_stats()
+        total = sum(stat.st_size for _, stat in entries)
+        for path, stat in entries:
             if total <= self.max_bytes:
                 break
-            total -= path.stat().st_size
+            total -= stat.st_size
             path.unlink(missing_ok=True)
             removed += 1
         self.stats.evicted += removed

@@ -17,8 +17,10 @@ actual tables and figures through this executor.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro import obs
 from repro.errors import ReproError
 from repro.runtime.cache import ArtifactCache
 from repro.runtime.digest import results_digest
@@ -35,8 +37,8 @@ def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
     """The executor flags, shared with ``repro-experiment``."""
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for per-probe stages "
-                             "(default %(default)s; output is identical "
-                             "for every N)")
+                             "(default %(default)s; 0 = one per cpu; "
+                             "output is identical for every N)")
     parser.add_argument("--shards", type=int, default=None, metavar="M",
                         help="shard count override (default jobs*4)")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
@@ -44,13 +46,60 @@ def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
                              "unchanged stages")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir and recompute everything")
+    parser.add_argument("--start-method", choices=["fork", "spawn"],
+                        default=None,
+                        help="worker pool start method (default: fork "
+                             "where available, else spawn; results are "
+                             "identical either way)")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a Chrome trace_event JSON of the run "
+                             "(inspect with repro-obs report FILE)")
+
+
+def resolve_jobs(jobs: int) -> int:
+    """Map ``--jobs 0`` to the machine's cpu count (auto-detect)."""
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def warn_if_oversubscribed(jobs: int) -> None:
+    """Warn loudly when the job count exceeds the available cpus.
+
+    Oversubscription is accepted (it is how the 1-cpu CI machine still
+    exercises the sharded code path) but the wall times it produces
+    measure time-slicing, not parallelism — worth a loud note before
+    anyone reads a benchmark off them.
+    """
+    cpus = os.cpu_count() or 1
+    if jobs > cpus:
+        print("warning: --jobs %d exceeds %d available cpu(s); workers "
+              "will time-slice and wall times will not reflect "
+              "parallel speedup" % (jobs, cpus), file=sys.stderr)
 
 
 def runtime_config(args: argparse.Namespace) -> RuntimeConfig:
     """Build a :class:`RuntimeConfig` from parsed runtime flags."""
     cache_dir = None if args.no_cache else args.cache_dir
-    return RuntimeConfig(jobs=args.jobs, shards=args.shards,
-                         cache_dir=cache_dir)
+    jobs = resolve_jobs(args.jobs)
+    warn_if_oversubscribed(jobs)
+    return RuntimeConfig(jobs=jobs, shards=args.shards,
+                         cache_dir=cache_dir,
+                         start_method=getattr(args, "start_method", None))
+
+
+def write_run_trace(path: str, runner, digest: str) -> None:
+    """Export this process's spans/metrics plus run identity to ``path``.
+
+    Shared by ``repro-run`` and ``repro-experiment`` so both CLIs stamp
+    the same metadata (``repro-obs report`` keys off it).
+    """
+    obs.write_trace(path, meta={
+        "jobs": runner.config.jobs,
+        "start_method": runner.start_method,
+        "fingerprint": runner.fingerprint,
+        "results_digest": digest,
+    })
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -96,6 +145,7 @@ def main(argv: list[str] | None = None) -> int:
             policy = ReadPolicy(args.read_policy)
             report = IngestReport()
             bundle = load_bundle(args.data, policy=policy, report=report)
+            obs.record_ingest(report)
             if policy is ReadPolicy.REPAIR and not report.clean:
                 print(report.render(), file=sys.stderr)
             runner = runner_for_bundle(bundle, config)
@@ -110,13 +160,17 @@ def main(argv: list[str] | None = None) -> int:
         print(error, file=sys.stderr)
         return 1
 
+    digest = results_digest(results)
     print(runner.report.render())
     print("fingerprint  %s" % (fp.short(runner.fingerprint) or "-"))
-    print("digest       %s" % fp.short(results_digest(results)))
+    print("digest       %s" % fp.short(digest))
     if runner.cache is not None:
         stats = runner.cache.stats
         print("cache        %d hit, %d miss, %d stored"
               % (stats.hits, stats.misses, stats.stores))
+    if args.trace is not None:
+        write_run_trace(args.trace, runner, digest)
+        print("trace        %s" % args.trace)
     return 0
 
 

@@ -18,12 +18,15 @@ pins this with :func:`repro.runtime.digest.results_digest`.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Mapping
 
+from repro import obs
 from repro.core.pipeline import (
     AnalysisResults,
     aggregate_reboots,
@@ -38,6 +41,29 @@ from repro.util import fingerprint as fp
 from repro.util import timeutil
 
 
+def resolve_start_method(requested: str | None = None) -> str:
+    """Pick the multiprocessing start method for the worker pool.
+
+    ``fork`` is the fast path (workers inherit the installed dataset
+    context by page sharing instead of unpickling it), but it only
+    exists on POSIX and is unsafe with threads on macOS — CPython
+    deprecated it there and made ``spawn`` the default.  So: honor an
+    explicit request if the platform offers it, prefer ``fork`` on
+    Linux, and fall back to ``spawn`` everywhere else.  Both paths
+    produce bit-identical results (pinned by the runtime test suite).
+    """
+    available = multiprocessing.get_all_start_methods()
+    if requested is not None:
+        if requested not in available:
+            raise ValueError(
+                "start method %r is not available on this platform "
+                "(have: %s)" % (requested, ", ".join(available)))
+        return requested
+    if "fork" in available and sys.platform.startswith("linux"):
+        return "fork"
+    return "spawn"
+
+
 @dataclass(frozen=True)
 class RuntimeConfig:
     """Execution knobs, orthogonal to what is computed."""
@@ -50,12 +76,18 @@ class RuntimeConfig:
     cache_dir: str | Path | None = None
     #: Cache eviction budget.
     max_cache_bytes: int = DEFAULT_MAX_BYTES
+    #: Pool start method: ``"fork"``, ``"spawn"`` or ``None`` for
+    #: platform auto-detection (:func:`resolve_start_method`).
+    start_method: str | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1, got %r" % (self.jobs,))
         if self.shards is not None and self.shards < 1:
             raise ValueError("shards must be >= 1, got %r" % (self.shards,))
+        if self.start_method not in (None, "fork", "spawn"):
+            raise ValueError("start_method must be 'fork', 'spawn' or "
+                             "None, got %r" % (self.start_method,))
 
 
 @dataclass(frozen=True)
@@ -72,11 +104,20 @@ class StageTiming:
 
 @dataclass
 class RunReport:
-    """Execution account of one :meth:`ShardedRunner.run`."""
+    """Execution account of one :meth:`ShardedRunner.run`.
+
+    ``jobs`` is the *effective* worker count the run used (the CLI
+    resolves ``--jobs 0`` to the cpu count before it reaches here);
+    ``oversubscribed`` records that it exceeded ``cpu_count``, in which
+    case wall times measure time-slicing, not parallelism.
+    """
 
     jobs: int
     fingerprint: str
     timings: list[StageTiming] = field(default_factory=list)
+    cpu_count: int = 0
+    oversubscribed: bool = False
+    start_method: str | None = None
 
     @property
     def cached_stages(self) -> list[str]:
@@ -98,8 +139,14 @@ class RunReport:
                     else "sharded" if timing.sharded else "inline")
             lines.append("%-8s  %9.3f  %s"
                          % (timing.name, timing.seconds, mode))
-        lines.append("%-8s  %9.3f  jobs=%d"
-                      % ("total", self.total_seconds, self.jobs))
+        total = "%-8s  %9.3f  jobs=%d" % ("total", self.total_seconds,
+                                          self.jobs)
+        if self.jobs > 1 and self.start_method:
+            total += " (%s)" % self.start_method
+        if self.oversubscribed:
+            total += "  OVERSUBSCRIBED: %d jobs on %d cpu(s)" % (
+                self.jobs, self.cpu_count)
+        lines.append(total)
         return "\n".join(lines)
 
 
@@ -122,14 +169,21 @@ class ShardedRunner:
         self._min_connected = min_connected
         self.fingerprint = fingerprint
         self.config = config or RuntimeConfig()
+        self.start_method = resolve_start_method(self.config.start_method)
         self.cache: ArtifactCache | None = None
         if self.config.cache_dir is not None:
             self.cache = ArtifactCache(
                 self.config.cache_dir,
                 max_bytes=self.config.max_cache_bytes)
-        self.report = RunReport(jobs=self.config.jobs,
-                                fingerprint=fingerprint)
+        self.report = self._new_report()
         self._pool: ProcessPoolExecutor | None = None
+
+    def _new_report(self) -> RunReport:
+        cpus = os.cpu_count() or 1
+        return RunReport(
+            jobs=self.config.jobs, fingerprint=self.fingerprint,
+            cpu_count=cpus, oversubscribed=self.config.jobs > cpus,
+            start_method=self.start_method)
 
     # -- public -------------------------------------------------------------
 
@@ -143,25 +197,44 @@ class ShardedRunner:
             "kroot": self._kroot,
             "min_connected": self._min_connected,
         }
-        self.report = RunReport(jobs=self.config.jobs,
-                                fingerprint=self.fingerprint)
+        self.report = self._new_report()
         params = fp.combine("min_connected", repr(self._min_connected))
         version = code_version()
         try:
-            for spec in topological_order():
-                started = time.perf_counter()
-                outputs, cached, sharded = self._run_stage(
-                    spec, artifacts, version, params)
-                artifacts.update(outputs)
-                self.report.timings.append(StageTiming(
-                    spec.name, time.perf_counter() - started, cached,
-                    sharded))
+            with obs.span("run", category="run", jobs=self.config.jobs,
+                          start_method=self.start_method):
+                for spec in topological_order():
+                    started = time.perf_counter()
+                    with obs.span(spec.name, category="stage") as handle:
+                        outputs, cached, sharded = self._run_stage(
+                            spec, artifacts, version, params)
+                        handle.set(cached=cached, sharded=sharded)
+                    artifacts.update(outputs)
+                    self.report.timings.append(StageTiming(
+                        spec.name, time.perf_counter() - started, cached,
+                        sharded))
         finally:
             if self._pool is not None:
                 self._pool.shutdown()
                 self._pool = None
                 workers.reset_worker()
+        self._record_metrics()
         return self._assemble(artifacts)
+
+    def _record_metrics(self) -> None:
+        """Lift this run's execution facts into the metrics registry.
+
+        This — not the stage functions — is the instrumentation
+        boundary: metrics describe how the run executed and never feed
+        back into what it computed.
+        """
+        obs.gauge("runtime.jobs.effective", self.report.jobs)
+        obs.gauge("runtime.cpu_count", self.report.cpu_count)
+        obs.gauge("runtime.oversubscribed",
+                  1 if self.report.oversubscribed else 0)
+        if self.cache is not None:
+            obs.record_cache(self.cache.stats,
+                             bytes_on_disk=self.cache.total_bytes())
 
     # -- stage execution ----------------------------------------------------
 
@@ -225,28 +298,42 @@ class ShardedRunner:
                 self._connlog, self._archive, self._ip2as,
                 self._min_connected)
 
+    def _start_pool(self) -> None:
+        """Create the worker pool under the resolved start method."""
+        context = workers.WorkerContext(
+            connlog=self._connlog, archive=self._archive,
+            ip2as=self._ip2as, kroot=self._kroot, uptime=self._uptime,
+            min_connected=self._min_connected)
+        mp_context = multiprocessing.get_context(self.start_method)
+        if self.start_method == "fork":
+            # Install the context parent-side: forked workers inherit
+            # it for free instead of unpickling it once per process.
+            workers.init_worker(context)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.config.jobs, mp_context=mp_context)
+        else:
+            # Under spawn the initializer ships the context exactly once
+            # per worker process, never per task.
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.config.jobs, mp_context=mp_context,
+                initializer=workers.init_worker, initargs=(context,))
+
     def _map_shards(self, task, shards: list) -> list:
-        """Run one task per shard on the pool, results in shard order."""
+        """Run one task per shard on the pool, payloads in shard order.
+
+        Spans and metrics the workers shipped with their results are
+        absorbed here, tagged with the shard index, in shard order —
+        the merge is deterministic even though worker timing is not.
+        """
         if self._pool is None:
-            context = workers.WorkerContext(
-                connlog=self._connlog, archive=self._archive,
-                ip2as=self._ip2as, kroot=self._kroot, uptime=self._uptime,
-                min_connected=self._min_connected)
-            try:
-                mp_context = multiprocessing.get_context("fork")
-            except ValueError:
-                mp_context = None
-            if mp_context is not None:
-                # Install the context parent-side: forked workers inherit
-                # it for free instead of unpickling it once per process.
-                workers.init_worker(context)
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.config.jobs, mp_context=mp_context)
-            else:
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.config.jobs,
-                    initializer=workers.init_worker, initargs=(context,))
-        return list(self._pool.map(task, shards))
+            self._start_pool()
+        payloads = []
+        for index, result in enumerate(self._pool.map(task, shards)):
+            obs.absorb_spans(span.with_attrs(shard=index)
+                             for span in result.spans)
+            obs.metrics().absorb(result.metrics)
+            payloads.append(result.payload)
+        return payloads
 
     def _shards_of(self, probe_ids: list) -> list[list]:
         return partition(probe_ids, shard_count(

@@ -19,8 +19,9 @@ never from process-local state, or ``jobs=N`` output would diverge from
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro import obs
 from repro.atlas.archive import ProbeArchive
 from repro.atlas.connlog import ConnectionLog
 from repro.atlas.kroot import KRootDataset
@@ -42,6 +43,30 @@ class WorkerContext:
     kroot: KRootDataset
     uptime: UptimeDataset
     min_connected: float
+
+
+@dataclass
+class ShardResult:
+    """One shard task's payload plus the observability it generated.
+
+    Worker processes cannot write to the driver's span collector or
+    metrics registry, so each task drains its process-local stores into
+    this envelope; the executor absorbs them in shard order, which keeps
+    the merged trace deterministic regardless of worker scheduling.
+    The payload itself stays exactly what the pure kernels computed —
+    instrumentation wraps the kernels, it never reaches inside them.
+    """
+
+    payload: object
+    spans: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+
+def _shipped(payload: object) -> ShardResult:
+    """Envelope a shard payload with this task's spans and metrics."""
+    obs.count("runtime.worker.tasks")
+    return ShardResult(payload=payload, spans=obs.drain_spans(),
+                       metrics=obs.metrics().drain())
 
 
 _context: WorkerContext | None = None
@@ -92,26 +117,34 @@ def _verdict(probe_id: int) -> ProbeVerdict:
 
 # -- shard tasks (one call per shard) ----------------------------------------
 
-def shard_filter(probe_ids: list[int]) -> dict[int, ProbeVerdict]:
+def shard_filter(probe_ids: list[int]) -> ShardResult:
     """Stage ``filter``: classify one shard of probes."""
-    return {probe_id: _verdict(probe_id) for probe_id in probe_ids}
+    with obs.span("shard:filter", category="shard", stage="filter",
+                  items=len(probe_ids)):
+        payload = {probe_id: _verdict(probe_id) for probe_id in probe_ids}
+    return _shipped(payload)
 
 
-def shard_spans(probe_ids: list[int]) -> dict[int, tuple[list, list]]:
+def shard_spans(probe_ids: list[int]) -> ShardResult:
     """Stage ``spans``: spans and known durations for one shard."""
-    return {probe_id: probe_spans(_verdict(probe_id).entries)
-            for probe_id in probe_ids}
+    with obs.span("shard:spans", category="shard", stage="spans",
+                  items=len(probe_ids)):
+        payload = {probe_id: probe_spans(_verdict(probe_id).entries)
+                   for probe_id in probe_ids}
+    return _shipped(payload)
 
 
-def shard_reboots(probe_ids: list[int]) -> dict[int, list[Reboot]]:
+def shard_reboots(probe_ids: list[int]) -> ShardResult:
     """Stage ``reboots`` (detection half): raw reboots for one shard."""
     context = _require_context()
-    return {probe_id: detect_reboots(context.uptime.records(probe_id))
-            for probe_id in probe_ids}
+    with obs.span("shard:reboots", category="shard", stage="reboots",
+                  items=len(probe_ids)):
+        payload = {probe_id: detect_reboots(context.uptime.records(probe_id))
+                   for probe_id in probe_ids}
+    return _shipped(payload)
 
 
-def shard_gaps(items: list[tuple[int, list[Reboot]]]
-               ) -> dict[int, list[GapEvent]]:
+def shard_gaps(items: list[tuple[int, list[Reboot]]]) -> ShardResult:
     """Stage ``gaps``: classify one shard's connection gaps.
 
     ``items`` carries each probe's firmware-filtered reboots (computed
@@ -119,8 +152,12 @@ def shard_gaps(items: list[tuple[int, list[Reboot]]]
     series come from the worker context.
     """
     context = _require_context()
-    return {
-        probe_id: probe_gap_events(_verdict(probe_id).entries,
-                                   context.kroot.series(probe_id), reboots)
-        for probe_id, reboots in items
-    }
+    with obs.span("shard:gaps", category="shard", stage="gaps",
+                  items=len(items)):
+        payload = {
+            probe_id: probe_gap_events(_verdict(probe_id).entries,
+                                       context.kroot.series(probe_id),
+                                       reboots)
+            for probe_id, reboots in items
+        }
+    return _shipped(payload)

@@ -1,0 +1,17 @@
+"""Shared hygiene: every obs test starts from empty process-local state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Drain the span collector and metrics registry around each test."""
+    obs.drain_spans()
+    obs.metrics().drain()
+    yield
+    obs.drain_spans()
+    obs.metrics().drain()

@@ -1,0 +1,102 @@
+"""Metrics registry semantics and the accounting-object lifting helpers."""
+
+from __future__ import annotations
+
+import os
+
+import importlib
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    count,
+    gauge,
+    metrics,
+    metrics_snapshot,
+    record_cache,
+    record_ingest,
+)
+from repro.runtime.cache import CacheStats
+from repro.util.ingest import IngestReport
+
+# The facade re-exports the metrics() accessor under the submodule's own
+# name, so reach the module itself through importlib.
+metrics_mod = importlib.import_module("repro.obs.metrics")
+
+
+def test_counters_accumulate_and_gauges_overwrite():
+    registry = MetricsRegistry()
+    registry.count("cache.hits")
+    registry.count("cache.hits", 4)
+    registry.gauge("jobs", 2)
+    registry.gauge("jobs", 8)
+    assert registry.counters() == {"cache.hits": 5}
+    assert registry.gauges() == {"jobs": 8.0}
+
+
+def test_snapshot_is_sorted_and_detached():
+    registry = MetricsRegistry()
+    registry.count("b")
+    registry.count("a")
+    snapshot = registry.snapshot()
+    assert list(snapshot["counters"]) == ["a", "b"]
+    snapshot["counters"]["a"] = 999
+    assert registry.counters()["a"] == 1
+
+
+def test_drain_clears_and_absorb_merges():
+    worker = MetricsRegistry()
+    worker.count("tasks", 3)
+    worker.gauge("depth", 5)
+    shipped = worker.drain()
+    assert worker.counters() == {} and worker.gauges() == {}
+
+    parent = MetricsRegistry()
+    parent.count("tasks", 1)
+    parent.absorb(shipped)
+    parent.absorb({"counters": {"tasks": 2}})
+    assert parent.counters()["tasks"] == 6  # 1 + 3 + 2: counters add
+    assert parent.gauges()["depth"] == 5.0  # gauges last-write-wins
+
+
+def test_module_helpers_hit_the_process_registry():
+    count("x", 2)
+    gauge("y", 7)
+    snapshot = metrics_snapshot()
+    assert snapshot["counters"]["x"] == 2
+    assert snapshot["gauges"]["y"] == 7.0
+
+
+def test_pid_change_resets_registry(monkeypatch):
+    count("inherited", 9)
+    parent_registry = metrics()
+    real_pid = os.getpid()
+    monkeypatch.setattr(metrics_mod.os, "getpid", lambda: real_pid + 1)
+    child_registry = metrics()
+    assert child_registry is not parent_registry
+    assert child_registry.counters() == {}
+
+
+def test_record_ingest_lifts_per_dataset_rows():
+    report = IngestReport()
+    report.parsed("connlog", 100)
+    report.repaired("connlog", "connlog.tsv", 3, "re-sorted")
+    report.quarantined("uptime", "uptime.tsv", 9, "garbage value")
+    record_ingest(report)
+    counters = metrics_snapshot()["counters"]
+    assert counters["ingest.parsed.connlog"] == 100
+    assert counters["ingest.repaired.connlog"] == 1
+    assert counters["ingest.quarantined.connlog"] == 0
+    assert counters["ingest.quarantined.uptime"] == 1
+
+
+def test_record_cache_lifts_stats_and_disk_gauge():
+    stats = CacheStats(hits=5, misses=2, stores=2, evicted=1, healed=1,
+                      bytes_stored=4096)
+    record_cache(stats, bytes_on_disk=2048)
+    snapshot = metrics_snapshot()
+    assert snapshot["counters"]["cache.hits"] == 5
+    assert snapshot["counters"]["cache.misses"] == 2
+    assert snapshot["counters"]["cache.evictions"] == 1
+    assert snapshot["counters"]["cache.heals"] == 1
+    assert snapshot["counters"]["cache.bytes_stored"] == 4096
+    assert snapshot["gauges"]["cache.bytes_on_disk"] == 2048.0

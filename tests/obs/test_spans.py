@@ -1,0 +1,96 @@
+"""Span recording, handles, shipping, and fork-safety of the collector."""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs import spans as spans_mod
+from repro.obs.spans import (
+    Span,
+    absorb_spans,
+    collector,
+    current_spans,
+    drain_spans,
+    span,
+)
+
+
+def test_span_records_name_category_and_attrs():
+    with span("stage_changes", category="stage", probe_count=7):
+        pass
+    (recorded,) = current_spans()
+    assert recorded.name == "stage_changes"
+    assert recorded.category == "stage"
+    assert recorded.attr("probe_count") == 7
+    assert recorded.attr("missing", "fallback") == "fallback"
+    assert recorded.pid == os.getpid()
+    assert recorded.seconds >= 0
+
+
+def test_nested_spans_record_inner_first():
+    with span("outer"):
+        with span("inner"):
+            pass
+    names = [recorded.name for recorded in current_spans()]
+    assert names == ["inner", "outer"]
+
+
+def test_handle_set_merges_with_call_site_attrs():
+    with span("filter", cached=False) as handle:
+        handle.set(sharded=True, items=3)
+    (recorded,) = current_spans()
+    assert recorded.attr("cached") is False
+    assert recorded.attr("sharded") is True
+    assert recorded.attr("items") == 3
+
+
+def test_span_is_sealed_even_on_exception():
+    try:
+        with span("doomed"):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    (recorded,) = current_spans()
+    assert recorded.name == "doomed"
+
+
+def test_drain_returns_everything_and_clears():
+    with span("a"):
+        pass
+    with span("b"):
+        pass
+    drained = drain_spans()
+    assert [recorded.name for recorded in drained] == ["a", "b"]
+    assert current_spans() == ()
+
+
+def test_absorb_appends_shipped_spans():
+    with span("local"):
+        pass
+    shipped = Span(name="remote", category="shard", start=0.0, end=1.0,
+                   pid=12345)
+    absorb_spans([shipped.with_attrs(shard=2)])
+    names = [recorded.name for recorded in current_spans()]
+    assert names == ["local", "remote"]
+    assert current_spans()[-1].attr("shard") == 2
+
+
+def test_with_attrs_returns_tagged_copy():
+    original = Span(name="s", category="shard", start=0.0, end=0.5,
+                    pid=1, attrs=(("items", 4),))
+    tagged = original.with_attrs(shard=0)
+    assert tagged.attr("shard") == 0 and tagged.attr("items") == 4
+    assert original.attr("shard") is None  # frozen original untouched
+
+
+def test_pid_change_resets_collector(monkeypatch):
+    with span("parent-side"):
+        pass
+    parent_collector = collector()
+    assert parent_collector.spans()
+    # Simulate what a forked child observes: same module globals, new pid.
+    real_pid = os.getpid()
+    monkeypatch.setattr(spans_mod.os, "getpid", lambda: real_pid + 1)
+    child_collector = collector()
+    assert child_collector is not parent_collector
+    assert child_collector.spans() == ()  # inherited spans are discarded

@@ -1,0 +1,99 @@
+"""Chrome trace export: event shape, rebasing, roundtrip, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.spans import Span, span
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    load_trace,
+    trace_events,
+    trace_payload,
+    validate_trace,
+    write_trace,
+)
+
+
+def _span(name: str, start: float, end: float, **attrs) -> Span:
+    return Span(name=name, category="stage", start=start, end=end,
+                pid=1234, attrs=tuple(sorted(attrs.items())))
+
+
+def test_no_spans_no_events():
+    assert trace_events([]) == []
+
+
+def test_events_are_rebased_to_earliest_start():
+    events = trace_events([_span("late", 100.5, 101.0),
+                           _span("early", 100.0, 100.2)])
+    by_name = {event["name"]: event for event in events}
+    assert by_name["early"]["ts"] == 0.0
+    assert by_name["late"]["ts"] == pytest.approx(5e5)  # 0.5 s in µs
+    assert by_name["late"]["dur"] == pytest.approx(5e5)
+    for event in events:
+        assert event["ph"] == "X"
+        assert event["pid"] == 1234 and event["tid"] == 1234
+
+
+def test_attrs_become_event_args():
+    (event,) = trace_events([_span("filter", 0.0, 1.0, cached=False,
+                                   sharded=True)])
+    assert event["args"] == {"cached": False, "sharded": True}
+
+
+def test_payload_shape_and_roundtrip(tmp_path):
+    with span("real"):
+        pass
+    path = tmp_path / "trace.json"
+    written = write_trace(path, meta={"jobs": 2})
+    assert written["schema"] == TRACE_SCHEMA
+    assert written["displayTimeUnit"] == "ms"
+    loaded = load_trace(path)
+    assert loaded == json.loads(path.read_text())
+    assert loaded["meta"]["jobs"] == 2
+    assert any(event["name"] == "real" for event in loaded["traceEvents"])
+
+
+def test_load_rejects_invalid_json(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(ObservabilityError, match="not valid JSON"):
+        load_trace(path)
+
+
+def _valid_payload() -> dict:
+    return trace_payload([_span("s", 0.0, 1.0)],
+                         {"counters": {"c": 1}, "gauges": {"g": 2.0}},
+                         meta={"jobs": 1})
+
+
+def test_validate_accepts_the_writer_output():
+    validate_trace(_valid_payload())  # must not raise
+
+
+@pytest.mark.parametrize("mutate, message", [
+    (lambda p: p.update(schema="bogus"), "unknown trace schema"),
+    (lambda p: p.update(traceEvents={}), "traceEvents must be a list"),
+    (lambda p: p["traceEvents"][0].pop("dur"), "missing 'dur'"),
+    (lambda p: p["traceEvents"][0].update(ph="B"), "must be 'X'"),
+    (lambda p: p["traceEvents"][0].update(ts=-1), "negative ts/dur"),
+    (lambda p: p["traceEvents"][0].update(name=7), "name has type int"),
+    (lambda p: p.update(metrics=[]), "metrics must be an object"),
+    (lambda p: p["metrics"]["counters"].update(c="x"), "must be numeric"),
+    (lambda p: p["metrics"]["gauges"].update(g=True), "must be numeric"),
+    (lambda p: p.update(meta=[]), "meta must be an object"),
+])
+def test_validate_rejects_schema_violations(mutate, message):
+    payload = _valid_payload()
+    mutate(payload)
+    with pytest.raises(ObservabilityError, match=message):
+        validate_trace(payload)
+
+
+def test_validate_rejects_non_object_payload():
+    with pytest.raises(ObservabilityError, match="JSON object"):
+        validate_trace([1, 2, 3])

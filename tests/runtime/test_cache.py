@@ -72,3 +72,76 @@ def test_code_version_is_stable_and_hexadecimal():
     assert code_version() == code_version()
     assert len(code_version()) == 64
     int(code_version(), 16)
+
+
+def test_hit_protects_entry_from_eviction(tmp_path):
+    import os
+    cache = ArtifactCache(tmp_path)
+    cache.store(_key("a"), list(range(100)))
+    cache.store(_key("b"), list(range(100)))
+    for path in cache.entries():
+        os.utime(path, (1, 1))  # both look ancient
+    # A hit refreshes the entry's access time via os.utime...
+    hit, _ = cache.load(_key("a"), stage="a")
+    assert hit
+    # ...so when the budget forces one eviction, the *unread* entry goes.
+    cache.max_bytes = cache.total_bytes() + 10
+    cache.store(_key("c"), list(range(100)))
+    remaining = {path.name for path in cache.entries()}
+    assert _key("a") + ".pkl" in remaining
+    assert _key("b") + ".pkl" not in remaining
+    assert cache.stats.evicted == 1
+
+
+def test_eviction_deterministic_under_coarse_utime_granularity(
+        tmp_path, monkeypatch):
+    """Filesystems with one-second timestamps collapse access times.
+
+    When every entry carries the identical mtime the LRU order is
+    undefined by time alone; eviction must still be deterministic (name
+    tiebreak) and must still shrink the store below the budget.
+    """
+    import os as real_os
+
+    from repro.runtime import cache as cache_mod
+
+    true_utime = real_os.utime
+
+    def coarse_utime(path, times=None):
+        # A clock that only ever reads whole seconds, frozen at 1000.
+        true_utime(path, (1000, 1000))
+
+    monkeypatch.setattr(cache_mod.os, "utime", coarse_utime)
+    cache = ArtifactCache(tmp_path)
+    cache.store(_key("a"), list(range(100)))
+    cache.store(_key("b"), list(range(100)))
+    cache.store(_key("c"), list(range(100)))
+    for path in cache.entries():
+        true_utime(path, (1000, 1000))
+    cache.load(_key("a"))  # refresh is a no-op at this granularity
+    entry_size = cache.total_bytes() // 3
+    cache.max_bytes = entry_size + 10  # keep exactly one entry
+    removed = cache.evict()
+    assert removed == 2
+    (survivor,) = cache.entries()
+    # Deterministic tiebreak: the lexicographically last name stays.
+    expected = sorted(_key(stage) + ".pkl" for stage in "abc")[-1]
+    assert survivor.name == expected
+
+
+def test_corruption_heals_are_counted(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.store(_key(), {"x": 1})
+    (path,) = cache.entries()
+    path.write_bytes(b"not a pickle")
+    cache.load(_key())
+    assert cache.stats.healed == 1
+    assert cache.stats.misses == 1
+
+
+def test_bytes_stored_accumulates_written_sizes(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.store(_key("a"), list(range(50)))
+    cache.store(_key("b"), list(range(50)))
+    assert cache.stats.bytes_stored == cache.total_bytes()
+    assert cache.stats.bytes_stored > 0

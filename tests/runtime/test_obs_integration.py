@@ -1,0 +1,156 @@
+"""Observability through the executor: spans, metrics, start methods.
+
+The contracts under test:
+
+* every stage in ``topological_order()`` gets a stage span, and fan-out
+  stages additionally ship per-shard worker spans tagged with their
+  shard index;
+* ``fork`` and ``spawn`` pools produce bit-identical results digests;
+* ``repro-run --trace`` writes a schema-valid Chrome trace covering the
+  whole run, and ``--jobs 0`` / oversubscription are resolved and
+  reported at the CLI boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro import obs
+from repro.runtime import (
+    RuntimeConfig,
+    resolve_start_method,
+    results_digest,
+    runner_for_bundle,
+)
+from repro.runtime.cli import main, resolve_jobs
+from repro.runtime.stages import STAGES, topological_order
+
+pytestmark = pytest.mark.runtime
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.drain_spans()
+    obs.metrics().drain()
+    yield
+    obs.drain_spans()
+    obs.metrics().drain()
+
+
+def test_serial_run_records_a_span_per_stage(bundle):
+    runner_for_bundle(bundle, RuntimeConfig(jobs=1)).run()
+    spans = obs.current_spans()
+    stage_names = [s.name for s in spans if s.category == "stage"]
+    assert stage_names == [spec.name for spec in topological_order()]
+    (run_span,) = [s for s in spans if s.category == "run"]
+    assert run_span.attr("jobs") == 1
+    # The run span closes after every stage span it encloses.
+    assert all(run_span.end >= s.end for s in spans)
+
+
+def test_sharded_run_ships_worker_spans_with_shard_tags(bundle):
+    runner = runner_for_bundle(bundle, RuntimeConfig(jobs=2))
+    runner.run()
+    spans = obs.current_spans()
+    shard_spans = [s for s in spans if s.category == "shard"]
+    fan_out = {spec.name for spec in STAGES if spec.fan_out}
+    assert {s.attr("stage") for s in shard_spans} == fan_out
+    for stage in fan_out:
+        indices = [s.attr("shard") for s in shard_spans
+                   if s.attr("stage") == stage]
+        # Absorbed in shard order, tagged 0..n-1 with no gaps.
+        assert indices == list(range(len(indices)))
+    # Worker spans carry worker pids, distinct from the driver's.
+    assert any(s.pid != os.getpid() for s in shard_spans)
+    counters = obs.metrics_snapshot()["counters"]
+    assert counters["runtime.worker.tasks"] == len(shard_spans)
+
+
+def test_stage_spans_mark_cache_hits(bundle, tmp_path):
+    config = RuntimeConfig(jobs=1, cache_dir=tmp_path / "cache")
+    runner_for_bundle(bundle, config).run()
+    obs.drain_spans()
+    obs.metrics().drain()
+    warm = runner_for_bundle(bundle, RuntimeConfig(
+        jobs=1, cache_dir=tmp_path / "cache"))
+    warm.run()
+    stage_spans = [s for s in obs.current_spans() if s.category == "stage"]
+    assert all(s.attr("cached") for s in stage_spans)
+    counters = obs.metrics_snapshot()["counters"]
+    assert counters["cache.hits"] == len(STAGES)
+    assert counters["cache.misses"] == 0
+
+
+def test_fork_and_spawn_digests_are_identical(bundle):
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("platform has no fork start method")
+    digests = {}
+    for method in ("fork", "spawn"):
+        runner = runner_for_bundle(bundle, RuntimeConfig(
+            jobs=2, start_method=method))
+        digests[method] = results_digest(runner.run())
+        assert runner.start_method == method
+    assert digests["fork"] == digests["spawn"]
+
+
+def test_resolve_start_method_validates_and_auto_detects():
+    available = multiprocessing.get_all_start_methods()
+    assert resolve_start_method() in available
+    assert resolve_start_method("spawn") == "spawn"
+    with pytest.raises(ValueError, match="not available"):
+        resolve_start_method("no-such-method")
+    with pytest.raises(ValueError, match="start_method"):
+        RuntimeConfig(start_method="forkserver")
+
+
+def test_resolve_jobs_zero_is_cpu_count():
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    assert resolve_jobs(3) == 3
+
+
+def test_report_records_oversubscription(bundle):
+    jobs = (os.cpu_count() or 1) + 1
+    runner = runner_for_bundle(bundle, RuntimeConfig(jobs=jobs))
+    runner.run()
+    assert runner.report.oversubscribed
+    assert runner.report.cpu_count == (os.cpu_count() or 1)
+    rendered = runner.report.render()
+    assert "OVERSUBSCRIBED" in rendered
+    gauges = obs.metrics_snapshot()["gauges"]
+    assert gauges["runtime.jobs.effective"] == jobs
+    assert gauges["runtime.oversubscribed"] == 1
+
+
+def test_cli_trace_writes_schema_valid_file(bundle_dir, tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    assert main(["--data", str(bundle_dir), "--jobs", "2",
+                 "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert str(trace) in out
+    payload = obs.load_trace(trace)  # validates against the schema
+    names = {event["name"] for event in payload["traceEvents"]
+             if event["cat"] == "stage"}
+    assert names == {spec.name for spec in topological_order()}
+    assert any(event["cat"] == "shard"
+               for event in payload["traceEvents"])
+    assert payload["meta"]["jobs"] == 2
+    assert payload["meta"]["results_digest"]
+    assert payload["meta"]["start_method"] in ("fork", "spawn")
+    # Ingest accounting from the bundle load rides along in the metrics.
+    assert payload["metrics"]["counters"]["ingest.parsed.connlog"] > 0
+
+
+def test_cli_jobs_zero_and_oversubscription_warning(bundle_dir, capsys):
+    jobs = (os.cpu_count() or 1) + 1
+    assert main(["--data", str(bundle_dir), "--jobs", str(jobs)]) == 0
+    captured = capsys.readouterr()
+    assert "warning: --jobs %d exceeds" % jobs in captured.err
+    assert "OVERSUBSCRIBED" in captured.out
+
+    assert main(["--data", str(bundle_dir), "--jobs", "0"]) == 0
+    captured = capsys.readouterr()
+    assert "jobs=%d" % (os.cpu_count() or 1) in captured.out
+    assert "warning" not in captured.err
