@@ -50,7 +50,15 @@ class ProbeCategory(enum.Enum):
 
 @dataclass
 class ProbeVerdict:
-    """Classification outcome for one probe."""
+    """Classification outcome for one probe.
+
+    Verdicts are pickled twice over: inside shard payloads crossing the
+    worker boundary, and (entry-stripped) inside the cached
+    ``FilterReport`` artifact — so the field layout is a wire contract
+    (RPR010).
+    """
+
+    __wire_contract__ = "probe-verdict"
 
     probe_id: int
     category: ProbeCategory
@@ -68,7 +76,13 @@ class ProbeVerdict:
 
 @dataclass
 class FilterReport:
-    """Aggregate filtering outcome, the reproduction of Table 2."""
+    """Aggregate filtering outcome, the reproduction of Table 2.
+
+    The slim (entry-stripped) form of this report is the cached filter
+    artifact, read back by later runs — a wire contract (RPR010).
+    """
+
+    __wire_contract__ = "filter-artifact"
 
     verdicts: dict[int, ProbeVerdict]
     total: int

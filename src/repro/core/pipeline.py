@@ -18,7 +18,7 @@ cannot drift apart.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.atlas.archive import ProbeArchive
@@ -90,7 +90,9 @@ class AnalysisResults:
     reboot_day_counts: dict[int, int]
     #: Inferred firmware distribution days (day of year).
     firmware_days: list[int]
-    _v3_probes: set[int] = field(default_factory=set)
+    #: Sorted ids (membership-tested only; sorted so the digest and any
+    #: future serialization see a deterministic order).
+    _v3_probes: tuple[int, ...] = ()
 
     # -- subsets -----------------------------------------------------------
 
@@ -336,13 +338,18 @@ def stage_stats(gap_events_by_probe: Mapping[int, list[GapEvent]]
 
 
 def stage_v3(asn_by_probe: Mapping[int, int],
-             archive: ProbeArchive) -> set[int]:
-    """Stage ``v3``: single-AS probes with v3 hardware (power analysis)."""
-    return {
+             archive: ProbeArchive) -> tuple[int, ...]:
+    """Stage ``v3``: single-AS probes with v3 hardware (power analysis).
+
+    Returned sorted: the ids land in ``AnalysisResults`` and flow into
+    the results digest, so their order is part of the reproducibility
+    contract (RPR009).
+    """
+    return tuple(sorted(
         pid for pid in asn_by_probe
         if archive.has_probe(pid)
         and archive.get(pid).version is ProbeVersion.V3
-    }
+    ))
 
 
 class AnalysisPipeline:

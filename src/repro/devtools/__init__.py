@@ -19,14 +19,20 @@ the invariants this reproduction depends on:
 * **cache-key soundness** — the stage graph's transitive import closure is
   covered by the ``CODE_VERSION_PACKAGES`` hash set (RPR007);
 * **worker state** — pool tasks are picklable and worker modules mutate
-  only initializer-owned globals (RPR008).
+  only initializer-owned globals (RPR008);
+* **order stability** — order-unstable values (sets, directory listings)
+  pass a sort barrier before reaching digests, serialization or cached
+  artifacts (RPR009);
+* **wire contracts** — serialized boundary types match the checked-in
+  ``wire-contracts.json``, with a version bump on change (RPR010).
 
-RPR001–005 are per-file AST checks.  RPR006–008 are *interprocedural*:
+RPR001–005 are per-file AST checks.  RPR006–010 are *interprocedural*:
 :mod:`repro.devtools.callgraph` summarizes every file into a project-wide
-call graph and import-reachability map, and :mod:`repro.devtools.effects`
+call graph and import-reachability map, :mod:`repro.devtools.effects`
 infers each function's position on the effect lattice
 ``PURE < READS_ENV < MUTATES_GLOBAL < IO < NONDETERMINISTIC`` by fixpoint
-over that graph.
+over that graph, and :mod:`repro.devtools.ordering` runs the order-taint
+dataflow the same way.
 
 Run it as ``repro-lint src/repro`` (or ``python -m repro.devtools``); findings
 on a line can be suppressed with a ``# repro: noqa[RPR001]`` comment.  The

@@ -1,7 +1,7 @@
 """Project-wide call graph and import-reachability map.
 
 The per-file checkers (RPR001–005) see one file at a time; the
-cache-soundness rules (RPR006–008) need to know what a function *reaches*
+interprocedural rules (RPR006–010) need to know what a function *reaches*
 across the whole of ``src/repro``.  This module provides the shared
 infrastructure: :func:`summarize_source` compresses one parsed file into
 a :class:`FileSummary` — functions with their call sites, module-level
@@ -161,6 +161,13 @@ class FileSummary:
     #: ``(package entries, line)`` of a ``CODE_VERSION_PACKAGES`` binding.
     code_version_decl: tuple[tuple[str, ...], int] | None = None
     pool_sites: tuple[PoolSite, ...] = ()
+    #: Non-trivial order-dataflow summaries (RPR009), keyed like
+    #: ``functions``; values are :class:`~repro.devtools.ordering.\
+    #: FunctionOrderSummary`.
+    order: dict = field(default_factory=dict)
+    #: Wire-contract declarations (RPR010);
+    #: :class:`~repro.devtools.wire.WireDecl` tuples.
+    wire_decls: tuple = ()
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -178,10 +185,16 @@ class FileSummary:
                 else [list(self.code_version_decl[0]),
                       self.code_version_decl[1]]),
             "pool_sites": [site.to_dict() for site in self.pool_sites],
+            "order": {name: summary.to_dict()
+                      for name, summary in self.order.items()},
+            "wire_decls": [decl.to_dict() for decl in self.wire_decls],
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FileSummary":
+        from repro.devtools.ordering import FunctionOrderSummary
+        from repro.devtools.wire import WireDecl
+
         decl = payload.get("code_version_decl")
         return cls(
             module=str(payload["module"]),
@@ -198,6 +211,10 @@ class FileSummary:
                                else (tuple(decl[0]), int(decl[1]))),
             pool_sites=tuple(PoolSite.from_dict(site)
                              for site in payload.get("pool_sites", ())),
+            order={name: FunctionOrderSummary.from_dict(entry)
+                   for name, entry in payload.get("order", {}).items()},
+            wire_decls=tuple(WireDecl.from_dict(entry)
+                             for entry in payload.get("wire_decls", ())),
         )
 
 
@@ -456,6 +473,11 @@ class _FunctionAnalyzer:
 def summarize_source(tree: ast.Module, module: str, path: str,
                      is_package: bool = False) -> FileSummary:
     """Compress one parsed file into a :class:`FileSummary`."""
+    # Function-level imports: ordering/wire import helpers from this
+    # module, so a top-level import would be a cycle.
+    from repro.devtools.ordering import order_summary
+    from repro.devtools.wire import extract_wire_decls
+
     env, targets = _import_env(tree, module, is_package)
 
     module_names: set[str] = set(env)
@@ -475,12 +497,16 @@ def summarize_source(tree: ast.Module, module: str, path: str,
     functions: dict[str, FunctionSummary] = {}
     classes: dict[str, tuple[str, ...]] = {}
     pool_sites: list[PoolSite] = []
+    order: dict = {}
 
     def analyze(node, qualname: str, class_name: str | None) -> None:
         analyzer = _FunctionAnalyzer(node, qualname, class_name, env,
                                      module, frozen_names)
         functions[qualname] = analyzer.run()
         pool_sites.extend(analyzer.pool_sites)
+        flow = order_summary(node, qualname, env)
+        if flow is not None:
+            order[qualname] = flow
 
     for node in tree.body:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -503,7 +529,8 @@ def summarize_source(tree: ast.Module, module: str, path: str,
         functions=functions, classes=classes, module_names=frozen_names,
         stage_decls=tuple(stage_decls),
         code_version_decl=code_version_decl,
-        pool_sites=tuple(pool_sites))
+        pool_sites=tuple(pool_sites), order=order,
+        wire_decls=tuple(extract_wire_decls(tree, module)))
 
 
 def _find_stage_decls(tree: ast.Module, env: dict[str, str],
@@ -564,6 +591,9 @@ class Project:
     def __init__(self, summaries: list[FileSummary]) -> None:
         self.summaries: dict[str, FileSummary] = {
             summary.module: summary for summary in summaries}
+        #: Path of the ``wire-contracts.json`` governing this run, if one
+        #: was discovered or passed explicitly (consumed by RPR010).
+        self.contracts_path: str | None = None
         self._methods: dict[str, list[str]] = {}
         self._closures: dict[str, frozenset[str]] = {}
         self._roots: frozenset[str] | None = None

@@ -11,11 +11,14 @@ RPR005  dataclass hygiene — frozen value objects, safe defaults
 RPR006  stage purity — runtime stage functions must infer PURE
 RPR007  cache-key soundness — stage closure ⊆ hashed code_version set
 RPR008  worker state — picklable pool tasks, initializer-owned globals
+RPR009  order taint — no order-unstable values into digests/artifacts
+RPR010  wire contracts — serialized boundary types match the contract file
 ======  ==========================================================
 
-RPR001–005 are per-file AST checks; RPR006–008 are whole-project
-(interprocedural) checks over the call graph and effect lattice built by
-:mod:`repro.devtools.callgraph` and :mod:`repro.devtools.effects`.
+RPR001–005 are per-file AST checks; RPR006–010 are whole-project
+(interprocedural) checks over the call graph, effect lattice, and
+order-dataflow summaries built by :mod:`repro.devtools.callgraph`,
+:mod:`repro.devtools.effects`, and :mod:`repro.devtools.ordering`.
 """
 
 from repro.devtools.checkers import (  # noqa: F401  (registration imports)
@@ -24,7 +27,9 @@ from repro.devtools.checkers import (  # noqa: F401  (registration imports)
     determinism,
     error_policy,
     layering,
+    order_taint,
     stage_purity,
     time_units,
+    wire_contracts,
     worker_state,
 )

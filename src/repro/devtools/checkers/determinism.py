@@ -42,6 +42,7 @@ WALLCLOCK_SUFFIXES = frozenset({
     ("time", "monotonic"),
     ("time", "monotonic_ns"),
     ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
     ("datetime", "now"),
     ("datetime", "utcnow"),
     ("datetime", "today"),

@@ -1,0 +1,48 @@
+"""RPR009 — order-unstable values must not reach reproducibility sinks.
+
+Every digest, cached artifact, ``ShardResult`` payload, and serialized
+result in this codebase is part of the bit-for-bit reproducibility
+contract (DESIGN.md §12): if the bytes depend on the iteration order of
+a ``set``, an unsorted ``glob``, or a dict accumulated in nondeterministic
+order, equal runs stop producing equal digests — and the failure only
+surfaces when two machines happen to disagree.  This rule finds those
+flows statically: an abstract interpretation tracks order taint through
+each function (:mod:`repro.devtools.ordering`), and a project-level
+fixpoint propagates it across call boundaries, so the diagnostic carries
+a witness chain from the sink back to the unordered source even when
+they live in different modules.
+
+The fix is always the same — pass the value through a deterministic
+barrier (``sorted()``, ``.sort()``, or the :mod:`repro.util.ordering`
+helpers) before it reaches the sink.  Intentional exceptions carry a
+justified suppression on the sink or call line::
+
+    payload = json.dumps(tags)  # repro: noqa[RPR009] -- tags is a singleton
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.devtools.ordering import OrderAnalysis
+from repro.devtools.registry import ProjectChecker, register
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.devtools.callgraph import Project
+    from repro.devtools.diagnostics import Diagnostic
+    from repro.devtools.effects import EffectAnalysis
+
+
+@register
+class OrderTaintChecker(ProjectChecker):
+    rule = "RPR009"
+    summary = ("order-unstable values (sets, globs, unsorted dict "
+               "accumulation) must not reach digests, artifacts, or wire "
+               "payloads")
+
+    def check_project(self, project: "Project", effects: "EffectAnalysis",
+                      ) -> Iterator["Diagnostic"]:
+        analysis = OrderAnalysis(project)
+        for finding in analysis.findings():
+            yield self.project_diagnostic(finding.path, finding.line,
+                                          finding.message)

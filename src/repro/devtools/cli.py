@@ -9,6 +9,8 @@ Usage::
     repro-lint --cache .lint-cache.json src/repro   # warm runs skip files
     repro-lint --baseline lint-baseline.json src/repro  # gate on regression
     repro-lint --baseline lint-baseline.json --update-baseline src/repro
+    repro-lint --contracts wire-contracts.json src/repro  # pin RPR010 file
+    repro-lint --contracts wire-contracts.json --update-contracts src/repro
     repro-lint --list-rules                  # print the rule catalog
 
 Exits 0 when no (non-baselined) error-severity diagnostics were produced,
@@ -41,7 +43,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description="Static analysis for the repro codebase "
                     "(determinism, time units, layering, errors, dataclasses, "
-                    "stage purity, cache soundness, worker state).",
+                    "stage purity, cache soundness, worker state, order "
+                    "taint, wire contracts).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src/repro"],
@@ -76,10 +79,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="rewrite the --baseline file from the current findings",
     )
     parser.add_argument(
+        "--contracts", default=None, metavar="FILE",
+        help="wire-contract file RPR010 checks against (default: nearest "
+             "wire-contracts.json at or above a linted path)",
+    )
+    parser.add_argument(
+        "--update-contracts", action="store_true",
+        help="regenerate the --contracts file from the current source, "
+             "bumping the version of every changed entry",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
     return parser
+
+
+def _update_contracts(paths: Sequence[str], contracts: str) -> int:
+    """Regenerate ``contracts`` from the wire declarations under ``paths``."""
+    import ast as ast_module
+
+    from repro.devtools.driver import iter_python_files, module_name_for
+    from repro.devtools.wire import (
+        build_contracts,
+        extract_wire_decls,
+        load_contracts,
+        write_contracts,
+    )
+
+    decls = []
+    for path in iter_python_files(paths):
+        try:
+            tree = ast_module.parse(path.read_text(encoding="utf-8"),
+                                    filename=str(path))
+        except SyntaxError:
+            continue  # the lint run proper reports this as RPR000
+        decls.extend(extract_wire_decls(tree, module_name_for(path)))
+    existing: dict[str, dict] = {}
+    try:
+        existing = load_contracts(contracts)
+    except (OSError, ValueError):
+        pass  # first generation, or a file bad enough to rebuild
+    write_contracts(build_contracts(decls, existing), contracts)
+    print("repro-lint: wrote %d wire contract(s) to %s"
+          % (len(decls), contracts), file=sys.stderr)
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -94,6 +138,11 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if options.update_baseline and options.baseline is None:
         print("repro-lint: --update-baseline requires --baseline FILE",
+              file=sys.stderr)
+        return 2
+
+    if options.update_contracts and options.contracts is None:
+        print("repro-lint: --update-contracts requires --contracts FILE",
               file=sys.stderr)
         return 2
 
@@ -112,9 +161,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                   "omit the flag to run every rule", file=sys.stderr)
             return 2
 
+    if options.update_contracts:
+        try:
+            return _update_contracts(options.paths, options.contracts)
+        except OSError as error:
+            print("repro-lint: cannot update contracts %s: %s"
+                  % (options.contracts, error.strerror or error),
+                  file=sys.stderr)
+            return 2
+
     try:
         result = run_lint(options.paths, rules=rules,
-                          cache_path=options.cache_path)
+                          cache_path=options.cache_path,
+                          contracts_path=options.contracts)
     except OSError as error:
         print("repro-lint: cannot read %s: %s"
               % (getattr(error, "filename", "path"), error.strerror or error),

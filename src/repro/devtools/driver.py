@@ -5,7 +5,7 @@ files, parsing them, deriving dotted module names, attaching parent links to
 AST nodes (several checkers need to know the context a node appears in),
 honouring ``# repro: noqa[RULE]`` suppression comments, stitching per-file
 summaries into the :class:`~repro.devtools.callgraph.Project` graph the
-interprocedural rules (RPR006–008) run over, and reusing cached per-file
+interprocedural rules (RPR006–010) run over, and reusing cached per-file
 results for files whose content fingerprint has not changed
 (:mod:`repro.devtools.incremental`).
 """
@@ -199,9 +199,21 @@ def _visible(diagnostic: Diagnostic, selected: frozenset[str] | None,
                 and ("*" in on_line or diagnostic.rule in on_line))
 
 
+def _discover_contracts(paths: Sequence[str | Path]) -> str | None:
+    """The nearest ``wire-contracts.json`` at or above any linted path."""
+    for raw in paths:
+        root = Path(raw).resolve()
+        for candidate in (root, *root.parents):
+            found = candidate / "wire-contracts.json"
+            if found.is_file():
+                return str(found)
+    return None
+
+
 def run_lint(paths: Sequence[str | Path],
              rules: Iterable[str] | None = None,
-             cache_path: str | Path | None = None) -> LintResult:
+             cache_path: str | Path | None = None,
+             contracts_path: str | Path | None = None) -> LintResult:
     """Lint ``paths``: per-file rules, then the interprocedural pass.
 
     With ``cache_path`` set, per-file results are reused for files whose
@@ -209,7 +221,9 @@ def run_lint(paths: Sequence[str | Path],
     :mod:`repro.devtools.incremental`); the project-wide pass always
     re-runs over the assembled summaries.  Cached entries hold pre-noqa,
     all-rule diagnostics, so ``rules`` narrows the *report*, never the
-    cache.
+    cache.  ``contracts_path`` pins the ``wire-contracts.json`` RPR010
+    checks against; when omitted, the nearest one at or above a linted
+    path is used.
     """
     import repro.util.fingerprint as fp
     from repro.devtools.callgraph import Project
@@ -233,12 +247,16 @@ def run_lint(paths: Sequence[str | Path],
             record = _analyze_file(path, source, source_hash)
             analyzed += 1
             if cache is not None:
-                cache.store(key, record)
+                cache.store(key, record)  # repro: noqa[RPR009] -- records hold noqa/module-name sets, but every to_dict sorts them before the cache is serialized
         records.append(record)
     if cache is not None:
         cache.save()
 
     project = Project([r.summary for r in records if r.summary is not None])
+    if contracts_path is None:
+        contracts_path = _discover_contracts(paths)
+    project.contracts_path = (None if contracts_path is None
+                              else str(contracts_path))
     effects = EffectAnalysis(project)
     project_diagnostics: list[Diagnostic] = []
     for checker in select_checkers(rules):

@@ -1,0 +1,829 @@
+"""Order-sensitivity dataflow analysis (the RPR009 engine).
+
+The runtime's bit-for-bit reproducibility story assumes that everything
+feeding a digest, a cached artifact, or a shipped ``ShardResult`` payload
+iterates in a *deterministic* order.  Python makes that easy to break
+silently: ``set`` iteration order varies across processes (hash
+randomization), ``os.listdir``/``Path.glob`` return directory order, and
+a dict built from either inherits the instability.  The dynamic tests
+(jobs=1 == jobs=N digests) catch such bugs only when the orders happen
+to diverge on the test machine; this module catches them statically.
+
+The analysis is a small abstract interpretation over a two-point order
+lattice — a value is either CLEAN (deterministically ordered) or carries
+a :class:`Taint` recording *why* its order is unstable:
+
+* **sources** introduce taint: ``set``/``frozenset`` constructors and
+  comprehensions, set operators, ``os.listdir``, ``glob.glob``,
+  ``Path.glob/rglob/iterdir/scandir``, and containers built from any of
+  these (``dict(tainted)``, ``list(tainted)``, f-strings, ...);
+* **barriers** erase it: ``sorted()``, ``.sort()``, the
+  :mod:`repro.util.ordering` helpers, and scalar reducers (``len``,
+  ``sum``, ``min``/``max``, ``any``/``all`` — order-independent by
+  construction);
+* **sinks** must never receive it: digest canonicalization
+  (``results_digest``, ``fingerprint.combine``/``hash_text``), artifact
+  cache writes (``.store``), ``ShardResult`` construction, and
+  JSON/pickle serialization.
+
+Within one function the interpreter walks statements sequentially
+(loop bodies twice, for loop-carried accumulation), tracking a taint per
+local name.  Per-function results are compressed into a serializable
+:class:`FunctionOrderSummary` — the return value's taint, taint observed
+at sinks, and calls that pass tainted arguments onward — stored on the
+:class:`~repro.devtools.callgraph.FileSummary` so warm incremental runs
+can replay the whole-project pass without re-parsing.
+:class:`OrderAnalysis` then resolves call targets through the project
+graph and iterates to a fixpoint, so taint crossing function boundaries
+(in either direction: tainted *returns* flowing down to a local sink, or
+tainted *arguments* flowing up into a callee's sink) is reported with a
+witness chain in the RPR006/RPR007 style.
+
+Deliberate asymmetry with the effect analysis: unresolvable calls join
+to CLEAN here, not to the top of the lattice.  Effects protect cache
+*soundness*, where guessing "pure" would certify wrong keys; RPR009 is
+an error-severity reviewer aid, and treating every unknown stdlib call
+as unordered would bury the real findings in noise.  The cost is known
+blind spots (attribute loads, subscript reads, and slices are also
+CLEAN), documented in DESIGN.md §12.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+#: Bare-name constructors that produce unordered collections.
+SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+
+#: Dotted-suffix calls returning filesystem-order (unstable) listings.
+ORDER_SOURCE_SUFFIXES: dict[tuple[str, str], str] = {
+    ("os", "listdir"): "os.listdir() directory order",
+    ("os", "scandir"): "os.scandir() directory order",
+    ("glob", "glob"): "glob.glob() directory order",
+    ("glob", "iglob"): "glob.iglob() directory order",
+}
+
+#: Method calls returning filesystem-order listings (``Path`` et al.).
+ORDER_SOURCE_METHODS = frozenset({"glob", "rglob", "iterdir", "scandir"})
+
+#: Dotted-suffix sinks: digest canonicalization and serialization.
+SINK_SUFFIXES: dict[tuple[str, str], str] = {
+    ("digest", "results_digest"): "digest canonicalization",
+    ("fingerprint", "combine"): "digest canonicalization",
+    ("fingerprint", "hash_text"): "digest canonicalization",
+    ("json", "dump"): "JSON serialization",
+    ("json", "dumps"): "JSON serialization",
+    ("pickle", "dump"): "pickle serialization",
+    ("pickle", "dumps"): "pickle serialization",
+}
+
+#: Constructor names whose instances are wire payloads in their own right.
+SINK_CLASSES: dict[str, str] = {
+    "ShardResult": "ShardResult payload construction",
+}
+
+#: Method-call sinks (the artifact cache write surface).
+SINK_METHODS: dict[str, str] = {
+    "store": "artifact cache write",
+}
+
+#: The explicit deterministic-iteration helpers (satellites of this rule).
+BARRIER_HELPERS = frozenset({"ordered", "ordered_items", "ordered_merge"})
+
+#: Builtins whose result's order follows their arguments' order.
+PROPAGATING_BUILTINS = frozenset({
+    "list", "tuple", "iter", "next", "reversed", "enumerate", "zip",
+    "map", "filter", "dict", "str", "repr", "format",
+})
+
+#: Builtins that reduce a collection to an order-independent scalar.
+SCALAR_BUILTINS = frozenset({
+    "len", "sum", "min", "max", "any", "all", "abs", "round", "hash",
+    "bool", "int", "float", "range", "isinstance", "issubclass",
+    "getattr", "hasattr", "id", "print", "type",
+})
+
+#: Methods whose result inherits the *receiver's* order instability.
+RECEIVER_PROPAGATING_METHODS = frozenset({
+    "keys", "values", "items", "copy", "pop", "popitem", "elements",
+    "split", "rsplit", "splitlines",
+})
+
+#: Set-operator methods: receiver or argument taint makes an unordered
+#: result (these also *produce* sets, but matching the operands keeps the
+#: provenance line pointing at the original source).
+SET_OPERATOR_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+
+#: Methods whose result inherits their *arguments'* order instability.
+ARG_PROPAGATING_METHODS = frozenset({"join", "fromkeys"})
+
+#: Mutators that fold an argument (and the enclosing loop's iteration
+#: order) into their receiver.
+MUTATOR_ARG_METHODS = frozenset({
+    "append", "add", "insert", "extend", "update", "setdefault",
+    "appendleft", "extendleft",
+})
+
+#: Cap on distinct call dependencies tracked per abstract value.
+_MAX_CALLS = 8
+
+#: Cap on class-hierarchy candidates consulted per method call.
+_MAX_CANDIDATES = 8
+
+
+@dataclass(frozen=True)
+class CallTaint:
+    """One call whose result (or argument flow) the taint depends on."""
+
+    kind: str  # ``dotted`` | ``local`` | ``method``
+    target: str
+    line: int
+    args: tuple["Taint", ...] = ()
+    kwargs: tuple[tuple[str, "Taint"], ...] = ()
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, "target": self.target, "line": self.line,
+                "args": [taint.to_dict() for taint in self.args],
+                "kwargs": [[name, taint.to_dict()]
+                           for name, taint in self.kwargs]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CallTaint":
+        return cls(
+            kind=str(payload["kind"]), target=str(payload["target"]),
+            line=int(payload["line"]),
+            args=tuple(Taint.from_dict(entry)
+                       for entry in payload.get("args", ())),
+            kwargs=tuple((str(name), Taint.from_dict(entry))
+                         for name, entry in payload.get("kwargs", ())))
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Why a value's iteration order may be unstable.
+
+    ``source`` is intrinsic evidence (``(detail, line)``), ``params``
+    names the enclosing function's parameters whose order instability
+    would flow here, and ``calls`` are call results the value depends
+    on — resolved against the project graph by :class:`OrderAnalysis`.
+    An empty taint (``CLEAN``) means deterministically ordered.
+    """
+
+    source: tuple[str, int] | None = None
+    params: tuple[str, ...] = ()
+    calls: tuple[CallTaint, ...] = ()
+
+    @property
+    def is_clean(self) -> bool:
+        return (self.source is None and not self.params
+                and not self.calls)
+
+    def to_dict(self) -> dict[str, object]:
+        return {"source": None if self.source is None
+                else [self.source[0], self.source[1]],
+                "params": list(self.params),
+                "calls": [call.to_dict() for call in self.calls]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Taint":
+        source = payload.get("source")
+        return cls(
+            source=None if source is None else (str(source[0]),
+                                                int(source[1])),
+            params=tuple(payload.get("params", ())),
+            calls=tuple(CallTaint.from_dict(entry)
+                        for entry in payload.get("calls", ())))
+
+
+CLEAN = Taint()
+
+
+def join(*taints: Taint) -> Taint:
+    """Least upper bound: any operand's instability taints the result."""
+    source = None
+    params: list[str] = []
+    calls: list[CallTaint] = []
+    for taint in taints:
+        if taint is None or taint.is_clean:
+            continue
+        if source is None and taint.source is not None:
+            source = taint.source
+        for param in taint.params:
+            if param not in params:
+                params.append(param)
+        for call in taint.calls:
+            if call not in calls and len(calls) < _MAX_CALLS:
+                calls.append(call)
+    if source is None and not params and not calls:
+        return CLEAN
+    return Taint(source=source, params=tuple(params), calls=tuple(calls))
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """A non-clean abstract value observed flowing into one sink."""
+
+    label: str
+    target: str
+    line: int
+    taint: Taint
+
+    def to_dict(self) -> dict[str, object]:
+        return {"label": self.label, "target": self.target,
+                "line": self.line, "taint": self.taint.to_dict()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SinkHit":
+        return cls(label=str(payload["label"]), target=str(payload["target"]),
+                   line=int(payload["line"]),
+                   taint=Taint.from_dict(payload["taint"]))
+
+
+@dataclass(frozen=True)
+class FunctionOrderSummary:
+    """The order-dataflow facts of one function, cache-round-trippable.
+
+    ``params`` is the positional parameter order (so call-site arguments
+    can be matched back to the names ``Taint.params`` uses); ``calls``
+    records call sites that pass non-clean arguments onward, for the
+    downward direction (caller taint reaching a callee's sink).
+    """
+
+    name: str
+    params: tuple[str, ...] = ()
+    returns: Taint = CLEAN
+    sinks: tuple[SinkHit, ...] = ()
+    calls: tuple[CallTaint, ...] = ()
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.returns.is_clean and not self.sinks and not self.calls
+
+    def to_dict(self) -> dict[str, object]:
+        return {"name": self.name, "params": list(self.params),
+                "returns": self.returns.to_dict(),
+                "sinks": [sink.to_dict() for sink in self.sinks],
+                "calls": [call.to_dict() for call in self.calls]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FunctionOrderSummary":
+        return cls(
+            name=str(payload["name"]),
+            params=tuple(payload.get("params", ())),
+            returns=Taint.from_dict(payload["returns"]),
+            sinks=tuple(SinkHit.from_dict(entry)
+                        for entry in payload.get("sinks", ())),
+            calls=tuple(CallTaint.from_dict(entry)
+                        for entry in payload.get("calls", ())))
+
+
+# -- the intraprocedural interpreter -----------------------------------------
+
+class _OrderTracker:
+    """Sequential abstract interpretation of one function body."""
+
+    def __init__(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                 imports: dict[str, str]) -> None:
+        self.node = node
+        self.imports = imports
+        args = node.args
+        names = [arg.arg for arg in
+                 (*args.posonlyargs, *args.args, *args.kwonlyargs)]
+        self.params = tuple(names)
+        self.env: dict[str, Taint] = {
+            name: Taint(params=(name,)) for name in names}
+        self.return_taint = CLEAN
+        self.sinks: list[SinkHit] = []
+        self.downward: list[CallTaint] = []
+        self._loop_context: list[Taint] = []
+
+    def run(self) -> tuple[Taint, list[SinkHit], list[CallTaint]]:
+        self._process_body(self.node.body)
+        seen_sinks: set[tuple[str, int]] = set()
+        sinks = [hit for hit in self.sinks
+                 if (hit.label, hit.line) not in seen_sinks
+                 and not seen_sinks.add((hit.label, hit.line))]
+        seen_calls: set[tuple[str, int]] = set()
+        downward = [call for call in self.downward
+                    if (call.target, call.line) not in seen_calls
+                    and not seen_calls.add((call.target, call.line))]
+        return self.return_taint, sinks, downward
+
+    # -- statements ----------------------------------------------------------
+
+    def _process_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._process(stmt)
+
+    def _process(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # nested scopes are out of range for this pass
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.return_taint = join(self.return_taint,
+                                         self._eval(stmt.value))
+        elif isinstance(stmt, ast.Assign):
+            taint = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taint)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self._eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                name = stmt.target.id
+                self.env[name] = join(self.env.get(name, CLEAN), taint,
+                                      self._context())
+            else:
+                self._taint_root(stmt.target, taint)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_taint = self._eval(stmt.iter)
+            self._bind(stmt.target, iter_taint)
+            self._loop_context.append(join(self._context(), iter_taint))
+            try:
+                # Two passes so loop-carried accumulation stabilizes
+                # (``acc`` tainted on pass one is *read* tainted on two).
+                self._process_body(stmt.body)
+                self._process_body(stmt.body)
+            finally:
+                self._loop_context.pop()
+            self._process_body(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self._process_body(stmt.body)
+            self._process_body(stmt.body)
+            self._process_body(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._process_body(stmt.body)
+            self._process_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taint)
+            self._process_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._process_body(stmt.body)
+            for handler in stmt.handlers:
+                self._process_body(handler.body)
+            self._process_body(stmt.orelse)
+            self._process_body(stmt.finalbody)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc)
+        elif isinstance(stmt, ast.Assert):
+            self._eval(stmt.test)
+            if stmt.msg is not None:
+                self._eval(stmt.msg)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        elif stmt.__class__.__name__ == "Match":
+            self._eval(stmt.subject)  # type: ignore[attr-defined]
+            for case in stmt.cases:  # type: ignore[attr-defined]
+                self._process_body(case.body)
+        # Pass / Break / Continue / Import / Global / Nonlocal: no flow.
+
+    def _context(self) -> Taint:
+        return self._loop_context[-1] if self._loop_context else CLEAN
+
+    def _bind(self, target: ast.expr, taint: Taint) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taint  # rebinding sanitizes
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taint)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taint)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            self._taint_root(target, taint)
+
+    def _taint_root(self, expr: ast.expr, taint: Taint) -> None:
+        """Join taint (plus loop context) into the written container."""
+        from repro.devtools.callgraph import _root_name
+
+        root = _root_name(expr)
+        if root is not None:
+            self.env[root] = join(self.env.get(root, CLEAN), taint,
+                                  self._context())
+
+    # -- expressions ---------------------------------------------------------
+
+    def _eval(self, expr: ast.expr) -> Taint:
+        if isinstance(expr, ast.Constant):
+            return CLEAN
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id, CLEAN)
+        if isinstance(expr, ast.Set):
+            return Taint(source=("set literal", expr.lineno))
+        if isinstance(expr, ast.SetComp):
+            return Taint(source=("set comprehension", expr.lineno))
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            return join(*(self._eval(gen.iter) for gen in expr.generators))
+        if isinstance(expr, ast.Dict):
+            return join(*(self._eval(key) for key in expr.keys
+                          if key is not None),
+                        *(self._eval(value) for value in expr.values))
+        if isinstance(expr, (ast.List, ast.Tuple)):
+            return join(*(self._eval(element) for element in expr.elts))
+        if isinstance(expr, ast.Starred):
+            return self._eval(expr.value)
+        if isinstance(expr, ast.BinOp):
+            return join(self._eval(expr.left), self._eval(expr.right))
+        if isinstance(expr, ast.BoolOp):
+            return join(*(self._eval(value) for value in expr.values))
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval(expr.operand)
+        if isinstance(expr, ast.Compare):
+            self._eval(expr.left)
+            for comparator in expr.comparators:
+                self._eval(comparator)
+            return CLEAN  # membership/comparison: order-independent
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test)
+            return join(self._eval(expr.body), self._eval(expr.orelse))
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.JoinedStr):
+            return join(*(self._eval(value) for value in expr.values))
+        if isinstance(expr, ast.FormattedValue):
+            return self._eval(expr.value)
+        if isinstance(expr, ast.Await):
+            return self._eval(expr.value)
+        if isinstance(expr, ast.NamedExpr):
+            taint = self._eval(expr.value)
+            self._bind(expr.target, taint)
+            return taint
+        if isinstance(expr, (ast.Yield, ast.YieldFrom)):
+            if expr.value is not None:
+                self.return_taint = join(self.return_taint,
+                                         self._eval(expr.value))
+            return CLEAN
+        # Subscript/Attribute loads, slices, lambdas: CLEAN by policy —
+        # by-key access is order-independent, and tracking object fields
+        # would need a heap model this lint does not carry.
+        return CLEAN
+
+    def _call(self, call: ast.Call) -> Taint:
+        from repro.devtools.callgraph import _call_site
+
+        site = _call_site(call, self.imports)
+        arg_taints = tuple(self._eval(arg) for arg in call.args)
+        kw_taints = tuple((keyword.arg, self._eval(keyword.value))
+                          for keyword in call.keywords
+                          if keyword.arg is not None)
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                self._eval(keyword.value)
+        receiver = CLEAN
+        if isinstance(call.func, ast.Attribute):
+            receiver = self._eval(call.func.value)
+
+        parts = tuple(site.target.split(".")) if site.kind == "dotted" \
+            else ()
+        last = parts[-1] if parts else site.target
+        passed = join(*arg_taints, *(taint for _, taint in kw_taints))
+
+        # 1. receiver sanitizer: ``x.sort()`` leaves x deterministic.
+        if site.kind == "method" and site.target == "sort":
+            if isinstance(call.func.value, ast.Name):
+                self.env[call.func.value.id] = CLEAN
+            return CLEAN
+
+        # 2. sinks (checked before propagation: the hit is the finding).
+        label = None
+        if len(parts) >= 2 and parts[-2:] in SINK_SUFFIXES:
+            label = SINK_SUFFIXES[parts[-2:]]
+        elif last == "results_digest":
+            label = "digest canonicalization"
+        elif last in SINK_CLASSES:
+            label = SINK_CLASSES[last]
+        elif site.kind == "method" and site.target in SINK_METHODS:
+            label = SINK_METHODS[site.target]
+        if label is not None:
+            if not passed.is_clean:
+                self.sinks.append(SinkHit(label, last or site.target,
+                                          call.lineno, passed))
+            return CLEAN
+
+        # 3. barriers.
+        if site.kind == "local" and site.target == "sorted":
+            return CLEAN
+        if last in BARRIER_HELPERS:
+            return CLEAN
+
+        # 4. sources.
+        if site.kind == "local" and site.target in SET_CONSTRUCTORS:
+            return Taint(source=("%s()" % site.target, call.lineno))
+        if len(parts) >= 2 and parts[-2:] in ORDER_SOURCE_SUFFIXES:
+            return Taint(source=(ORDER_SOURCE_SUFFIXES[parts[-2:]],
+                                 call.lineno))
+        if site.kind == "method" and site.target in ORDER_SOURCE_METHODS:
+            return Taint(source=(".%s() directory order" % site.target,
+                                 call.lineno))
+
+        # 5. mutators folding arguments (and loop order) into a receiver.
+        if site.kind == "method" and site.target in MUTATOR_ARG_METHODS:
+            self._taint_root(call.func.value, passed)
+            return CLEAN
+
+        # 6. order-propagating and order-erasing vocabulary.
+        if site.kind == "local":
+            if site.target in PROPAGATING_BUILTINS:
+                return passed
+            if site.target in SCALAR_BUILTINS:
+                return CLEAN
+        if site.kind == "method":
+            if site.target in SET_OPERATOR_METHODS:
+                return join(receiver, passed)
+            if site.target in RECEIVER_PROPAGATING_METHODS:
+                return receiver
+            if site.target in ARG_PROPAGATING_METHODS:
+                return passed
+
+        # 7. everything else: defer to project-graph resolution.
+        if site.kind == "dynamic":
+            return CLEAN
+        args_for_call = ((receiver,) + arg_taints)
+        if site.kind != "method":
+            args_for_call = arg_taints
+        dependency = CallTaint(kind=site.kind, target=site.target,
+                               line=call.lineno, args=args_for_call,
+                               kwargs=kw_taints)
+        if not passed.is_clean:
+            self.downward.append(dependency)
+        return Taint(calls=(dependency,))
+
+
+def order_summary(node: ast.FunctionDef | ast.AsyncFunctionDef,
+                  qualname: str,
+                  imports: dict[str, str]) -> FunctionOrderSummary | None:
+    """Order-dataflow summary of one function; ``None`` when trivial."""
+    tracker = _OrderTracker(node, imports)
+    returns, sinks, downward = tracker.run()
+    summary = FunctionOrderSummary(
+        name=qualname, params=tracker.params, returns=returns,
+        sinks=tuple(sinks), calls=tuple(downward))
+    return None if summary.is_trivial else summary
+
+
+# -- the interprocedural fixpoint --------------------------------------------
+
+@dataclass(frozen=True)
+class OrderFinding:
+    """One RPR009 finding, ready for a project diagnostic."""
+
+    path: str
+    line: int
+    message: str
+
+
+_REMEDY = ("iterate in sorted order — sorted(), .sort() or "
+           "repro.util.ordering — or suppress with a justified "
+           "noqa[RPR009]")
+
+
+class OrderAnalysis:
+    """Project-wide order-taint resolution with witness chains.
+
+    Three facts are iterated to a fixpoint over the call graph, mirroring
+    :class:`~repro.devtools.effects.EffectAnalysis`:
+
+    * ``returns_tainted(f)`` — f returns an order-unstable value even
+      with deterministically ordered arguments;
+    * ``tainted_params(f)`` — parameters whose instability reaches f's
+      return value;
+    * ``sink_params(f)`` — parameters whose instability reaches a sink
+      inside f (directly or through further calls).
+    """
+
+    def __init__(self, project) -> None:
+        self.project = project
+        # qualname -> (module, FunctionOrderSummary)
+        self._funcs: dict[str, tuple[str, FunctionOrderSummary]] = {}
+        for module, summary in project.summaries.items():
+            for name, fos in getattr(summary, "order", {}).items():
+                self._funcs["%s.%s" % (module, name)] = (module, fos)
+        self._returns_tainted: set[str] = set()
+        self._tainted_params: dict[str, set[str]] = {
+            qual: set() for qual in self._funcs}
+        self._sink_params: dict[str, set[str]] = {
+            qual: set() for qual in self._funcs}
+        self._sink_route: dict[tuple[str, str], list[str]] = {}
+        self._solve()
+
+    # -- resolution ----------------------------------------------------------
+
+    def _resolve(self, call: CallTaint,
+                 module: str) -> list[tuple[str, str]]:
+        """``(kind, qualname)`` candidates for one recorded call."""
+        project = self.project
+        if call.kind == "dotted":
+            resolved = project.resolve_callable(call.target)
+            if resolved is not None and resolved[0] in ("function", "class"):
+                return [resolved]
+            return []
+        if call.kind == "local":
+            summary = project.summaries.get(module)
+            if summary is None:
+                return []
+            if call.target in summary.functions:
+                return [("function", "%s.%s" % (module, call.target))]
+            if call.target in summary.classes:
+                return [("class", "%s.%s" % (module, call.target))]
+            return []
+        candidates = project.methods_named_from(call.target, module)
+        return [("function", qual)
+                for qual in candidates[:_MAX_CANDIDATES]]
+
+    def _arg_for(self, call: CallTaint, callee: FunctionOrderSummary,
+                 param: str) -> Taint | None:
+        """The taint a call site passes into one named callee parameter."""
+        found = None
+        if param in callee.params:
+            index = callee.params.index(param)
+            if index < len(call.args):
+                found = call.args[index]
+        for name, taint in call.kwargs:
+            if name == param:
+                found = taint if found is None else join(found, taint)
+        return found
+
+    # -- the abstract evaluator ----------------------------------------------
+
+    def _tainted(self, taint: Taint, module: str,
+                 flags: frozenset[str]) -> bool:
+        """Does ``taint`` evaluate unstable, given unstable params?"""
+        if taint.source is not None:
+            return True
+        if any(param in flags for param in taint.params):
+            return True
+        for call in taint.calls:
+            for kind, qual in self._resolve(call, module):
+                if kind == "class":
+                    # A value object wraps its fields: constructing one
+                    # from an unstable value keeps the instability.
+                    if any(self._tainted(arg, module, flags)
+                           for arg in call.args) or \
+                       any(self._tainted(value, module, flags)
+                           for _, value in call.kwargs):
+                        return True
+                    continue
+                if qual in self._returns_tainted:
+                    return True
+                entry = self._funcs.get(qual)
+                if entry is None:
+                    continue
+                for param in self._tainted_params.get(qual, ()):
+                    passed = self._arg_for(call, entry[1], param)
+                    if passed is not None and self._tainted(
+                            passed, module, flags):
+                        return True
+        return False
+
+    def _solve(self) -> None:
+        changed = True
+        while changed:
+            changed = False
+            for qual, (module, fos) in self._funcs.items():
+                if qual not in self._returns_tainted and self._tainted(
+                        fos.returns, module, frozenset()):
+                    self._returns_tainted.add(qual)
+                    changed = True
+                for param in fos.params:
+                    flags = frozenset({param})
+                    if param not in self._tainted_params[qual] \
+                            and self._tainted(fos.returns, module, flags):
+                        self._tainted_params[qual].add(param)
+                        changed = True
+                    if param in self._sink_params[qual]:
+                        continue
+                    for hit in fos.sinks:
+                        if self._tainted(hit.taint, module, flags):
+                            self._sink_params[qual].add(param)
+                            self._sink_route[(qual, param)] = [
+                                "%s (line %d)" % (hit.label, hit.line)]
+                            changed = True
+                            break
+                    if param in self._sink_params[qual]:
+                        continue
+                    for call in fos.calls:
+                        route = self._transitive_route(call, module, param)
+                        if route is not None:
+                            self._sink_params[qual].add(param)
+                            self._sink_route[(qual, param)] = route
+                            changed = True
+                            break
+
+    def _transitive_route(self, call: CallTaint, module: str,
+                          param: str) -> list[str] | None:
+        """Sink route when ``param`` flows through ``call`` into a sink."""
+        flags = frozenset({param})
+        for kind, qual in self._resolve(call, module):
+            if kind != "function":
+                continue
+            entry = self._funcs.get(qual)
+            if entry is None:
+                continue
+            for callee_param in sorted(self._sink_params.get(qual, ())):
+                passed = self._arg_for(call, entry[1], callee_param)
+                if passed is not None and self._tainted(passed, module,
+                                                        flags):
+                    return (["%s (argument '%s')" % (qual, callee_param)]
+                            + self._sink_route.get((qual, callee_param),
+                                                   []))
+        return None
+
+    # -- witness chains ------------------------------------------------------
+
+    def _chain(self, taint: Taint, module: str,
+               seen: frozenset[str] = frozenset()) -> list[str]:
+        """Provenance chain for a taint that evaluates unstable."""
+        if taint.source is not None:
+            return ["%s (line %d)" % taint.source]
+        for call in taint.calls:
+            for kind, qual in self._resolve(call, module):
+                if kind == "class":
+                    for arg in (*call.args,
+                                *(value for _, value in call.kwargs)):
+                        if self._tainted(arg, module, frozenset()):
+                            return (["%s(...)" % qual]
+                                    + self._chain(arg, module, seen))
+                    continue
+                if qual in seen:
+                    continue
+                entry = self._funcs.get(qual)
+                if qual in self._returns_tainted and entry is not None:
+                    return [qual] + self._chain(
+                        entry[1].returns, entry[0], seen | {qual})
+                if entry is None:
+                    continue
+                for param in sorted(self._tainted_params.get(qual, ())):
+                    passed = self._arg_for(call, entry[1], param)
+                    if passed is not None and self._tainted(
+                            passed, module, frozenset()):
+                        return (["%s (argument '%s')" % (qual, param)]
+                                + self._chain(passed, module,
+                                              seen | {qual}))
+        return []
+
+    # -- findings ------------------------------------------------------------
+
+    def findings(self) -> list[OrderFinding]:
+        found: list[OrderFinding] = []
+        seen: set[tuple[str, int, str]] = set()
+        for qual in sorted(self._funcs):
+            module, fos = self._funcs[qual]
+            summary = self.project.summaries.get(module)
+            path = summary.path if summary is not None else module
+            for hit in fos.sinks:
+                if not self._tainted(hit.taint, module, frozenset()):
+                    continue
+                chain = " -> ".join(
+                    [qual] + self._chain(hit.taint, module)
+                    + ["%s (line %d)" % (hit.label, hit.line)])
+                message = ("order-unstable value reaches %s in %s: %s "
+                           "(%s)" % (hit.label, qual, chain, _REMEDY))
+                key = (path, hit.line, message)
+                if key not in seen:
+                    seen.add(key)
+                    found.append(OrderFinding(path, hit.line, message))
+            for call in fos.calls:
+                for kind, callee_qual in self._resolve(call, module):
+                    if kind != "function":
+                        continue
+                    entry = self._funcs.get(callee_qual)
+                    if entry is None:
+                        continue
+                    for param in sorted(
+                            self._sink_params.get(callee_qual, ())):
+                        passed = self._arg_for(call, entry[1], param)
+                        if passed is None or not self._tainted(
+                                passed, module, frozenset()):
+                            continue
+                        route = self._sink_route.get(
+                            (callee_qual, param), [])
+                        chain = " -> ".join(
+                            [qual] + self._chain(passed, module)
+                            + ["%s (argument '%s')"
+                             % (callee_qual, param)] + route)
+                        message = ("order-unstable value passed to %s "
+                                   "reaches %s: %s (%s)"
+                                   % (callee_qual,
+                                      route[-1] if route else "a sink",
+                                      chain, _REMEDY))
+                        key = (path, call.line, message)
+                        if key not in seen:
+                            seen.add(key)
+                            found.append(
+                                OrderFinding(path, call.line, message))
+        return sorted(found, key=lambda f: (f.path, f.line, f.message))

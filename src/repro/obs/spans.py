@@ -39,7 +39,12 @@ class Span:
     ``start``/``end`` are ``perf_counter`` readings in seconds; ``attrs``
     is a sorted tuple of key/value pairs (kept as a tuple so spans are
     hashable and safely shared after being shipped between processes).
+
+    Spans cross the worker pickle boundary inside ``ShardResult``, so
+    the field layout is a wire contract (RPR010).
     """
+
+    __wire_contract__ = "obs-span"
 
     name: str
     category: str

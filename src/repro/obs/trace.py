@@ -47,6 +47,12 @@ _EVENT_FIELDS: tuple[tuple[str, type | tuple[type, ...]], ...] = (
     ("args", dict),
 )
 
+#: The trace-file schema is consumed by external tooling (Perfetto, the
+#: test suite's validator), so its tag and event layout are a wire
+#: contract (RPR010): changing either requires regenerating
+#: ``wire-contracts.json`` with a version bump.
+__wire_contract__ = {"obs-trace": ("TRACE_SCHEMA", "_EVENT_FIELDS")}
+
 
 def trace_events(spans: Iterable[Span]) -> list[dict[str, object]]:
     """Spans as complete trace events, rebased to the earliest start."""

@@ -40,6 +40,13 @@ CODE_VERSION_PACKAGES = ("errors.py", "util", "net", "atlas", "core",
 #: Default store budget; a paper-scale bundle's artifacts are ~tens of MB.
 DEFAULT_MAX_BYTES = 2 * 1024 ** 3
 
+#: Cached artifacts outlive the process that wrote them, and the key
+#: semantics are defined by which packages feed the code-version hash —
+#: so that set is a wire contract (RPR010): growing or shrinking it
+#: changes what invalidates the cache and must be a reviewed, versioned
+#: event in ``wire-contracts.json``.
+__wire_contract__ = {"cache-entry": ("CODE_VERSION_PACKAGES",)}
+
 
 @lru_cache(maxsize=1)
 def code_version() -> str:

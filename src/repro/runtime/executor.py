@@ -39,6 +39,7 @@ from repro.runtime.sharding import partition, shard_count
 from repro.runtime.stages import STAGES, StageSpec, topological_order
 from repro.util import fingerprint as fp
 from repro.util import timeutil
+from repro.util.ordering import ordered_merge
 
 
 def resolve_start_method(requested: str | None = None) -> str:
@@ -342,35 +343,36 @@ class ShardedRunner:
     def _compute_sharded(self, spec: StageSpec, artifacts: dict) -> dict:
         """Fan one per-probe stage out over shards; merge canonically.
 
-        Probe ids are sorted (dataset accessors return them sorted),
-        shards are contiguous chunks, and the merge folds shard dicts in
-        shard order — so merged iteration order equals the serial path's.
+        Probe ids are sorted (dataset accessors return them sorted) and
+        shards are contiguous chunks, so :func:`ordered_merge`'s
+        sorted-key result is bit-identical to the old shard-order fold —
+        but no longer *relies* on those two invariants holding, and the
+        merge stays deterministic if shard boundaries ever change.
         """
         if spec.name == "filter":
             shards = self._shards_of(self._connlog.probe_ids())
-            verdicts: dict = {}
-            for chunk in self._map_shards(workers.shard_filter, shards):
-                verdicts.update(chunk)
+            verdicts = ordered_merge(
+                *self._map_shards(workers.shard_filter, shards))
             return {"filter_report": report_from_verdicts(verdicts)}
 
         if spec.name == "spans":
             filter_report = artifacts["filter_report"]
             shards = self._shards_of(filter_report.analyzable_geo())
+            merged = ordered_merge(
+                *self._map_shards(workers.shard_spans, shards))
             spans_by_probe: dict = {}
             durations_by_probe: dict = {}
-            for chunk in self._map_shards(workers.shard_spans, shards):
-                for probe_id, (spans, durations) in chunk.items():
-                    spans_by_probe[probe_id] = spans
-                    if durations:
-                        durations_by_probe[probe_id] = durations
+            for probe_id, (spans, durations) in merged.items():
+                spans_by_probe[probe_id] = spans
+                if durations:
+                    durations_by_probe[probe_id] = durations
             return {"spans_by_probe": spans_by_probe,
                     "durations_by_probe": durations_by_probe}
 
         if spec.name == "reboots":
             shards = self._shards_of(self._uptime.probe_ids())
-            raw: dict = {}
-            for chunk in self._map_shards(workers.shard_reboots, shards):
-                raw.update(chunk)
+            raw = ordered_merge(
+                *self._map_shards(workers.shard_reboots, shards))
             day_counts, firmware_days, filtered = aggregate_reboots(raw)
             return {"reboot_day_counts": day_counts,
                     "firmware_days": firmware_days,
@@ -383,9 +385,8 @@ class ShardedRunner:
                         if self._kroot.has_probe(pid)]
             items = [(pid, filtered.get(pid, [])) for pid in eligible]
             shards = self._shards_of(items)
-            gap_events: dict = {}
-            for chunk in self._map_shards(workers.shard_gaps, shards):
-                gap_events.update(chunk)
+            gap_events = ordered_merge(
+                *self._map_shards(workers.shard_gaps, shards))
             return {"gap_events_by_probe": gap_events}
 
         raise ValueError("stage %r is not fan-out capable" % (spec.name,))

@@ -37,6 +37,8 @@ from repro.net.pfx2as import IpToAsDataset
 class WorkerContext:
     """Everything a worker needs, shipped once per process."""
 
+    __wire_contract__ = "worker-context"
+
     connlog: ConnectionLog
     archive: ProbeArchive
     ip2as: IpToAsDataset
@@ -56,6 +58,8 @@ class ShardResult:
     The payload itself stays exactly what the pure kernels computed —
     instrumentation wraps the kernels, it never reaches inside them.
     """
+
+    __wire_contract__ = "shard-result"
 
     payload: object
     spans: list = field(default_factory=list)

@@ -1,5 +1,5 @@
 """Shared utilities: time, intervals, statistics, RNG substreams, tables."""
 
-from repro.util import intervals, rng, stats, tables, timeutil
+from repro.util import intervals, ordering, rng, stats, tables, timeutil
 
-__all__ = ["intervals", "rng", "stats", "tables", "timeutil"]
+__all__ = ["intervals", "ordering", "rng", "stats", "tables", "timeutil"]

@@ -24,10 +24,10 @@ def rules_of(diagnostics) -> set[str]:
     return {d.rule for d in diagnostics}
 
 
-def test_registry_has_all_eight_rules():
+def test_registry_has_all_ten_rules():
     assert [c.rule for c in all_checkers()] == [
         "RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
-        "RPR006", "RPR007", "RPR008"]
+        "RPR006", "RPR007", "RPR008", "RPR009", "RPR010"]
 
 
 # ---------------------------------------------------------------- RPR001
@@ -63,6 +63,18 @@ def test_rpr001_flags_wall_clock_in_sim_layer():
         def stamp():
             return time.time()
     """, module="repro.sim.timeline", rules=["RPR001"])
+    assert rules_of(findings) == {"RPR001"}
+    assert "wall clock" in findings[0].message
+
+
+def test_rpr001_flags_perf_counter_ns():
+    # the _ns variant of an already-forbidden call must not slip through
+    findings = lint("""
+        import time
+
+        def stamp():
+            return time.perf_counter_ns()
+    """, module="repro.core.changes", rules=["RPR001"])
     assert rules_of(findings) == {"RPR001"}
     assert "wall clock" in findings[0].message
 

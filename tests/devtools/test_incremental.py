@@ -113,6 +113,60 @@ def test_interprocedural_rules_fire_from_cached_summaries(make_tree,
     assert warm.diagnostics == cold.diagnostics
 
 
+def test_order_taint_fires_from_cached_summaries_and_tracks_edits(
+        make_tree, tmp_path):
+    tree = make_tree({
+        "pkg/digest.py": "def results_digest(results):\n    return 0\n",
+        "pkg/run.py": (
+            "from pkg import digest\n\n"
+            "def run(entries):\n"
+            "    tags = set(entries)\n"
+            "    return digest.results_digest(tags)\n"),
+    })
+    cache = tmp_path / "cache.json"
+    cold = run_lint([tree], rules=["RPR009"], cache_path=cache)
+    assert [d.rule for d in cold.diagnostics] == ["RPR009"]
+    # the project pass re-runs over cached FunctionOrderSummary objects
+    warm = run_lint([tree], rules=["RPR009"], cache_path=cache)
+    assert warm.files_analyzed == 0
+    assert warm.diagnostics == cold.diagnostics
+    # inserting a sort barrier re-analyzes only that file and clears it
+    (tree / "pkg" / "run.py").write_text(
+        "from pkg import digest\n\n"
+        "def run(entries):\n"
+        "    tags = sorted(set(entries))\n"
+        "    return digest.results_digest(tags)\n", encoding="utf-8")
+    fixed = run_lint([tree], rules=["RPR009"], cache_path=cache)
+    assert fixed.files_analyzed == 1
+    assert fixed.diagnostics == []
+
+
+def test_wire_contracts_checked_fresh_under_warm_cache(make_tree, tmp_path):
+    shard = (
+        "class ShardResult:\n"
+        '    __wire_contract__ = "shard-result"\n\n'
+        "    shard_index: int\n"
+    )
+    tree = make_tree({"pkg/workers.py": shard})
+    contracts = tmp_path / "wire-contracts.json"
+    assert main(["--contracts", str(contracts), "--update-contracts",
+                 str(tree)]) == 0
+    cache = tmp_path / "cache.json"
+    cold = run_lint([tree], rules=["RPR010"], cache_path=cache,
+                    contracts_path=contracts)
+    assert cold.diagnostics == []
+    # editing the contract file alone flips the warm run to a finding:
+    # wire decls come from cached summaries, the contract is re-read
+    payload = json.loads(contracts.read_text(encoding="utf-8"))
+    payload["contracts"]["shard-result"]["spec"]["fields"] = []
+    contracts.write_text(json.dumps(payload), encoding="utf-8")
+    warm = run_lint([tree], rules=["RPR010"], cache_path=cache,
+                    contracts_path=contracts)
+    assert warm.files_analyzed == 0
+    assert [d.rule for d in warm.diagnostics] == ["RPR010"]
+    assert "has drifted" in warm.diagnostics[0].message
+
+
 def test_cli_reports_skip_counts(make_tree, tmp_path, capsys):
     tree = make_tree({"pkg/a.py": "def f():\n    return 1\n"})
     cache = tmp_path / "cache.json"

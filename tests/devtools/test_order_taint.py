@@ -1,0 +1,243 @@
+"""Trigger / clean / noqa tests for RPR009 (order-sensitivity dataflow)."""
+
+from __future__ import annotations
+
+from repro.devtools.driver import run_lint
+
+
+def rules_of(result) -> set[str]:
+    return {d.rule for d in result.diagnostics}
+
+
+DIGEST = "def results_digest(results):\n    return str(results)\n"
+
+
+def digest_tree(run_body: str,
+                helpers: str | None = None) -> dict[str, str]:
+    files = {"pkg/digest.py": DIGEST, "pkg/run.py": run_body}
+    if helpers is not None:
+        files["pkg/helpers.py"] = helpers
+    return files
+
+
+# -------------------------------------------------------------- triggers
+
+def test_set_comp_through_two_helpers_into_digest(make_tree):
+    # The acceptance fixture: a set comprehension built in one helper,
+    # laundered through a second, digested by the caller — three
+    # functions, one witness chain.
+    tree = make_tree(digest_tree(
+        "from pkg import digest, helpers\n\n"
+        "def run(entries):\n"
+        "    payload = helpers.pack(helpers.build(entries))\n"
+        "    return digest.results_digest(payload)\n",
+        helpers=(
+            "def build(entries):\n"
+            "    return {e for e in entries}\n\n"
+            "def pack(items):\n"
+            "    return list(items)\n"),
+    ))
+    result = run_lint([tree], rules=["RPR009"])
+    assert rules_of(result) == {"RPR009"}
+    [diagnostic] = result.diagnostics
+    assert diagnostic.path.endswith("run.py")
+    message = diagnostic.message
+    # the full interprocedural witness chain, source to sink
+    assert "pkg.run.run" in message
+    assert "pkg.helpers.pack (argument 'items')" in message
+    assert "pkg.helpers.build" in message
+    assert "set comprehension" in message
+    assert "digest canonicalization" in message
+    assert " -> " in message
+
+
+def test_sorted_barrier_silences_the_same_flow(make_tree):
+    tree = make_tree(digest_tree(
+        "from pkg import digest, helpers\n\n"
+        "def run(entries):\n"
+        "    payload = helpers.pack(sorted(helpers.build(entries)))\n"
+        "    return digest.results_digest(payload)\n",
+        helpers=(
+            "def build(entries):\n"
+            "    return {e for e in entries}\n\n"
+            "def pack(items):\n"
+            "    return list(items)\n"),
+    ))
+    assert run_lint([tree], rules=["RPR009"]).diagnostics == []
+
+
+def test_sort_method_and_ordered_merge_are_barriers(make_tree):
+    tree = make_tree(digest_tree(
+        "from pkg import digest\n"
+        "from repro.util.ordering import ordered_merge\n\n"
+        "def run_sorted(entries):\n"
+        "    names = list(set(entries))\n"
+        "    names.sort()\n"
+        "    return digest.results_digest(names)\n\n"
+        "def run_merged(chunks):\n"
+        "    return digest.results_digest(ordered_merge(*chunks))\n",
+    ))
+    assert run_lint([tree], rules=["RPR009"]).diagnostics == []
+
+
+def test_listdir_accumulation_loop_into_cache_store(make_tree):
+    tree = make_tree({"pkg/run.py": (
+        "import os\n\n"
+        "def collect(cache, root):\n"
+        "    out = {}\n"
+        "    for name in os.listdir(root):\n"
+        "        out[name] = len(name)\n"
+        "    cache.store('key', out)\n"
+    )})
+    result = run_lint([tree], rules=["RPR009"])
+    assert rules_of(result) == {"RPR009"}
+    message = result.diagnostics[0].message
+    assert "os.listdir() directory order" in message
+    assert "artifact cache write" in message
+
+
+def test_path_glob_into_json_dump(make_tree):
+    tree = make_tree({"pkg/run.py": (
+        "import json\n"
+        "from pathlib import Path\n\n"
+        "def manifest(root, stream):\n"
+        "    names = [p.name for p in Path(root).glob('*.pkl')]\n"
+        "    json.dump(names, stream)\n"
+    )})
+    result = run_lint([tree], rules=["RPR009"])
+    assert rules_of(result) == {"RPR009"}
+    message = result.diagnostics[0].message
+    assert ".glob() directory order" in message
+    assert "JSON serialization" in message
+
+
+def test_tainted_argument_reaches_callee_sink(make_tree):
+    # Downward direction: the sink lives in the callee, the unordered
+    # value in the caller; the finding anchors at the call site.
+    tree = make_tree({
+        "pkg/ship.py": (
+            "import json\n\n"
+            "def ship(payload):\n"
+            "    return json.dumps(payload)\n"),
+        "pkg/run.py": (
+            "from pkg import ship\n\n"
+            "def run(entries):\n"
+            "    tags = set(entries)\n"
+            "    return ship.ship(tags)\n"),
+    })
+    result = run_lint([tree], rules=["RPR009"])
+    assert rules_of(result) == {"RPR009"}
+    [diagnostic] = result.diagnostics
+    assert diagnostic.path.endswith("run.py")
+    assert "pkg.ship.ship (argument 'payload')" in diagnostic.message
+    assert "set() (line 4)" in diagnostic.message
+
+
+def test_shard_result_payload_is_a_sink(make_tree):
+    tree = make_tree({
+        "pkg/workers.py": (
+            "class ShardResult:\n"
+            "    def __init__(self, payload):\n"
+            "        self.payload = payload\n"),
+        "pkg/run.py": (
+            "from pkg.workers import ShardResult\n\n"
+            "def task(paths):\n"
+            "    return ShardResult(frozenset(paths))\n"),
+    })
+    result = run_lint([tree], rules=["RPR009"])
+    assert rules_of(result) == {"RPR009"}
+    assert "ShardResult payload construction" in result.diagnostics[0].message
+
+
+# ----------------------------------------------------------------- clean
+
+def test_subscript_read_of_tainted_dict_is_clean(make_tree):
+    # The canonical fix — iterate sorted keys, index by key — must stay
+    # silent even though the source dict is order-tainted.
+    tree = make_tree({"pkg/run.py": (
+        "import json\n\n"
+        "def canon(tags):\n"
+        "    raw = set(tags)\n"
+        "    out = {}\n"
+        "    for key in sorted(raw):\n"
+        "        out[key] = True\n"
+        "    return json.dumps(out)\n"
+    )})
+    assert run_lint([tree], rules=["RPR009"]).diagnostics == []
+
+
+def test_scalar_reduction_of_set_is_clean(make_tree):
+    tree = make_tree(digest_tree(
+        "from pkg import digest\n\n"
+        "def run(entries):\n"
+        "    return digest.results_digest(len(set(entries)))\n",
+    ))
+    assert run_lint([tree], rules=["RPR009"]).diagnostics == []
+
+
+def test_rebinding_sanitizes(make_tree):
+    # x is tainted, digested (finding), then rebound clean — exactly one
+    # diagnostic, proving assignment kills old taint and the sequential
+    # pass does not smear late sanitization backwards.
+    tree = make_tree(digest_tree(
+        "from pkg import digest\n\n"
+        "def run(entries):\n"
+        "    names = set(entries)\n"
+        "    first = digest.results_digest(names)\n"
+        "    names = sorted(entries)\n"
+        "    return first, digest.results_digest(names)\n",
+    ))
+    result = run_lint([tree], rules=["RPR009"])
+    assert len(result.diagnostics) == 1
+    assert result.diagnostics[0].line == 5
+
+
+def test_membership_test_on_set_is_clean(make_tree):
+    tree = make_tree(digest_tree(
+        "from pkg import digest\n\n"
+        "def run(entries, wanted):\n"
+        "    keep = [e for e in sorted(entries) if e in set(wanted)]\n"
+        "    return digest.results_digest(keep)\n",
+    ))
+    assert run_lint([tree], rules=["RPR009"]).diagnostics == []
+
+
+# ------------------------------------------------------------------ noqa
+
+def test_noqa_on_sink_line_suppresses(make_tree):
+    tree = make_tree(digest_tree(
+        "from pkg import digest\n\n"
+        "def run(entries):\n"
+        "    tags = set(entries)\n"
+        "    return digest.results_digest(tags)"
+        "  # repro: noqa[RPR009] -- singleton set\n",
+    ))
+    assert run_lint([tree], rules=["RPR009"]).diagnostics == []
+
+
+def test_noqa_on_call_site_suppresses_downward_finding(make_tree):
+    tree = make_tree({
+        "pkg/ship.py": (
+            "import json\n\n"
+            "def ship(payload):\n"
+            "    return json.dumps(payload)\n"),
+        "pkg/run.py": (
+            "from pkg import ship\n\n"
+            "def run(entries):\n"
+            "    tags = set(entries)\n"
+            "    return ship.ship(tags)"
+            "  # repro: noqa[RPR009] -- ship sorts internally\n"),
+    })
+    assert run_lint([tree], rules=["RPR009"]).diagnostics == []
+
+
+# -------------------------------------------------------------- dogfood
+
+def test_real_tree_is_rpr009_clean():
+    from pathlib import Path
+
+    import repro
+
+    result = run_lint([Path(repro.__file__).resolve().parent],
+                      rules=["RPR009"])
+    assert result.diagnostics == [], [d.format() for d in result.diagnostics]
