@@ -99,6 +99,10 @@ def main(argv: list[str] | None = None) -> int:
                 % (warm_runner.report.computed_stages,))
 
         oversubscribed = (os.cpu_count() or 1) < args.jobs
+        # Throughput normalizes wall time by input size (probes plus
+        # connection-log entries), making runs at different --scale
+        # comparable where raw seconds are not.
+        records = len(world.archive) + world.connlog.entry_count()
         payload = {
             "scenario": {"scale": args.scale, "seed": args.seed,
                          "probes": len(world.archive),
@@ -111,9 +115,18 @@ def main(argv: list[str] | None = None) -> int:
             "results_digest": serial_digest,
             "jobs": args.jobs,
             "seconds": {"serial": round(serial_s, 3),
-                        "parallel": round(parallel_s, 3),
+                        # On an oversubscribed host this wall time
+                        # measures time-slicing, not parallelism; the
+                        # tag travels with the raw number so downstream
+                        # readers cannot mistake one for the other.
+                        "parallel": {"seconds": round(parallel_s, 3),
+                                     "oversubscribed": oversubscribed},
                         "cold_cache": round(cold_s, 3),
                         "warm_cache": round(warm_s, 3)},
+            "records_per_sec": {
+                "records": records,
+                "serial": round(records / serial_s, 1),
+                "warm_cache": round(records / warm_s, 1)},
             "speedup_vs_serial": {
                 # An oversubscribed "speedup" only measures time-slicing
                 # overhead; publish null rather than a misleading number.

@@ -19,15 +19,24 @@ layer or a lower one:
                                               │    datasets)
                                               └─ faults  (rank 8: corrupts
                                               │           bundles sim.io
-                                              │           wrote; consumed by
-                                              │           tests and its own
-                                              │           CLI only)
+                                              │           wrote, and carries
+                                              │           the inert process-
+                                              │           fault plans the
+                                              │           runtime CLI feeds
+                                              │           to supervised
+                                              │           workers)
                                               └─ core     (rank 9: analysis)
                                                    └─ runtime    (rank 10:
-                                                   │    sharded executor +
-                                                   │    artifact cache over
-                                                   │    the core stage
-                                                   │    functions)
+                                                   │    sharded executor,
+                                                   │    artifact cache and
+                                                   │    fault-tolerant shard
+                                                   │    supervisor over the
+                                                   │    core stage
+                                                   │    functions; may
+                                                   │    import faults —
+                                                   │    downward — but its
+                                                   │    worker path stays
+                                                   │    plan-duck-typed)
                                                    └─ experiments  (rank 11)
 
 ``repro.devtools`` (this lint framework) sits outside the DAG entirely:

@@ -24,6 +24,14 @@ class ObservabilityError(ReproError):
     """A trace file or metrics payload violates the repro.obs schema."""
 
 
+class SupervisionError(ReproError):
+    """The supervised executor could not keep a worker pool alive."""
+
+
+class EnvelopeCorruptError(SupervisionError):
+    """A shard result envelope failed its integrity seal check."""
+
+
 class SimulationError(ReproError):
     """A scenario is invalid or the simulator reached an impossible state."""
 

@@ -18,10 +18,18 @@ layer DAG: it consumes bundle layouts, and only tests and the
 
 from repro.faults.injectors import FaultKind, InjectedFault
 from repro.faults.plan import FaultPlan, FaultReport
+from repro.faults.process import (
+    ProcessFaultPlan,
+    ProcessFaultReport,
+    reconcile,
+)
 
 __all__ = [
     "FaultKind",
     "FaultPlan",
     "FaultReport",
     "InjectedFault",
+    "ProcessFaultPlan",
+    "ProcessFaultReport",
+    "reconcile",
 ]

@@ -21,7 +21,15 @@ from dataclasses import dataclass
 
 
 class FaultKind(enum.Enum):
-    """The DESIGN §6 failure-injection matrix, one entry per fault."""
+    """The DESIGN §6/§13 failure-injection matrix, one entry per fault.
+
+    The ``CONNLOG_*`` .. ``BUNDLE_*`` kinds corrupt bundle *data* before
+    ingestion; the ``WORKER_*``/``ENVELOPE_*`` kinds are *process*
+    faults, acted on inside pool workers during a supervised run
+    (:mod:`repro.faults.process`).  The values double as the wire-level
+    strings the runtime matches on, so they must stay in sync with the
+    ``FAULT_*`` constants in :mod:`repro.runtime.workers`.
+    """
 
     CONNLOG_GARBLED = "connlog-garbled"
     CONNLOG_TRUNCATED = "connlog-truncated"
@@ -34,6 +42,10 @@ class FaultKind(enum.Enum):
     PFX2AS_MISSING_MONTH = "pfx2as-missing-month"
     PFX2AS_BAD_LINE = "pfx2as-bad-line"
     BUNDLE_MISSING_FILE = "bundle-missing-file"
+    WORKER_CRASH = "worker-crash"
+    WORKER_HANG = "worker-hang"
+    WORKER_SLOW = "worker-slow"
+    ENVELOPE_CORRUPT = "envelope-corrupt"
 
 
 @dataclass(frozen=True)

@@ -98,6 +98,50 @@ def _ingest_lines(counters: dict[str, float]) -> list[str]:
     return lines
 
 
+def _resilience_lines(events: list[dict], counters: dict[str, float],
+                      gauges: dict[str, float]) -> list[str]:
+    """Supervision account: retries, reassignments, quarantine, resume.
+
+    Fed by the ``runtime.*`` counters the supervisor emits plus its
+    ``supervisor``-category spans (one per supervised fan-out stage).
+    """
+    supervised = [event for event in events
+                  if event.get("cat") == "supervisor"]
+    names = ("runtime.retries", "runtime.reassignments",
+             "runtime.quarantined_shards", "runtime.pool.respawns",
+             "runtime.checkpoints.loaded", "runtime.checkpoints.stored")
+    if not supervised and not any(name in counters for name in names):
+        return []
+    lines = ["retries %d  reassignments %d  pool respawns %d"
+             % (counters.get("runtime.retries", 0),
+                counters.get("runtime.reassignments", 0),
+                counters.get("runtime.pool.respawns", 0)),
+             "checkpoints stored %d  resumed %d"
+             % (counters.get("runtime.checkpoints.stored", 0),
+                counters.get("runtime.checkpoints.loaded", 0))]
+    failures = {name.split(".", 3)[3]: value
+                for name, value in counters.items()
+                if name.startswith("runtime.shard.failures.")}
+    if failures:
+        lines.append("shard failures  " + "  ".join(
+            "%s %d" % (cause, failures[cause])
+            for cause in sorted(failures)))
+    quarantined = counters.get("runtime.quarantined_shards", 0)
+    if quarantined or gauges.get("runtime.degraded"):
+        lines.append("DEGRADED: %d shard(s) quarantined, %d probe(s) lost"
+                     % (quarantined,
+                        gauges.get("runtime.quarantined_probes", 0)))
+    for event in supervised:
+        args = event.get("args", {})
+        lines.append("%-18s  shards %d  retries %d  reassigned %d  "
+                     "abandoned %d"
+                     % (event.get("name", "?"), args.get("shards", 0),
+                        args.get("retries", 0),
+                        args.get("reassignments", 0),
+                        args.get("abandoned", 0)))
+    return lines
+
+
 def _fault_lines(counters: dict[str, float]) -> list[str]:
     kinds = {name.split(".", 2)[2]: value
              for name, value in counters.items()
@@ -139,6 +183,7 @@ def render_report(payload: dict) -> str:
         ("stages", _stage_lines(events)),
         ("shard skew", _skew_lines(events)),
         ("cache", _cache_lines(counters, gauges)),
+        ("resilience", _resilience_lines(events, counters, gauges)),
         ("ingest", _ingest_lines(counters)),
         ("faults injected", _fault_lines(counters)),
     ]

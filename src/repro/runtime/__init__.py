@@ -13,7 +13,11 @@ This package exploits both properties:
   to ``jobs=1``;
 * :mod:`repro.runtime.cache` stores stage outputs content-addressed on
   the bundle fingerprint, stage name, code version and parameters, so
-  warm re-runs skip every unchanged stage.
+  warm re-runs skip every unchanged stage;
+* :mod:`repro.runtime.supervisor` wraps the fan-out in fault tolerance —
+  worker crash/hang detection, bounded retry with deterministic backoff,
+  per-shard checkpoints for ``--resume``, and quarantine-with-exact-
+  accounting when retries are exhausted (the run degrades, never dies).
 
 ``repro-run`` (:mod:`repro.runtime.cli`) drives the graph from the shell;
 ``repro-experiment`` threads ``--jobs/--cache-dir/--no-cache`` through to
@@ -34,16 +38,28 @@ from repro.runtime.executor import (
 )
 from repro.runtime.sharding import partition, shard_count
 from repro.runtime.stages import STAGES, StageSpec, topological_order
+from repro.runtime.supervisor import (
+    CheckpointManifest,
+    ShardFailure,
+    ShardSupervisor,
+    StageResilience,
+    SupervisionPolicy,
+)
 
 __all__ = [
     "ArtifactCache",
     "CacheStats",
+    "CheckpointManifest",
     "RunReport",
     "RuntimeConfig",
+    "ShardFailure",
+    "ShardSupervisor",
     "ShardedRunner",
     "STAGES",
+    "StageResilience",
     "StageSpec",
     "StageTiming",
+    "SupervisionPolicy",
     "code_version",
     "partition",
     "resolve_start_method",

@@ -31,6 +31,7 @@ from repro.runtime.executor import (
 )
 from repro.runtime.stages import render_graph
 from repro.util import fingerprint as fp
+from repro.util import timeutil
 
 
 def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
@@ -54,6 +55,22 @@ def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="write a Chrome trace_event JSON of the run "
                              "(inspect with repro-obs report FILE)")
+    parser.add_argument("--resume", action="store_true",
+                        help="reload completed shard checkpoints from the "
+                             "cache before dispatching (restart a killed "
+                             "run from the last completed shard)")
+    parser.add_argument("--max-retries", type=int,
+                        default=timeutil.MAX_SHARD_RETRIES, metavar="K",
+                        help="failed attempts per shard before its probes "
+                             "are quarantined (default %(default)s)")
+    parser.add_argument("--shard-deadline", type=float,
+                        default=timeutil.SHARD_DEADLINE_S, metavar="SEC",
+                        help="per-shard wall-clock deadline before the "
+                             "supervisor declares it hung "
+                             "(default %(default)s)")
+    parser.add_argument("--no-supervise", action="store_true",
+                        help="use the legacy unsupervised pool (no "
+                             "crash/hang recovery, no checkpoints)")
 
 
 def resolve_jobs(jobs: int) -> int:
@@ -78,14 +95,59 @@ def warn_if_oversubscribed(jobs: int) -> None:
               "parallel speedup" % (jobs, cpus), file=sys.stderr)
 
 
+def parse_inject_spec(spec: str):
+    """Parse a ``--inject`` spec into a ``ProcessFaultPlan``.
+
+    Comma-separated ``key=value`` pairs (bare ``persistent`` allowed)::
+
+        --inject seed=7,worker_crash=0.25,envelope_corrupt=0.5
+        --inject seed=1,envelope_corrupt=1,persistent
+    """
+    from repro.faults.process import ProcessFaultPlan
+    values: dict[str, object] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            if part != "persistent":
+                raise ValueError("bad --inject field %r (expected "
+                                 "key=value or 'persistent')" % (part,))
+            values["persistent"] = True
+            continue
+        key, _, raw = part.partition("=")
+        key = key.strip()
+        if key == "seed":
+            values[key] = int(raw)
+        elif key == "persistent":
+            values[key] = raw.strip().lower() in ("1", "true", "yes")
+        elif key in ("worker_crash", "worker_hang", "envelope_corrupt",
+                     "worker_slow", "slow_delay_s"):
+            values[key] = float(raw)
+        else:
+            raise ValueError("unknown --inject field %r" % (key,))
+    return ProcessFaultPlan(**values)
+
+
 def runtime_config(args: argparse.Namespace) -> RuntimeConfig:
     """Build a :class:`RuntimeConfig` from parsed runtime flags."""
     cache_dir = None if args.no_cache else args.cache_dir
     jobs = resolve_jobs(args.jobs)
     warn_if_oversubscribed(jobs)
-    return RuntimeConfig(jobs=jobs, shards=args.shards,
-                         cache_dir=cache_dir,
-                         start_method=getattr(args, "start_method", None))
+    fault_plan = None
+    inject = getattr(args, "inject", None)
+    if inject:
+        fault_plan = parse_inject_spec(inject)
+    return RuntimeConfig(
+        jobs=jobs, shards=args.shards, cache_dir=cache_dir,
+        start_method=getattr(args, "start_method", None),
+        supervise=not getattr(args, "no_supervise", False),
+        max_retries=getattr(args, "max_retries",
+                            timeutil.MAX_SHARD_RETRIES),
+        shard_deadline_s=getattr(args, "shard_deadline",
+                                 timeutil.SHARD_DEADLINE_S),
+        resume=getattr(args, "resume", False),
+        fault_plan=fault_plan)
 
 
 def write_run_trace(path: str, runner, digest: str) -> None:
@@ -123,6 +185,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="print the stage graph and exit")
     parser.add_argument("--clear-cache", action="store_true",
                         help="empty the --cache-dir store and exit")
+    parser.add_argument("--inject", metavar="SPEC", default=None,
+                        help="process-fault plan for supervised runs, "
+                             "e.g. seed=7,worker_crash=0.25 (kinds: "
+                             "worker_crash, worker_hang, "
+                             "envelope_corrupt, worker_slow; add "
+                             "'persistent' to re-fire on retries)")
     add_runtime_arguments(parser)
     args = parser.parse_args(argv)
 
@@ -168,6 +236,10 @@ def main(argv: list[str] | None = None) -> int:
         stats = runner.cache.stats
         print("cache        %d hit, %d miss, %d stored"
               % (stats.hits, stats.misses, stats.stores))
+    if config.fault_plan is not None and runner.report.resilience:
+        from repro.faults.process import reconcile
+        print(reconcile(config.fault_plan,
+                        runner.report.resilience).render())
     if args.trace is not None:
         write_run_trace(args.trace, runner, digest)
         print("trace        %s" % args.trace)

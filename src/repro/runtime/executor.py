@@ -36,6 +36,11 @@ from repro.core.filtering import FilterReport, report_from_verdicts
 from repro.runtime import workers
 from repro.runtime.cache import DEFAULT_MAX_BYTES, ArtifactCache, code_version
 from repro.runtime.sharding import partition, shard_count
+from repro.runtime.supervisor import (
+    ShardSupervisor,
+    StageResilience,
+    SupervisionPolicy,
+)
 from repro.runtime.stages import STAGES, StageSpec, topological_order
 from repro.util import fingerprint as fp
 from repro.util import timeutil
@@ -80,6 +85,24 @@ class RuntimeConfig:
     #: Pool start method: ``"fork"``, ``"spawn"`` or ``None`` for
     #: platform auto-detection (:func:`resolve_start_method`).
     start_method: str | None = None
+    #: Run fan-out stages under the fault-tolerant
+    #: :class:`~repro.runtime.supervisor.ShardSupervisor` (crash/hang
+    #: recovery, retries, checkpoints).  Off = legacy ``pool.map``.
+    supervise: bool = True
+    #: Failed attempts per shard before its probes are quarantined.
+    max_retries: int = timeutil.MAX_SHARD_RETRIES
+    #: Per-shard wall-clock deadline before the shard counts as hung.
+    shard_deadline_s: float = timeutil.SHARD_DEADLINE_S
+    #: First retry delay; attempt ``n`` waits ``base * 2**(n-1)``.
+    backoff_base_s: float = timeutil.BACKOFF_BASE_S
+    #: Load per-shard checkpoints from the cache before dispatching
+    #: (``repro-run --resume``): a killed run restarts from the last
+    #: completed shard instead of the last completed stage.
+    resume: bool = False
+    #: Process-fault plan (``fault_at(stage, shard, attempt)`` duck
+    #: type, e.g. :class:`repro.faults.process.ProcessFaultPlan`),
+    #: installed into supervised workers.  ``None`` = no injection.
+    fault_plan: object | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -89,6 +112,25 @@ class RuntimeConfig:
         if self.start_method not in (None, "fork", "spawn"):
             raise ValueError("start_method must be 'fork', 'spawn' or "
                              "None, got %r" % (self.start_method,))
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0, got %r"
+                             % (self.max_retries,))
+        if self.shard_deadline_s <= 0:
+            raise ValueError("shard_deadline_s must be positive, got %r"
+                             % (self.shard_deadline_s,))
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0, got %r"
+                             % (self.backoff_base_s,))
+        if self.fault_plan is not None and not self.supervise:
+            raise ValueError("fault_plan requires supervise=True: the "
+                             "legacy pool has no recovery path")
+
+    def policy(self) -> SupervisionPolicy:
+        """The supervision knobs as a :class:`SupervisionPolicy`."""
+        return SupervisionPolicy(
+            max_retries=self.max_retries,
+            shard_deadline_s=self.shard_deadline_s,
+            backoff_base_s=self.backoff_base_s)
 
 
 @dataclass(frozen=True)
@@ -119,6 +161,8 @@ class RunReport:
     cpu_count: int = 0
     oversubscribed: bool = False
     start_method: str | None = None
+    #: Per-stage supervision accounts (supervised fan-out stages only).
+    resilience: list[StageResilience] = field(default_factory=list)
 
     @property
     def cached_stages(self) -> list[str]:
@@ -132,8 +176,29 @@ class RunReport:
     def total_seconds(self) -> float:
         return sum(t.seconds for t in self.timings)
 
+    @property
+    def degraded(self) -> bool:
+        """True when retries were exhausted and shards were quarantined."""
+        return any(row.degraded for row in self.resilience)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(row.retries for row in self.resilience)
+
+    @property
+    def total_reassignments(self) -> int:
+        return sum(row.reassignments for row in self.resilience)
+
+    @property
+    def quarantined_probes(self) -> list[int]:
+        """Probe ids the run abandoned, across all degraded stages."""
+        quarantined: list[int] = []
+        for row in self.resilience:
+            quarantined.extend(row.quarantined_probes)
+        return quarantined
+
     def render(self) -> str:
-        """Stage table for ``repro-run``."""
+        """Stage table (plus supervision account) for ``repro-run``."""
         lines = ["%-8s  %9s  %s" % ("stage", "seconds", "mode")]
         for timing in self.timings:
             mode = ("cached" if timing.cached
@@ -148,7 +213,39 @@ class RunReport:
             total += "  OVERSUBSCRIBED: %d jobs on %d cpu(s)" % (
                 self.jobs, self.cpu_count)
         lines.append(total)
+        lines.extend(self._render_resilience())
         return "\n".join(lines)
+
+    def _render_resilience(self) -> list[str]:
+        eventful = [row for row in self.resilience
+                    if row.retries or row.reassignments or row.abandoned
+                    or row.checkpoints_loaded]
+        if not eventful:
+            return []
+        lines = ["", "%-8s  %7s  %8s  %9s  %9s  %7s" % (
+            "stage", "shards", "retries", "reassign", "resumed", "lost")]
+        for row in eventful:
+            lines.append("%-8s  %7d  %8d  %9d  %9d  %7d" % (
+                row.stage, row.shards, row.retries, row.reassignments,
+                row.checkpoints_loaded, len(row.abandoned)))
+        if self.degraded:
+            analyzed = sum(row.analyzed_items for row in self.resilience)
+            quarantined = sum(row.quarantined_items
+                              for row in self.resilience)
+            lines.append(
+                "DEGRADED: retries exhausted on %d shard(s); "
+                "%d item(s) analyzed, %d quarantined"
+                % (sum(len(row.abandoned) for row in self.resilience),
+                   analyzed, quarantined))
+            for row in self.resilience:
+                for index in row.abandoned:
+                    causes = [failure.cause for failure in row.failures
+                              if failure.shard_index == index]
+                    lines.append(
+                        "  %s shard %d: %s" % (
+                            row.stage, index,
+                            " -> ".join(causes) if causes else "unknown"))
+        return lines
 
 
 class ShardedRunner:
@@ -178,6 +275,9 @@ class ShardedRunner:
                 max_bytes=self.config.max_cache_bytes)
         self.report = self._new_report()
         self._pool: ProcessPoolExecutor | None = None
+        self._supervisor: ShardSupervisor | None = None
+        self._version = ""
+        self._params = ""
 
     def _new_report(self) -> RunReport:
         cpus = os.cpu_count() or 1
@@ -201,6 +301,8 @@ class ShardedRunner:
         self.report = self._new_report()
         params = fp.combine("min_connected", repr(self._min_connected))
         version = code_version()
+        self._params = params
+        self._version = version
         try:
             with obs.span("run", category="run", jobs=self.config.jobs,
                           start_method=self.start_method):
@@ -219,6 +321,9 @@ class ShardedRunner:
                 self._pool.shutdown()
                 self._pool = None
                 workers.reset_worker()
+            if self._supervisor is not None:
+                self._supervisor.shutdown()
+                self._supervisor = None
         self._record_metrics()
         return self._assemble(artifacts)
 
@@ -233,6 +338,10 @@ class ShardedRunner:
         obs.gauge("runtime.cpu_count", self.report.cpu_count)
         obs.gauge("runtime.oversubscribed",
                   1 if self.report.oversubscribed else 0)
+        if self.report.resilience:
+            obs.gauge("runtime.degraded", 1 if self.report.degraded else 0)
+            obs.gauge("runtime.quarantined_probes",
+                      len(self.report.quarantined_probes))
         if self.cache is not None:
             obs.record_cache(self.cache.stats,
                              bytes_on_disk=self.cache.total_bytes())
@@ -257,9 +366,15 @@ class ShardedRunner:
             result = spec.func(*(artifacts[name] for name in spec.inputs))
             values = result if len(spec.outputs) > 1 else (result,)
             outputs = dict(zip(spec.outputs, values))
-        if key is not None:
+        if key is not None and not self._stage_degraded(spec.name):
+            # A degraded stage's artifact is incomplete by definition —
+            # caching it would silently poison every later warm run.
             self.cache.store(key, self._cacheable(spec, outputs))
         return outputs, False, sharded
+
+    def _stage_degraded(self, stage: str) -> bool:
+        return any(row.stage == stage and row.degraded
+                   for row in self.report.resilience)
 
     @staticmethod
     def _cacheable(spec: StageSpec, outputs: dict) -> dict:
@@ -325,6 +440,9 @@ class ShardedRunner:
         Spans and metrics the workers shipped with their results are
         absorbed here, tagged with the shard index, in shard order —
         the merge is deterministic even though worker timing is not.
+        This is the legacy unsupervised path: a seal failure here is
+        fatal (there is no retry machinery), which is exactly the
+        behavior ``supervise=False`` opts into.
         """
         if self._pool is None:
             self._start_pool()
@@ -333,8 +451,45 @@ class ShardedRunner:
             obs.absorb_spans(span.with_attrs(shard=index)
                              for span in result.spans)
             obs.metrics().absorb(result.metrics)
-            payloads.append(result.payload)
+            payloads.append(result.open_payload())
         return payloads
+
+    def _ensure_supervisor(self) -> ShardSupervisor:
+        """The run's fault-tolerant dispatcher, created on first fan-out."""
+        if self._supervisor is None:
+            context = workers.WorkerContext(
+                connlog=self._connlog, archive=self._archive,
+                ip2as=self._ip2as, kroot=self._kroot, uptime=self._uptime,
+                min_connected=self._min_connected,
+                fault_plan=self.config.fault_plan)
+            self._supervisor = ShardSupervisor(
+                context, jobs=self.config.jobs,
+                start_method=self.start_method,
+                policy=self.config.policy(), cache=self.cache,
+                fingerprint=self.fingerprint, version=self._version,
+                params=self._params, resume=self.config.resume)
+        return self._supervisor
+
+    def _stage_payloads(self, stage: str, shards: list[list],
+                        probe_of=lambda item: item) -> list:
+        """Shard payloads for one fan-out stage, in shard order.
+
+        Supervised runs go through :class:`ShardSupervisor` (recovery,
+        checkpoints, quarantine — abandoned shards are dropped from the
+        merge and accounted in the report); unsupervised runs keep the
+        legacy ``pool.map`` fast path.
+        """
+        if self.config.supervise:
+            outcome = self._ensure_supervisor().run_stage(
+                stage, stage, shards, probe_of)
+            self.report.resilience.append(outcome.resilience)
+            return [payload for payload in outcome.payloads
+                    if payload is not None]
+        task = {"filter": workers.shard_filter,
+                "spans": workers.shard_spans,
+                "reboots": workers.shard_reboots,
+                "gaps": workers.shard_gaps}[stage]
+        return self._map_shards(task, shards)
 
     def _shards_of(self, probe_ids: list) -> list[list]:
         return partition(probe_ids, shard_count(
@@ -352,14 +507,14 @@ class ShardedRunner:
         if spec.name == "filter":
             shards = self._shards_of(self._connlog.probe_ids())
             verdicts = ordered_merge(
-                *self._map_shards(workers.shard_filter, shards))
+                *self._stage_payloads("filter", shards))
             return {"filter_report": report_from_verdicts(verdicts)}
 
         if spec.name == "spans":
             filter_report = artifacts["filter_report"]
             shards = self._shards_of(filter_report.analyzable_geo())
             merged = ordered_merge(
-                *self._map_shards(workers.shard_spans, shards))
+                *self._stage_payloads("spans", shards))
             spans_by_probe: dict = {}
             durations_by_probe: dict = {}
             for probe_id, (spans, durations) in merged.items():
@@ -372,7 +527,7 @@ class ShardedRunner:
         if spec.name == "reboots":
             shards = self._shards_of(self._uptime.probe_ids())
             raw = ordered_merge(
-                *self._map_shards(workers.shard_reboots, shards))
+                *self._stage_payloads("reboots", shards))
             day_counts, firmware_days, filtered = aggregate_reboots(raw)
             return {"reboot_day_counts": day_counts,
                     "firmware_days": firmware_days,
@@ -386,7 +541,8 @@ class ShardedRunner:
             items = [(pid, filtered.get(pid, [])) for pid in eligible]
             shards = self._shards_of(items)
             gap_events = ordered_merge(
-                *self._map_shards(workers.shard_gaps, shards))
+                *self._stage_payloads("gaps", shards,
+                                      probe_of=lambda item: item[0]))
             return {"gap_events_by_probe": gap_events}
 
         raise ValueError("stage %r is not fan-out capable" % (spec.name,))

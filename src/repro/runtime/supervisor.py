@@ -1,0 +1,631 @@
+"""Supervised fault-tolerant shard execution.
+
+:class:`ShardSupervisor` sits between :class:`~repro.runtime.executor.
+ShardedRunner` and the worker pool and makes one guarantee: a worker
+process dying, hanging, or returning a corrupted result envelope does not
+abort the run, and when recovery succeeds the merged stage outputs are
+*bit-identical* to the serial pipeline's.  It does this with four
+mechanisms:
+
+* **crash recovery** — a dead worker breaks the whole
+  :class:`~concurrent.futures.ProcessPoolExecutor`
+  (``BrokenProcessPool``); the supervisor respawns a fresh pool and
+  re-dispatches every unfinished shard.  Shards that were *running* when
+  the pool broke are charged a failed attempt; shards that were merely
+  queued are reassigned without penalty.
+* **hang detection** — each dispatched shard carries a deadline
+  (:data:`repro.util.timeutil.SHARD_DEADLINE_S` by default).  A shard
+  still pending past its deadline is declared hung: the supervisor
+  ``SIGKILL``\\ s every worker registered in the heartbeat spool (the
+  hung one included — workers register on their first task), tears the
+  pool down, and re-dispatches.
+* **envelope verification** — every :class:`~repro.runtime.workers.
+  ShardResult` is sealed worker-side with the SHA-256 of its payload
+  pickle; a seal mismatch on the parent side is a failed attempt, never
+  a poisoned merge.
+* **bounded retry with deterministic backoff** — attempt ``n`` waits
+  ``backoff_base_s * 2**(n-1)`` (a pure function of the attempt number,
+  so reruns behave identically); a shard whose failed attempts exceed
+  ``max_retries`` is *abandoned* and its probes quarantined with exact
+  accounting (``analyzed + quarantined == total``), which degrades the
+  run instead of killing it.
+
+Completed envelopes are also **checkpointed** through the
+content-addressed artifact cache (key: fingerprint, ``shard:<stage>``,
+code version, params + partition digest), so ``repro-run --resume`` after
+a mid-run kill re-dispatches only the shards that never completed; the
+:class:`CheckpointManifest` pins the partition the checkpoints belong to.
+
+Determinism note: payloads are collected into a per-index map and merged
+in shard-index order after the stage drains, so neither completion order
+nor the retry schedule can perturb the ordered merge (pinned by a
+hypothesis property test).  Worker spans/metrics are absorbed in the same
+index order, keeping even the merged trace deterministic.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import signal
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Callable, Iterable, Mapping
+
+from repro import obs
+from repro.errors import EnvelopeCorruptError, SupervisionError
+from repro.runtime import workers
+from repro.runtime.cache import ArtifactCache
+from repro.util import fingerprint as fp
+from repro.util import timeutil
+
+#: Failure causes recorded per failed shard attempt.
+CAUSE_CRASH = "crash"
+CAUSE_HANG = "hang"
+CAUSE_CORRUPT = "corrupt"
+
+#: Ceiling on one backoff sleep, whatever the attempt number says.
+_BACKOFF_CAP_S = timeutil.MINUTE
+
+#: How long the wait loop sleeps when no deadline is nearer.
+_POLL_S = 0.05
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Retry/deadline knobs, all defaulting to the timeutil constants."""
+
+    max_retries: int = timeutil.MAX_SHARD_RETRIES
+    shard_deadline_s: float = timeutil.SHARD_DEADLINE_S
+    backoff_base_s: float = timeutil.BACKOFF_BASE_S
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0, got %r"
+                             % (self.max_retries,))
+        if self.shard_deadline_s <= 0:
+            raise ValueError("shard_deadline_s must be positive, got %r"
+                             % (self.shard_deadline_s,))
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0, got %r"
+                             % (self.backoff_base_s,))
+
+    def backoff_s(self, attempt: int) -> float:
+        """Deterministic exponential backoff before attempt ``attempt``."""
+        if attempt <= 0 or self.backoff_base_s == 0:
+            return 0.0
+        return min(self.backoff_base_s * 2 ** (attempt - 1), _BACKOFF_CAP_S)
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One failed shard attempt, as observed by the supervisor."""
+
+    stage: str
+    shard_index: int
+    attempt: int
+    cause: str  # crash | hang | corrupt
+    detail: str = ""
+
+
+@dataclass
+class StageResilience:
+    """Supervision account of one stage's shard fan-out.
+
+    The quarantine invariant holds by construction and is re-asserted by
+    the fault-matrix tests: ``analyzed + quarantined == total`` where the
+    totals count the stage's work items (probes).
+    """
+
+    stage: str
+    shards: int
+    total_items: int
+    analyzed_items: int
+    quarantined_items: int
+    retries: int = 0
+    reassignments: int = 0
+    abandoned: tuple[int, ...] = ()
+    quarantined_probes: tuple[int, ...] = ()
+    failures: tuple[ShardFailure, ...] = ()
+    checkpoints_loaded: int = 0
+    checkpoints_stored: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.abandoned)
+
+
+@dataclass
+class StageOutcome:
+    """What :meth:`ShardSupervisor.run_stage` hands back to the executor."""
+
+    #: Payloads in shard-index order; abandoned shards are ``None``.
+    payloads: list
+    resilience: StageResilience
+
+
+@dataclass(frozen=True)
+class CheckpointManifest:
+    """Identity of one stage's shard checkpoints in the artifact cache.
+
+    Persisted through the cache itself and re-validated on ``--resume``;
+    it crosses a persistence boundary, so its layout is a wire contract
+    (RPR010).
+    """
+
+    __wire_contract__ = "checkpoint-manifest"
+
+    stage: str
+    shard_count: int
+    partition_digest: str
+    keys: tuple[str, ...]
+
+
+def partition_digest(stage: str, shards: list[list]) -> str:
+    """Fingerprint of a stage's shard partition (count + sizes).
+
+    Shard *contents* are already pinned by the cache key's bundle
+    fingerprint / code version / params; what the checkpoint key must
+    additionally capture is how the work was cut, so a rerun with a
+    different ``--shards`` cannot resume half a foreign partition.
+    """
+    return fp.combine("partition", stage, str(len(shards)),
+                      *[str(len(shard)) for shard in shards])
+
+
+def resolve_envelopes(envelopes: Iterable[workers.ShardResult]
+                      ) -> dict[int, object]:
+    """First verified payload per shard index, whatever the arrival order.
+
+    The pure core of the supervisor's merge discipline: envelopes may
+    arrive in any completion order and include corrupt duplicates from
+    retried attempts; the first envelope per index that passes its seal
+    wins, corrupt ones are skipped.  Exercised directly by a hypothesis
+    property test (retry order never perturbs the merge).
+    """
+    resolved: dict[int, object] = {}
+    for envelope in envelopes:
+        if envelope.shard_index in resolved:
+            continue
+        try:
+            resolved[envelope.shard_index] = envelope.open_payload()
+        except EnvelopeCorruptError:
+            continue
+    return resolved
+
+
+def payloads_in_order(resolved: Mapping[int, object],
+                      shard_count: int) -> list:
+    """Payloads in shard-index order, ``None`` where a shard is missing."""
+    return [resolved.get(index) for index in range(shard_count)]
+
+
+@dataclass
+class _Pending:
+    """Book-keeping for one dispatched shard."""
+
+    shard_index: int
+    attempt: int  # failed attempts so far == attempt number being run
+    deadline: float  # monotonic instant after which the shard is hung
+    seq: int  # dispatch order; earliest-dispatched == first picked up
+
+
+class ShardSupervisor:
+    """Dispatches shard tasks with crash/hang/corruption recovery.
+
+    One supervisor serves every fan-out stage of one run; it owns the
+    worker pool (created lazily, respawned after crashes and hang
+    teardowns) and the heartbeat spool directory the workers register in.
+    """
+
+    def __init__(self, context: workers.WorkerContext, jobs: int,
+                 start_method: str,
+                 policy: SupervisionPolicy | None = None,
+                 cache: ArtifactCache | None = None,
+                 fingerprint: str = "", version: str = "",
+                 params: str = "", resume: bool = False) -> None:
+        self.jobs = jobs
+        self.start_method = start_method
+        self.policy = policy or SupervisionPolicy()
+        self.cache = cache
+        self.fingerprint = fingerprint
+        self.version = version
+        self.params = params
+        self.resume = resume
+        #: Injectable for tests: deterministic backoff without real sleeps.
+        self.sleep: Callable[[float], None] = time.sleep
+        self._context = context
+        self._pool: ProcessPoolExecutor | None = None
+        self._spool: Path | None = None
+        self._generation = 0
+        self._respawns = 0
+
+    # -- pool lifecycle -----------------------------------------------------
+
+    def _heartbeat_dir(self) -> Path:
+        if self._spool is None:
+            self._spool = Path(tempfile.mkdtemp(prefix="repro-supervise-"))
+        directory = self._spool / ("gen-%d" % self._generation)
+        directory.mkdir(parents=True, exist_ok=True)
+        return directory
+
+    def _start_pool(self) -> None:
+        """Create a worker pool generation under the resolved start method.
+
+        Mirrors the executor's unsupervised pool setup (fork installs the
+        context parent-side for copy-on-write inheritance; spawn ships it
+        once per worker via the initializer), plus the heartbeat spool.
+        """
+        self._generation += 1
+        context = replace(self._context,
+                          heartbeat_dir=str(self._heartbeat_dir()))
+        mp_context = multiprocessing.get_context(self.start_method)
+        if self.start_method == "fork":
+            workers.init_worker(context)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=mp_context)
+        else:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=mp_context,
+                initializer=workers.init_worker, initargs=(context,))
+
+    def _registered_pids(self) -> list[int]:
+        """Worker pids that registered a heartbeat this pool generation."""
+        if self._spool is None:
+            return []
+        directory = self._spool / ("gen-%d" % self._generation)
+        pids = []
+        for path in sorted(directory.glob("hb-*.json")):
+            try:
+                pids.append(workers.Heartbeat.from_json(
+                    path.read_text()).pid)
+            except (OSError, ValueError, KeyError):
+                continue
+        return pids
+
+    def _kill_pool(self) -> None:
+        """Tear down a pool that holds a hung worker.
+
+        ``shutdown(cancel_futures=True)`` alone cannot stop a task that
+        is already running, so the workers are SIGKILLed first.  Beyond
+        the pool's own process table (which ``_teardown_pool`` handles),
+        this also sweeps the per-generation heartbeat spool, catching a
+        worker the pool has already dropped from its table but that is
+        still running user code.  Only processes this supervisor
+        spawned are ever signalled.
+        """
+        for pid in self._registered_pids():
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                continue
+        self._teardown_pool()
+
+    def _teardown_pool(self) -> None:
+        if self._pool is None:
+            return
+        # The pool is being discarded on every teardown path (respawn
+        # after a break, hang recovery, end of run), so its workers are
+        # never worth a graceful join: SIGKILL them all first.  This is
+        # load-bearing for the crash path — ``terminate_broken`` only
+        # SIGTERMs workers it knows about, and a spawn worker still in
+        # interpreter bootstrap can miss that entirely (observed blocked
+        # forever on its startup pipe), which would wedge the
+        # ``wait=True`` join below.
+        for pid in list(self._pool._processes or {}):
+            try:
+                os.kill(pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                continue
+        try:
+            # wait=True is load-bearing too: the dying pool's management
+            # thread closes its queue/pipe fds during shutdown, and
+            # spawning the replacement pool while that close is in
+            # flight races on reused fd numbers ("bad value(s) in
+            # fds_to_keep" from fork_exec under spawn).  With every
+            # worker SIGKILLed above, the join is prompt.
+            self._pool.shutdown(wait=True, cancel_futures=True)
+        except (OSError, RuntimeError):
+            # Shutting down an already-broken pool is best-effort;
+            # the replacement pool does not depend on it succeeding.
+            pass
+        self._pool = None
+
+    def _respawn(self) -> None:
+        self._respawns += 1
+        self._teardown_pool()
+        self._start_pool()
+        obs.count("runtime.pool.respawns")
+
+    def shutdown(self) -> None:
+        """Release the pool, the worker context, and the heartbeat spool."""
+        self._teardown_pool()
+        workers.reset_worker()
+        if self._spool is not None:
+            shutil.rmtree(self._spool, ignore_errors=True)
+            self._spool = None
+
+    # -- checkpoints --------------------------------------------------------
+
+    def _checkpointing(self) -> bool:
+        return self.cache is not None and bool(self.fingerprint)
+
+    def _shard_key(self, stage: str, index: int, partition: str) -> str:
+        return ArtifactCache.key(
+            self.fingerprint, "shard:%s:%d" % (stage, index), self.version,
+            fp.combine(self.params, partition))
+
+    def _manifest_key(self, stage: str, partition: str) -> str:
+        return ArtifactCache.key(
+            self.fingerprint, "manifest:%s" % stage, self.version,
+            fp.combine(self.params, partition))
+
+    def _load_checkpoints(self, stage: str, partition: str,
+                          shard_count: int) -> dict[int, object]:
+        """Resume: verified payloads for every checkpointed shard.
+
+        Loads go through the normal cache API, so the resumed shards are
+        visible as cache *hits* (the counters the resume test gates on).
+        A manifest from a different partition means the checkpoints
+        belong to a differently-cut run; the content-addressed keys
+        already embed the partition digest, so such entries simply never
+        match — the manifest check exists to surface the situation.
+        """
+        if not (self.resume and self._checkpointing()):
+            return {}
+        hit, manifest = self.cache.load(
+            self._manifest_key(stage, partition),
+            stage="manifest:%s" % stage)
+        if hit and isinstance(manifest, CheckpointManifest) and (
+                manifest.partition_digest != partition
+                or manifest.shard_count != shard_count):
+            raise SupervisionError(
+                "checkpoint manifest for stage %r does not match the "
+                "current shard partition; clear the cache or rerun "
+                "without --resume" % (stage,))
+        resolved: dict[int, object] = {}
+        for index in range(shard_count):
+            hit, envelope = self.cache.load(
+                self._shard_key(stage, index, partition),
+                stage="shard:%s" % stage)
+            if not hit or not isinstance(envelope, workers.ShardResult):
+                continue
+            try:
+                resolved[index] = envelope.open_payload()
+            except EnvelopeCorruptError:
+                continue
+        return resolved
+
+    def _store_manifest(self, stage: str, partition: str,
+                        shard_count: int) -> None:
+        if not self._checkpointing():
+            return
+        keys = tuple(self._shard_key(stage, index, partition)
+                     for index in range(shard_count))
+        self.cache.store(
+            self._manifest_key(stage, partition),
+            CheckpointManifest(stage=stage, shard_count=shard_count,
+                               partition_digest=partition, keys=keys))
+
+    def _store_checkpoint(self, stage: str, partition: str,
+                          envelope: workers.ShardResult) -> None:
+        if not self._checkpointing():
+            return
+        self.cache.store(
+            self._shard_key(stage, envelope.shard_index, partition),
+            envelope)
+
+    # -- the supervision loop -----------------------------------------------
+
+    def run_stage(self, stage: str, task_name: str,
+                  shards: list[list],
+                  probe_of: Callable[[object], int] = lambda item: item
+                  ) -> StageOutcome:
+        """Run one fan-out stage under supervision.
+
+        ``probe_of`` extracts the probe id from one shard item (identity
+        for probe-id shards, first element for the ``gaps`` stage's
+        ``(probe_id, reboots)`` tuples) — it is only used to account
+        quarantined probes for abandoned shards.
+        """
+        partition = partition_digest(stage, shards)
+        row = StageResilience(
+            stage=stage, shards=len(shards),
+            total_items=sum(len(shard) for shard in shards),
+            analyzed_items=0, quarantined_items=0)
+
+        with obs.span("supervise:%s" % stage, category="supervisor",
+                      stage=stage, shards=len(shards)) as handle:
+            resolved = self._load_checkpoints(stage, partition, len(shards))
+            row.checkpoints_loaded = len(resolved)
+            if len(resolved) < len(shards):
+                self._store_manifest(stage, partition, len(shards))
+                envelopes = self._supervise(stage, task_name, shards,
+                                            resolved, partition, row)
+                for index in sorted(envelopes):
+                    envelope = envelopes[index]
+                    obs.absorb_spans(span.with_attrs(shard=index)
+                                     for span in envelope.spans)
+                    obs.metrics().absorb(envelope.metrics)
+            abandoned = tuple(index for index in range(len(shards))
+                              if index not in resolved)
+            row.abandoned = abandoned
+            row.quarantined_probes = tuple(
+                probe_of(item) for index in abandoned
+                for item in shards[index])
+            row.quarantined_items = len(row.quarantined_probes)
+            row.analyzed_items = row.total_items - row.quarantined_items
+            handle.set(retries=row.retries,
+                       reassignments=row.reassignments,
+                       abandoned=len(abandoned),
+                       checkpoints_loaded=row.checkpoints_loaded,
+                       checkpoints_stored=row.checkpoints_stored)
+            if row.checkpoints_loaded:
+                obs.count("runtime.checkpoints.loaded",
+                          row.checkpoints_loaded)
+            if row.checkpoints_stored:
+                obs.count("runtime.checkpoints.stored",
+                          row.checkpoints_stored)
+
+        return StageOutcome(
+            payloads=payloads_in_order(resolved, len(shards)),
+            resilience=row)
+
+    def _supervise(self, stage: str, task_name: str, shards: list[list],
+                   resolved: dict[int, object], partition: str,
+                   row: StageResilience
+                   ) -> dict[int, workers.ShardResult]:
+        """Dispatch-and-recover until every shard resolves or abandons.
+
+        Returns the verified envelopes (for deterministic span/metric
+        absorption in index order); payloads land in ``resolved``.
+        """
+        failures: list[ShardFailure] = []
+        envelopes: dict[int, workers.ShardResult] = {}
+        abandoned: set[int] = set()
+        attempts = {index: 0 for index in range(len(shards))
+                    if index not in resolved}
+        pending: dict[Future, _Pending] = {}
+        dispatched = 0
+
+        def dispatch(index: int) -> None:
+            nonlocal dispatched
+            delay = self.policy.backoff_s(attempts[index])
+            if delay:
+                self.sleep(delay)
+            if self._pool is None:
+                self._start_pool()
+            try:
+                future = self._pool.submit(
+                    workers.run_shard, task_name, shards[index], index,
+                    attempts[index])
+            except BrokenProcessPool as error:
+                # A sibling crashed while we were still submitting: park
+                # the failure on a pre-failed future so the wait loop's
+                # broken-pool branch handles it like every other one.
+                future = Future()
+                future.set_exception(error)
+            except (OSError, ValueError):
+                # Spawning a worker tripped over fds the previous pool
+                # generation was still releasing.  The pool is unusable
+                # but no worker ran anything, so treat it exactly like a
+                # broken pool: the recovery branch respawns and charges
+                # at most ``jobs`` shards.
+                future = Future()
+                future.set_exception(BrokenProcessPool(
+                    "worker spawn failed; pool replaced"))
+            pending[future] = _Pending(
+                shard_index=index, attempt=attempts[index],
+                deadline=time.monotonic() + self.policy.shard_deadline_s,
+                seq=dispatched)
+            dispatched += 1
+
+        def fail(entry: _Pending, cause: str, detail: str = "") -> None:
+            failures.append(ShardFailure(
+                stage=stage, shard_index=entry.shard_index,
+                attempt=entry.attempt, cause=cause, detail=detail))
+            obs.count("runtime.shard.failures.%s" % cause)
+            attempts[entry.shard_index] += 1
+            if attempts[entry.shard_index] > self.policy.max_retries:
+                abandoned.add(entry.shard_index)
+                obs.count("runtime.quarantined_shards")
+            else:
+                row.retries += 1
+                obs.count("runtime.retries")
+
+        for index in sorted(attempts):
+            dispatch(index)
+
+        while pending:
+            now = time.monotonic()
+            timeout = max(min((entry.deadline for entry in pending.values()),
+                              default=now) - now, _POLL_S)
+            done, _ = wait(set(pending), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+
+            broken: list[_Pending] = []
+            for future in done:
+                entry = pending.pop(future)
+                try:
+                    envelope = future.result()
+                    resolved[entry.shard_index] = envelope.open_payload()
+                except EnvelopeCorruptError as error:
+                    fail(entry, CAUSE_CORRUPT, str(error))
+                except BrokenProcessPool:
+                    broken.append(entry)
+                # The whole point of supervision is that NO task failure
+                # — whatever type the kernel raised — may take the run
+                # down; it becomes a charged attempt instead.
+                except Exception as error:  # repro: noqa[RPR004]
+                    fail(entry, CAUSE_CRASH,
+                         "%s: %s" % (type(error).__name__, error))
+                else:
+                    envelopes[entry.shard_index] = envelope
+                    self._store_checkpoint(stage, partition, envelope)
+                    row.checkpoints_stored += 1
+
+            if broken:
+                # A dead worker breaks the whole pool: every in-flight
+                # future resolves to BrokenProcessPool at once, so the
+                # exception does not say which shard was actually running
+                # on the dead process.  At most ``jobs`` tasks run at a
+                # time and the pool hands tasks out in submission order,
+                # so charge a failed attempt to the ``jobs``
+                # earliest-dispatched survivors (culprit necessarily
+                # among them) and reassign the rest without penalty.
+                survivors = sorted(broken + list(pending.values()),
+                                   key=lambda entry: entry.seq)
+                pending.clear()
+                culprits = survivors[:self.jobs]
+                spared = survivors[self.jobs:]
+                for entry in culprits:
+                    fail(entry, CAUSE_CRASH, "worker pool broke")
+                self._respawn()
+                row.reassignments += len(spared)
+                obs.count("runtime.reassignments", len(spared))
+                for entry in spared:
+                    dispatch(entry.shard_index)
+                for entry in culprits:
+                    if entry.shard_index not in abandoned:
+                        dispatch(entry.shard_index)
+                continue
+
+            overdue = [entry for entry in pending.values()
+                       if time.monotonic() >= entry.deadline]
+            if overdue:
+                overdue_shards = {entry.shard_index for entry in overdue}
+                for entry in overdue:
+                    fail(entry, CAUSE_HANG,
+                         "no result within %.1fs"
+                         % self.policy.shard_deadline_s)
+                survivors = [entry for entry in pending.values()
+                             if entry.shard_index not in overdue_shards]
+                pending.clear()
+                self._kill_pool()
+                self._respawn()
+                row.reassignments += len(survivors)
+                obs.count("runtime.reassignments", len(survivors))
+                for entry in survivors:
+                    dispatch(entry.shard_index)
+                for entry in overdue:
+                    if entry.shard_index not in abandoned:
+                        dispatch(entry.shard_index)
+                continue
+
+            # Re-dispatch shards that failed softly (corrupt envelopes)
+            # and are neither pending nor resolved nor abandoned.
+            for index in sorted(attempts):
+                if index in resolved or index in abandoned:
+                    continue
+                if any(entry.shard_index == index
+                       for entry in pending.values()):
+                    continue
+                dispatch(index)
+
+        row.failures = tuple(failures)
+        return envelopes

@@ -9,17 +9,36 @@ same process, and recompute it deterministically when they did not —
 either way the result is the pure function of the datasets that the
 serial path computes.
 
+Results cross the process boundary inside a *sealed* :class:`ShardResult`
+envelope: the payload is pickled worker-side and stamped with its content
+fingerprint, so the supervisor (and the legacy ``pool.map`` path) can
+detect a corrupted envelope before a bad payload reaches the merge, and
+retry the shard instead of poisoning the run.  Workers also register a
+heartbeat file on their first task — the supervisor uses the registry
+both as a liveness signal and as the pid list to ``SIGKILL`` when it must
+tear down a hung pool.
+
 Everything here must stay importable at module top level (the pool
 pickles task functions by qualified name) and free of global randomness;
 any future stochastic stage must draw from
 :func:`repro.util.rng.substream` keyed on the scenario seed and probe id,
 never from process-local state, or ``jobs=N`` output would diverge from
-``jobs=1``.
+``jobs=1``.  Process-fault injection (``repro.faults.process``) arrives
+as an inert plan object inside :class:`WorkerContext` — this module only
+asks it *whether* to fail and interprets the answer, so the faults layer
+never needs to import the runtime it sabotages.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import pickle
+import signal
+import threading
+import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro import obs
 from repro.atlas.archive import ProbeArchive
@@ -30,12 +49,30 @@ from repro.core.association import GapEvent
 from repro.core.filtering import ProbeFilter, ProbeVerdict
 from repro.core.pipeline import probe_gap_events, probe_spans
 from repro.core.reboots import Reboot, detect_reboots
+from repro.errors import EnvelopeCorruptError
 from repro.net.pfx2as import IpToAsDataset
+from repro.util import fingerprint as fp
+from repro.util import timeutil
+
+#: Fault-kind strings this module knows how to act on, mirroring the
+#: ``repro.faults.injectors.FaultKind`` process values (kept as strings
+#: so the plan object stays duck-typed and layer-inert).
+FAULT_WORKER_CRASH = "worker-crash"
+FAULT_WORKER_HANG = "worker-hang"
+FAULT_WORKER_SLOW = "worker-slow"
+FAULT_ENVELOPE_CORRUPT = "envelope-corrupt"
 
 
 @dataclass
 class WorkerContext:
-    """Everything a worker needs, shipped once per process."""
+    """Everything a worker needs, shipped once per process.
+
+    ``heartbeat_dir`` and ``fault_plan`` are supervision extras: the
+    directory the worker registers its liveness file in, and an inert
+    process-fault plan (``fault_at(stage, shard_index, attempt)`` duck
+    type) consulted once per shard task.  Both default off so the legacy
+    unsupervised pool path ships the same context it always did.
+    """
 
     __wire_contract__ = "worker-context"
 
@@ -45,37 +82,84 @@ class WorkerContext:
     kroot: KRootDataset
     uptime: UptimeDataset
     min_connected: float
+    heartbeat_dir: str | None = None
+    fault_plan: object | None = None
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """One worker's liveness record, serialized into its heartbeat file.
+
+    The supervisor reads these files for two things: mtime freshness
+    (liveness) and the pid to ``SIGKILL`` when tearing down a hung pool
+    — so the payload crosses a process/persistence boundary and is a
+    wire contract (RPR010).
+    """
+
+    __wire_contract__ = "worker-heartbeat"
+
+    pid: int
+    seq: int
+
+    def to_json(self) -> str:
+        return json.dumps({"pid": self.pid, "seq": self.seq})
+
+    @classmethod
+    def from_json(cls, text: str) -> "Heartbeat":
+        payload = json.loads(text)
+        return cls(pid=int(payload["pid"]), seq=int(payload["seq"]))
 
 
 @dataclass
 class ShardResult:
-    """One shard task's payload plus the observability it generated.
+    """One shard task's sealed payload plus the observability it generated.
 
     Worker processes cannot write to the driver's span collector or
     metrics registry, so each task drains its process-local stores into
     this envelope; the executor absorbs them in shard order, which keeps
     the merged trace deterministic regardless of worker scheduling.
-    The payload itself stays exactly what the pure kernels computed —
-    instrumentation wraps the kernels, it never reaches inside them.
+
+    The payload is shipped as pickle bytes stamped with their SHA-256
+    ``seal``: :meth:`open_payload` re-hashes on the parent side and
+    raises :class:`~repro.errors.EnvelopeCorruptError` on mismatch, so a
+    corrupted envelope is detected *before* its payload reaches the
+    ordered merge.  ``shard_index``/``attempt`` identify the task for
+    supervision bookkeeping.  The payload itself stays exactly what the
+    pure kernels computed — instrumentation and sealing wrap the
+    kernels, they never reach inside them.
     """
 
     __wire_contract__ = "shard-result"
 
-    payload: object
+    shard_index: int
+    attempt: int
+    payload_pickle: bytes
+    seal: str
     spans: list = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
 
+    @classmethod
+    def sealed(cls, payload: object, shard_index: int = 0,
+               attempt: int = 0) -> "ShardResult":
+        """Seal a payload with this task's spans and metrics."""
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        return cls(shard_index=shard_index, attempt=attempt,
+                   payload_pickle=blob, seal=fp.hash_bytes(blob),
+                   spans=obs.drain_spans(), metrics=obs.metrics().drain())
 
-def _shipped(payload: object) -> ShardResult:
-    """Envelope a shard payload with this task's spans and metrics."""
-    obs.count("runtime.worker.tasks")
-    return ShardResult(payload=payload, spans=obs.drain_spans(),
-                       metrics=obs.metrics().drain())
+    def open_payload(self) -> object:
+        """Verify the seal and unpickle the payload."""
+        if fp.hash_bytes(self.payload_pickle) != self.seal:
+            raise EnvelopeCorruptError(
+                "shard %d attempt %d: result envelope failed its "
+                "integrity seal" % (self.shard_index, self.attempt))
+        return pickle.loads(self.payload_pickle)
 
 
 _context: WorkerContext | None = None
 _filter: ProbeFilter | None = None
 _verdicts: dict[int, ProbeVerdict] = {}
+_heartbeat_pid: int | None = None
 
 
 def init_worker(context: WorkerContext) -> None:
@@ -85,19 +169,27 @@ def init_worker(context: WorkerContext) -> None:
     the *parent* before creating the pool — children inherit the
     installed context through fork, skipping a per-worker pickle of the
     full datasets.  Under ``spawn`` it runs as the pool initializer.
+    (Heartbeat registration is deliberately *not* done here: a thread
+    started parent-side would not survive the fork, so workers register
+    lazily on their first task instead.)
     """
-    global _context, _filter
+    global _context, _filter, _heartbeat_pid
     _context = context
     _filter = ProbeFilter(context.connlog, context.archive, context.ip2as,
                           min_connected=context.min_connected)
     _verdicts.clear()
+    # Heartbeat registration state is initializer-owned like the rest of
+    # the per-process globals; actual registration happens lazily on the
+    # first task (a thread started here would not survive fork).
+    _heartbeat_pid = None
 
 
 def reset_worker() -> None:
     """Drop the installed context (parent-side cleanup after a run)."""
-    global _context, _filter
+    global _context, _filter, _heartbeat_pid
     _context = None
     _filter = None
+    _heartbeat_pid = None
     _verdicts.clear()
 
 
@@ -119,33 +211,153 @@ def _verdict(probe_id: int) -> ProbeVerdict:
     return verdict
 
 
-# -- shard tasks (one call per shard) ----------------------------------------
+# -- heartbeats --------------------------------------------------------------
+
+def heartbeat_path(directory: str | Path, pid: int) -> Path:
+    """The liveness file one worker pid writes (and the parent reads)."""
+    return Path(directory) / ("hb-%d.json" % pid)
+
+
+def _beat_forever(directory: str, pid: int) -> None:
+    """Daemon-thread body: refresh this worker's heartbeat file."""
+    seq = 0
+    while True:
+        seq += 1
+        try:
+            heartbeat_path(directory, pid).write_text(
+                Heartbeat(pid=pid, seq=seq).to_json())
+        except OSError:
+            # Spool removed mid-teardown: nothing left to signal.
+            return
+        time.sleep(timeutil.HEARTBEAT_INTERVAL_S)
+
+
+def _ensure_heartbeat(context: WorkerContext) -> None:
+    """Register this process in the heartbeat spool, once per process.
+
+    Runs worker-side on the first shard task (never in the parent, which
+    dispatches but does not serve tasks) so it works identically under
+    fork — where threads do not survive into the child — and spawn.
+    """
+    global _heartbeat_pid
+    if context.heartbeat_dir is None or _heartbeat_pid == os.getpid():
+        return
+    pid = os.getpid()
+    heartbeat_path(context.heartbeat_dir, pid).write_text(
+        Heartbeat(pid=pid, seq=0).to_json())
+    threading.Thread(target=_beat_forever,
+                     args=(context.heartbeat_dir, pid),
+                     daemon=True).start()
+    _heartbeat_pid = pid
+
+
+# -- fault injection (supervised runs only) ----------------------------------
+
+def _inject_preflight(stage: str, shard_index: int, attempt: int) -> None:
+    """Act on a crash/hang/slow fault the installed plan placed here.
+
+    Crash and hang are destructive-by-construction: ``SIGKILL`` cannot be
+    caught and the hang outsleeps any sane deadline, so recovery can only
+    come from the supervisor — exactly what the fault matrix must prove.
+    """
+    plan = _context.fault_plan if _context is not None else None
+    if plan is None:
+        return
+    kind = plan.fault_at(stage, shard_index, attempt)
+    if kind == FAULT_WORKER_CRASH:
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind == FAULT_WORKER_HANG:
+        time.sleep(timeutil.HOUR)
+    elif kind == FAULT_WORKER_SLOW:
+        time.sleep(float(getattr(plan, "slow_delay_s", 0.05)))
+
+
+def _inject_envelope(envelope: ShardResult, stage: str, shard_index: int,
+                     attempt: int) -> ShardResult:
+    """Flip a payload byte if the plan corrupts this envelope.
+
+    The seal is computed *before* the flip, so the parent-side
+    :meth:`ShardResult.open_payload` check is guaranteed to fire — the
+    corruption is detectable by construction, never silent.
+    """
+    plan = _context.fault_plan if _context is not None else None
+    if plan is None or not envelope.payload_pickle:
+        return envelope
+    if plan.fault_at(stage, shard_index, attempt) != FAULT_ENVELOPE_CORRUPT:
+        return envelope
+    blob = envelope.payload_pickle
+    envelope.payload_pickle = blob[:-1] + bytes([blob[-1] ^ 0xFF])
+    return envelope
+
+
+# -- shard kernels (payload = exactly what the serial path computes) ---------
+
+def _filter_payload(probe_ids: list[int]) -> dict:
+    return {probe_id: _verdict(probe_id) for probe_id in probe_ids}
+
+
+def _spans_payload(probe_ids: list[int]) -> dict:
+    return {probe_id: probe_spans(_verdict(probe_id).entries)
+            for probe_id in probe_ids}
+
+
+def _reboots_payload(probe_ids: list[int]) -> dict:
+    context = _require_context()
+    return {probe_id: detect_reboots(context.uptime.records(probe_id))
+            for probe_id in probe_ids}
+
+
+def _gaps_payload(items: list[tuple[int, list[Reboot]]]) -> dict:
+    context = _require_context()
+    return {
+        probe_id: probe_gap_events(_verdict(probe_id).entries,
+                                   context.kroot.series(probe_id),
+                                   reboots)
+        for probe_id, reboots in items
+    }
+
+
+#: Task registry: the supervisor dispatches shards by stage name, so the
+#: pickled task payload is ``(name, shard, index, attempt)`` instead of a
+#: per-stage callable.
+SHARD_TASKS = {
+    "filter": _filter_payload,
+    "spans": _spans_payload,
+    "reboots": _reboots_payload,
+    "gaps": _gaps_payload,
+}
+
+
+def run_shard(task_name: str, shard: list, shard_index: int = 0,
+              attempt: int = 0) -> ShardResult:
+    """Serve one shard task: heartbeat, (maybe) fault, compute, seal."""
+    context = _require_context()
+    _ensure_heartbeat(context)
+    _inject_preflight(task_name, shard_index, attempt)
+    kernel = SHARD_TASKS[task_name]
+    with obs.span("shard:%s" % task_name, category="shard",
+                  stage=task_name, items=len(shard), attempt=attempt):
+        payload = kernel(shard)
+    obs.count("runtime.worker.tasks")
+    envelope = ShardResult.sealed(payload, shard_index, attempt)
+    return _inject_envelope(envelope, task_name, shard_index, attempt)
+
+
+# -- legacy per-stage entry points (unsupervised ``pool.map`` path) ----------
 
 def shard_filter(probe_ids: list[int]) -> ShardResult:
     """Stage ``filter``: classify one shard of probes."""
-    with obs.span("shard:filter", category="shard", stage="filter",
-                  items=len(probe_ids)):
-        payload = {probe_id: _verdict(probe_id) for probe_id in probe_ids}
-    return _shipped(payload)
+    return run_shard("filter", probe_ids)
 
 
 def shard_spans(probe_ids: list[int]) -> ShardResult:
     """Stage ``spans``: spans and known durations for one shard."""
-    with obs.span("shard:spans", category="shard", stage="spans",
-                  items=len(probe_ids)):
-        payload = {probe_id: probe_spans(_verdict(probe_id).entries)
-                   for probe_id in probe_ids}
-    return _shipped(payload)
+    return run_shard("spans", probe_ids)
 
 
 def shard_reboots(probe_ids: list[int]) -> ShardResult:
     """Stage ``reboots`` (detection half): raw reboots for one shard."""
-    context = _require_context()
-    with obs.span("shard:reboots", category="shard", stage="reboots",
-                  items=len(probe_ids)):
-        payload = {probe_id: detect_reboots(context.uptime.records(probe_id))
-                   for probe_id in probe_ids}
-    return _shipped(payload)
+    return run_shard("reboots", probe_ids)
 
 
 def shard_gaps(items: list[tuple[int, list[Reboot]]]) -> ShardResult:
@@ -155,13 +367,4 @@ def shard_gaps(items: list[tuple[int, list[Reboot]]]) -> ShardResult:
     globally by the parent after the reboot barrier); entries and k-root
     series come from the worker context.
     """
-    context = _require_context()
-    with obs.span("shard:gaps", category="shard", stage="gaps",
-                  items=len(items)):
-        payload = {
-            probe_id: probe_gap_events(_verdict(probe_id).entries,
-                                       context.kroot.series(probe_id),
-                                       reboots)
-            for probe_id, reboots in items
-        }
-    return _shipped(payload)
+    return run_shard("gaps", items)

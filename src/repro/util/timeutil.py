@@ -21,6 +21,20 @@ HOUR = 3600.0
 DAY = 86400.0
 WEEK = 7 * DAY
 
+#: Wall-clock budget one shard task gets before the supervisor declares
+#: it hung and reassigns it (:mod:`repro.runtime.supervisor`).  Generous:
+#: a paper-scale shard computes in well under a second, so only a truly
+#: wedged worker ever reaches this.
+SHARD_DEADLINE_S = 5 * MINUTE
+#: How often a live worker process refreshes its heartbeat file.
+HEARTBEAT_INTERVAL_S = 5 * SECOND
+#: First retry delay; attempt ``n`` waits ``BACKOFF_BASE_S * 2**(n-1)``.
+BACKOFF_BASE_S = 0.05 * SECOND
+#: Maximum failed attempts per shard before its probes are quarantined.
+#: A count, not a duration — it lives here with the supervisor's other
+#: retry knobs so none of them is a magic number at the call site.
+MAX_SHARD_RETRIES = 3
+
 #: Inclusive start of the study window (2015-01-01 00:00:00 UTC).
 YEAR_2015_START = float(
     calendar.timegm(_dt.datetime(2015, 1, 1, tzinfo=_dt.timezone.utc).timetuple())

@@ -1,0 +1,184 @@
+"""Tests for repro.faults.process (deterministic process-fault plans).
+
+These cover the plan in isolation — placement determinism, kind-draw
+independence, transient vs persistent behavior, and exact reconciliation
+against synthetic supervision rows.  The end-to-end faulted runs live in
+``tests/runtime/test_supervisor.py`` (the plan is inert; the runtime is
+what interprets it).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.faults.injectors import FaultKind
+from repro.faults.process import (
+    PROCESS_FAULT_KINDS,
+    ProcessFaultPlan,
+    ProcessFaultReport,
+    reconcile,
+)
+
+pytestmark = pytest.mark.faults
+
+STAGES = ("filter", "spans", "reboots", "gaps")
+
+
+def test_fault_at_is_deterministic():
+    plan = ProcessFaultPlan(seed=42, worker_crash=0.3, worker_hang=0.3,
+                            envelope_corrupt=0.3, worker_slow=0.3)
+    for stage in STAGES:
+        for index in range(32):
+            first = plan.fault_at(stage, index, 0)
+            assert all(plan.fault_at(stage, index, 0) == first
+                       for _ in range(3))
+
+
+def test_zero_rates_place_nothing():
+    plan = ProcessFaultPlan(seed=7)
+    assert not plan.any_rate()
+    for stage in STAGES:
+        assert plan.placements(stage, 64) == {}
+
+
+def test_rate_one_fires_everywhere_first_kind_wins():
+    plan = ProcessFaultPlan(seed=7, worker_crash=1.0, envelope_corrupt=1.0)
+    placed = plan.placements("filter", 16)
+    assert set(placed) == set(range(16))
+    # worker_crash precedes envelope_corrupt in the fixed draw order, so
+    # at most one kind fires and it is always the earlier one.
+    assert set(placed.values()) == {FaultKind.WORKER_CRASH}
+
+
+def test_transient_plan_stops_after_attempt_zero():
+    plan = ProcessFaultPlan(seed=3, envelope_corrupt=1.0)
+    assert plan.fault_at("filter", 0, 0) == FaultKind.ENVELOPE_CORRUPT.value
+    assert plan.fault_at("filter", 0, 1) is None
+    assert plan.fault_at("filter", 0, 5) is None
+
+
+def test_persistent_plan_fires_on_every_attempt():
+    plan = ProcessFaultPlan(seed=3, envelope_corrupt=1.0, persistent=True)
+    for attempt in range(4):
+        assert (plan.fault_at("filter", 0, attempt)
+                == FaultKind.ENVELOPE_CORRUPT.value)
+
+
+def test_kind_draws_are_independent():
+    """Adding a later kind's rate never moves an earlier kind's
+    placements, and removing an earlier kind exposes — not reshuffles —
+    the later kind's own placements."""
+    corrupt_only = ProcessFaultPlan(seed=11, envelope_corrupt=0.4)
+    with_slow = ProcessFaultPlan(seed=11, envelope_corrupt=0.4,
+                                 worker_slow=1.0)
+    baseline = corrupt_only.placements("spans", 64)
+    combined = with_slow.placements("spans", 64)
+    corrupt_shards = {index for index, kind in combined.items()
+                      if kind is FaultKind.ENVELOPE_CORRUPT}
+    assert corrupt_shards == set(baseline)
+    # Every other shard got the slow fault (rate 1.0), none got lost.
+    assert set(combined) == set(range(64))
+
+    crash_heavy = ProcessFaultPlan(seed=11, worker_crash=1.0,
+                                   envelope_corrupt=0.4)
+    assert set(crash_heavy.placements("spans", 64).values()) == {
+        FaultKind.WORKER_CRASH}
+
+
+def test_placements_vary_by_stage_and_seed():
+    plan = ProcessFaultPlan(seed=1, worker_crash=0.5)
+    other_seed = ProcessFaultPlan(seed=2, worker_crash=0.5)
+    assert plan.placements("filter", 64) != plan.placements("spans", 64)
+    assert plan.placements("filter", 64) != other_seed.placements(
+        "filter", 64)
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"worker_crash": -0.1},
+    {"worker_hang": 1.5},
+    {"envelope_corrupt": 2.0},
+    {"worker_slow": -1.0},
+    {"slow_delay_s": -0.01},
+])
+def test_plan_rejects_bad_values(kwargs):
+    with pytest.raises(ValueError):
+        ProcessFaultPlan(seed=0, **kwargs)
+
+
+def test_plan_is_frozen_and_picklable():
+    import pickle
+
+    plan = ProcessFaultPlan(seed=9, worker_hang=0.2)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        plan.seed = 1  # type: ignore[misc]
+    clone = pickle.loads(pickle.dumps(plan))
+    assert clone == plan
+    assert clone.placements("gaps", 32) == plan.placements("gaps", 32)
+
+
+def test_draw_order_is_pinned():
+    # Reordering PROCESS_FAULT_KINDS would silently move every seeded
+    # placement; the tuple is part of the plan's determinism contract.
+    assert PROCESS_FAULT_KINDS == (
+        FaultKind.WORKER_CRASH, FaultKind.WORKER_HANG,
+        FaultKind.ENVELOPE_CORRUPT, FaultKind.WORKER_SLOW)
+
+
+# -- reconciliation ----------------------------------------------------------
+
+@dataclasses.dataclass
+class _Row:
+    """Duck-typed stand-in for runtime StageResilience (stage, shards,
+    abandoned) — the faults layer never imports the runtime."""
+
+    stage: str
+    shards: int
+    abandoned: tuple = ()
+
+
+def test_reconcile_accounts_every_placement_exactly():
+    plan = ProcessFaultPlan(seed=21, worker_crash=0.5,
+                            envelope_corrupt=0.5)
+    rows = [_Row("filter", 16), _Row("spans", 16)]
+    placed = {stage: plan.placements(stage, 16) for stage in
+              ("filter", "spans")}
+    report = reconcile(plan, rows)
+    assert report.reconciled
+    assert report.total(report.injected) == sum(
+        len(p) for p in placed.values())
+    assert report.total(report.abandoned) == 0
+    assert report.total(report.recovered) == report.total(report.injected)
+
+
+def test_reconcile_splits_recovered_from_abandoned():
+    plan = ProcessFaultPlan(seed=21, worker_crash=1.0)
+    lost = (0, 3)
+    report = reconcile(plan, [_Row("filter", 8, abandoned=lost)])
+    kind = FaultKind.WORKER_CRASH.value
+    assert report.injected[kind] == 8
+    assert report.abandoned[kind] == len(lost)
+    assert report.recovered[kind] == 8 - len(lost)
+    assert report.reconciled
+    rendered = report.render()
+    assert "8 injected" in rendered
+    assert kind in rendered
+    assert report.to_dict()["reconciled"] is True
+
+
+def test_reconcile_ignores_unfaulted_abandons():
+    # A shard can be quarantined by a cause the plan never injected
+    # (e.g. a real crash in production); reconcile must not claim it.
+    plan = ProcessFaultPlan(seed=21)  # places nothing
+    report = reconcile(plan, [_Row("filter", 8, abandoned=(2,))])
+    assert report.injected == {}
+    assert report.abandoned == {}
+    assert report.reconciled
+
+
+def test_report_reconciled_detects_loss():
+    report = ProcessFaultReport(
+        seed=0, injected={"worker-crash": 3},
+        recovered={"worker-crash": 1}, abandoned={"worker-crash": 1})
+    assert not report.reconciled
+    report.recovered["worker-crash"] = 2
+    assert report.reconciled

@@ -21,7 +21,9 @@ def test_run_bundle_cold_then_warm(bundle_dir, tmp_path, capsys):
                  "--cache-dir", cache_dir]) == 0
     cold = capsys.readouterr().out
     assert "sharded" in cold and "digest" in cold
-    assert "7 miss" in cold and "7 stored" in cold
+    # 7 stage artifacts missed; the store count also includes the
+    # supervisor's per-shard checkpoints and manifests, so don't pin it.
+    assert "7 miss" in cold and "stored" in cold
 
     assert main(["--data", str(bundle_dir), "--cache-dir", cache_dir]) == 0
     warm = capsys.readouterr().out
@@ -48,3 +50,56 @@ def test_clear_cache_empties_store(bundle_dir, tmp_path, capsys):
     capsys.readouterr()
     assert main(["--clear-cache", "--cache-dir", cache_dir]) == 0
     assert "removed 7" in capsys.readouterr().out
+
+
+def test_parse_inject_spec_builds_a_plan():
+    from repro.runtime.cli import parse_inject_spec
+
+    plan = parse_inject_spec(
+        "seed=7,worker_crash=0.25,envelope_corrupt=0.5,slow_delay_s=0.01")
+    assert plan.seed == 7
+    assert plan.worker_crash == 0.25
+    assert plan.envelope_corrupt == 0.5
+    assert plan.slow_delay_s == 0.01
+    assert not plan.persistent
+
+    assert parse_inject_spec("seed=1,worker_hang=1,persistent").persistent
+    assert parse_inject_spec("persistent=false,worker_slow=0.5").seed == 0
+
+
+@pytest.mark.parametrize("spec", [
+    "seed=1,bogus_kind=0.5",
+    "seed=1,worker_crash",
+    "worker_crash=2.0",  # plan validation: rate out of [0, 1]
+])
+def test_parse_inject_spec_rejects_bad_specs(spec):
+    from repro.runtime.cli import parse_inject_spec
+
+    with pytest.raises(ValueError):
+        parse_inject_spec(spec)
+
+
+def test_run_with_injected_faults_recovers_and_reconciles(
+        bundle_dir, capsys):
+    assert main(["--data", str(bundle_dir), "--jobs", "2",
+                 "--inject", "seed=3,worker_crash=0.3,envelope_corrupt=0.3",
+                 "--max-retries", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "process faults (seed 3)" in out
+    assert "0 abandoned" in out
+    assert "DEGRADED" not in out
+
+
+def test_run_resume_flag_round_trips(bundle_dir, tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["--data", str(bundle_dir), "--jobs", "2",
+                 "--cache-dir", cache_dir]) == 0
+    first = capsys.readouterr().out
+    assert main(["--data", str(bundle_dir), "--jobs", "2",
+                 "--cache-dir", cache_dir, "--resume"]) == 0
+    resumed = capsys.readouterr().out
+    # Nothing was interrupted, so the stage artifacts win before any
+    # checkpoint is consulted — the digests must agree either way.
+    digest = [line for line in first.splitlines() if "digest" in line]
+    assert digest == [line for line in resumed.splitlines()
+                      if "digest" in line]

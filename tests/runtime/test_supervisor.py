@@ -1,0 +1,282 @@
+"""Supervised fault-tolerant execution suite.
+
+The contract under test (DESIGN §13): a supervised ``jobs=N`` run under
+injected worker crashes, hangs, corrupt result envelopes and slow shards
+produces a results digest *bit-identical* to the unfaulted serial run;
+when retries are exhausted the run still completes, with exact
+``analyzed + quarantined == total`` accounting and a DEGRADED report;
+and a killed run resumed with ``--resume`` restarts from the last
+completed shard checkpoint and matches the uninterrupted digest.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.process import ProcessFaultPlan, reconcile
+from repro.runtime import (
+    RuntimeConfig,
+    results_digest,
+    runner_for_world,
+)
+from repro.runtime.supervisor import (
+    SupervisionPolicy,
+    partition_digest,
+    payloads_in_order,
+    resolve_envelopes,
+)
+from repro.runtime.workers import ShardResult
+
+pytestmark = pytest.mark.runtime
+
+#: Fast-retry knobs shared by the fault-matrix runs: enough retries that
+#: transient faults always recover, no real backoff sleeps, and a
+#: deadline short enough that injected hangs resolve in test time but
+#: long enough that a loaded CI worker never trips it spuriously.
+FAST = dict(jobs=2, max_retries=6, backoff_base_s=0.0)
+HANG_DEADLINE_S = 3.0
+
+
+@pytest.fixture(scope="module")
+def serial_digest(world):
+    return results_digest(
+        runner_for_world(world, RuntimeConfig(jobs=1)).run())
+
+
+def _faulted_run(world, plan, **overrides):
+    options = dict(FAST)
+    options.update(overrides)
+    runner = runner_for_world(
+        world, RuntimeConfig(fault_plan=plan, **options))
+    results = runner.run()
+    return runner, results
+
+
+# -- fault matrix: recovery keeps the digest bit-identical -------------------
+
+@pytest.mark.parametrize("kind,rate", [
+    ("worker_crash", 0.2),
+    ("worker_crash", 0.5),
+    ("envelope_corrupt", 0.25),
+    ("envelope_corrupt", 0.75),
+    ("worker_slow", 0.3),
+    ("worker_slow", 1.0),
+])
+def test_recovered_faults_keep_digest_identical(world, serial_digest,
+                                                kind, rate):
+    plan = ProcessFaultPlan(seed=13, slow_delay_s=0.01, **{kind: rate})
+    runner, results = _faulted_run(world, plan)
+    assert results_digest(results) == serial_digest
+    assert not runner.report.degraded
+    report = reconcile(plan, runner.report.resilience)
+    assert report.reconciled
+    assert report.total(report.abandoned) == 0
+
+
+@pytest.mark.parametrize("rate", [0.2, 0.5])
+def test_recovered_hangs_keep_digest_identical(world, serial_digest, rate):
+    plan = ProcessFaultPlan(seed=17, worker_hang=rate)
+    runner, results = _faulted_run(world, plan,
+                                   shard_deadline_s=HANG_DEADLINE_S)
+    assert results_digest(results) == serial_digest
+    assert not runner.report.degraded
+    report = reconcile(plan, runner.report.resilience)
+    assert report.reconciled
+    assert report.total(report.abandoned) == 0
+
+
+def test_slow_workers_are_not_failures(world, serial_digest):
+    plan = ProcessFaultPlan(seed=19, worker_slow=1.0, slow_delay_s=0.01)
+    runner, results = _faulted_run(world, plan)
+    assert results_digest(results) == serial_digest
+    for row in runner.report.resilience:
+        assert row.failures == ()
+        assert row.retries == 0
+
+
+def test_mixed_faults_keep_digest_identical(world, serial_digest):
+    plan = ProcessFaultPlan(seed=23, worker_crash=0.25,
+                            envelope_corrupt=0.25, worker_slow=0.25,
+                            slow_delay_s=0.01)
+    runner, results = _faulted_run(world, plan)
+    assert results_digest(results) == serial_digest
+    assert reconcile(plan, runner.report.resilience).reconciled
+
+
+# -- retries exhausted: graceful degradation, exact accounting ---------------
+
+def test_persistent_corruption_degrades_with_exact_accounting(world):
+    plan = ProcessFaultPlan(seed=5, envelope_corrupt=0.25, persistent=True)
+    runner, results = _faulted_run(world, plan, max_retries=1)
+    report = runner.report
+    assert report.degraded
+    for row in report.resilience:
+        assert row.analyzed_items + row.quarantined_items == row.total_items
+        for index in row.abandoned:
+            assert all(failure.cause == "corrupt"
+                       for failure in row.failures
+                       if failure.shard_index == index)
+    fault_report = reconcile(plan, report.resilience)
+    assert fault_report.reconciled
+    assert fault_report.total(fault_report.abandoned) == sum(
+        len(row.abandoned) for row in report.resilience)
+    rendered = report.render()
+    assert "DEGRADED" in rendered
+    assert "corrupt" in rendered
+    # The run *completed*: quarantined probes are absent, not wrong.
+    assert report.quarantined_probes
+    (filter_row,) = [row for row in report.resilience
+                     if row.stage == "filter"]
+    verdicts = results.filter_report.verdicts
+    assert len(verdicts) == filter_row.analyzed_items
+    assert set(filter_row.quarantined_probes).isdisjoint(verdicts)
+
+
+def test_exhausted_hangs_quarantine_without_retries(world):
+    plan = ProcessFaultPlan(seed=29, worker_hang=1.0, persistent=True)
+    runner, results = _faulted_run(world, plan, max_retries=0,
+                                   shard_deadline_s=1.0)
+    report = runner.report
+    assert report.degraded
+    for row in report.resilience:
+        assert row.retries == 0
+        assert len(row.abandoned) == row.shards
+        assert row.analyzed_items == 0
+        assert row.quarantined_items == row.total_items
+    assert results.filter_report.verdicts == {}
+
+
+def test_degraded_stage_artifact_is_not_cached(world, tmp_path):
+    plan = ProcessFaultPlan(seed=5, envelope_corrupt=0.25, persistent=True)
+    runner, _ = _faulted_run(world, plan, max_retries=0,
+                             cache_dir=tmp_path / "cache")
+    assert runner.report.degraded
+    degraded = {row.stage for row in runner.report.resilience
+                if row.degraded}
+    # A clean warm run must recompute every degraded stage rather than
+    # inherit its quarantine through the artifact cache.
+    warm = runner_for_world(world, RuntimeConfig(
+        jobs=1, cache_dir=tmp_path / "cache"))
+    warm.run()
+    assert degraded <= set(warm.report.computed_stages)
+
+
+# -- checkpoint / resume -----------------------------------------------------
+
+class _KilledMidRun(KeyboardInterrupt):
+    """Simulates the operator killing the driver process mid-stage."""
+
+
+def _kill_after_stores(cache, limit: int):
+    original = cache.store
+    seen = {"count": 0}
+
+    def store(key, value):
+        original(key, value)
+        seen["count"] += 1
+        if seen["count"] >= limit:
+            raise _KilledMidRun()
+
+    cache.store = store
+
+
+def test_resume_after_kill_matches_uninterrupted_digest(
+        world, serial_digest, tmp_path):
+    interrupted = runner_for_world(world, RuntimeConfig(
+        jobs=2, cache_dir=tmp_path / "cache"))
+    _kill_after_stores(interrupted.cache, 4)
+    with pytest.raises(KeyboardInterrupt):
+        interrupted.run()
+
+    resumed = runner_for_world(world, RuntimeConfig(
+        jobs=2, cache_dir=tmp_path / "cache", resume=True))
+    results = resumed.run()
+    assert results_digest(results) == serial_digest
+    loaded = sum(row.checkpoints_loaded
+                 for row in resumed.report.resilience)
+    assert loaded > 0
+    # Resumed shards are visible as cache hits, not recomputation.
+    assert resumed.cache.stats.hits >= loaded
+
+
+def test_resume_without_checkpoints_is_a_clean_cold_run(
+        world, serial_digest, tmp_path):
+    runner = runner_for_world(world, RuntimeConfig(
+        jobs=2, cache_dir=tmp_path / "cache", resume=True))
+    assert results_digest(runner.run()) == serial_digest
+    assert all(row.checkpoints_loaded == 0
+               for row in runner.report.resilience)
+
+
+# -- policy knobs ------------------------------------------------------------
+
+def test_backoff_is_deterministic_and_exponential():
+    policy = SupervisionPolicy(backoff_base_s=0.05)
+    assert policy.backoff_s(0) == 0.0
+    assert policy.backoff_s(1) == pytest.approx(0.05)
+    assert policy.backoff_s(2) == pytest.approx(0.10)
+    assert policy.backoff_s(3) == pytest.approx(0.20)
+    assert policy.backoff_s(999) == 60.0  # capped
+    assert SupervisionPolicy(backoff_base_s=0.0).backoff_s(5) == 0.0
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_retries": -1},
+    {"shard_deadline_s": 0},
+    {"backoff_base_s": -0.1},
+])
+def test_policy_rejects_bad_knobs(kwargs):
+    with pytest.raises(ValueError):
+        SupervisionPolicy(**kwargs)
+
+
+def test_runtime_config_rejects_fault_plan_without_supervision():
+    with pytest.raises(ValueError):
+        RuntimeConfig(jobs=2, supervise=False,
+                      fault_plan=ProcessFaultPlan(seed=1))
+
+
+def test_partition_digest_pins_the_cut():
+    shards = [[1, 2], [3, 4], [5]]
+    assert partition_digest("filter", shards) == partition_digest(
+        "filter", [[9, 9], [9, 9], [9]])  # sizes, not contents
+    assert partition_digest("filter", shards) != partition_digest(
+        "spans", shards)
+    assert partition_digest("filter", shards) != partition_digest(
+        "filter", [[1, 2, 3], [4], [5]])
+
+
+# -- merge-order property ----------------------------------------------------
+
+def _corrupted(envelope: ShardResult) -> ShardResult:
+    blob = envelope.payload_pickle
+    return ShardResult(
+        shard_index=envelope.shard_index, attempt=envelope.attempt + 1,
+        payload_pickle=blob[:-1] + bytes([blob[-1] ^ 0xFF]),
+        seal=envelope.seal)
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data(),
+       shard_count=st.integers(min_value=1, max_value=8))
+def test_retry_order_never_perturbs_the_ordered_merge(data, shard_count):
+    """Whatever order envelopes resolve in — including corrupt attempts
+    interleaved from retries — the per-index payloads are identical."""
+    good = [ShardResult.sealed({index: "payload-%d" % index},
+                               shard_index=index)
+            for index in range(shard_count)]
+    corrupt = [
+        _corrupted(good[index])
+        for index in data.draw(st.lists(
+            st.integers(min_value=0, max_value=shard_count - 1),
+            max_size=2 * shard_count))
+    ]
+    arrival = data.draw(st.permutations(good + corrupt))
+    resolved = resolve_envelopes(arrival)
+    payloads = payloads_in_order(resolved, shard_count)
+    assert payloads == [
+        pickle.loads(envelope.payload_pickle) for envelope in good]
