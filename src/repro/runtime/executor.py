@@ -366,15 +366,15 @@ class ShardedRunner:
             result = spec.func(*(artifacts[name] for name in spec.inputs))
             values = result if len(spec.outputs) > 1 else (result,)
             outputs = dict(zip(spec.outputs, values))
-        if key is not None and not self._stage_degraded(spec.name):
-            # A degraded stage's artifact is incomplete by definition —
-            # caching it would silently poison every later warm run.
+        if key is not None and not self.report.degraded:
+            # A degraded stage's artifact — and every artifact computed
+            # downstream of one — is incomplete by definition, and the
+            # cache key (fingerprint, stage, version, params) does not
+            # encode the degradation: storing either would silently
+            # poison every later warm run.  One degraded stage therefore
+            # stops artifact caching for the rest of the run.
             self.cache.store(key, self._cacheable(spec, outputs))
         return outputs, False, sharded
-
-    def _stage_degraded(self, stage: str) -> bool:
-        return any(row.stage == stage and row.degraded
-                   for row in self.report.resilience)
 
     @staticmethod
     def _cacheable(spec: StageSpec, outputs: dict) -> dict:
@@ -480,8 +480,12 @@ class ShardedRunner:
         legacy ``pool.map`` fast path.
         """
         if self.config.supervise:
+            # A stage downstream of a degraded one runs on inputs that
+            # are missing quarantined work: taint it so the supervisor
+            # neither stores nor resumes its shard checkpoints.
             outcome = self._ensure_supervisor().run_stage(
-                stage, stage, shards, probe_of)
+                stage, stage, shards, probe_of,
+                tainted=self.report.degraded)
             self.report.resilience.append(outcome.resilience)
             return [payload for payload in outcome.payloads
                     if payload is not None]

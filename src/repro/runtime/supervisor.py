@@ -10,15 +10,24 @@ mechanisms:
 * **crash recovery** — a dead worker breaks the whole
   :class:`~concurrent.futures.ProcessPoolExecutor`
   (``BrokenProcessPool``); the supervisor respawns a fresh pool and
-  re-dispatches every unfinished shard.  Shards that were *running* when
-  the pool broke are charged a failed attempt; shards that were merely
-  queued are reassigned without penalty.
+  re-dispatches every unfinished shard.  At most ``jobs`` shards are in
+  flight at a time (the rest wait in a ready queue), so a break can only
+  implicate the in-flight set: each in-flight shard is charged a failed
+  attempt (the culprit is necessarily among them) and re-dispatched.
+  Because the break does not say *which* shard killed the worker, such
+  an ambiguous charge never quarantines by itself — a shard over its
+  retry budget without any individually-attributable failure gets one
+  more attempt *in isolation*, where a repeat failure is unambiguous.
 * **hang detection** — each dispatched shard carries a deadline
-  (:data:`repro.util.timeutil.SHARD_DEADLINE_S` by default).  A shard
-  still pending past its deadline is declared hung: the supervisor
-  ``SIGKILL``\\ s every worker registered in the heartbeat spool (the
-  hung one included — workers register on their first task), tears the
-  pool down, and re-dispatches.
+  (:data:`repro.util.timeutil.SHARD_DEADLINE_S` by default).  Bounded
+  dispatch means dispatch == execution start, so the deadline measures
+  execution, never time spent queued behind other shards.  A shard past
+  its deadline is declared hung, but the pool is only torn down — every
+  worker ``SIGKILL``\\ ed via the heartbeat-spool registry plus the
+  pool's own process table — once *no* pending shard is healthy:
+  killing a hung worker breaks the whole pool, so deferring the
+  teardown lets live workers keep completing shards and batches co-hung
+  shards into one recovery wave instead of one teardown each.
 * **envelope verification** — every :class:`~repro.runtime.workers.
   ShardResult` is sealed worker-side with the SHA-256 of its payload
   pickle; a seal mismatch on the parent side is a failed attempt, never
@@ -35,6 +44,10 @@ content-addressed artifact cache (key: fingerprint, ``shard:<stage>``,
 code version, params + partition digest), so ``repro-run --resume`` after
 a mid-run kill re-dispatches only the shards that never completed; the
 :class:`CheckpointManifest` pins the partition the checkpoints belong to.
+Stages running downstream of a degraded stage are *tainted* — their
+shard inputs differ from a clean run's in ways the size-only partition
+digest cannot distinguish — so checkpointing is disabled for them
+entirely (the executor applies the same rule to stage artifacts).
 
 Determinism note: payloads are collected into a per-index map and merged
 in shard-index order after the stage drains, so neither completion order
@@ -51,6 +64,7 @@ import shutil
 import signal
 import tempfile
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
@@ -244,6 +258,9 @@ class ShardSupervisor:
         self._spool: Path | None = None
         self._generation = 0
         self._respawns = 0
+        #: Set per stage by :meth:`run_stage`: True when the stage runs
+        #: downstream of a degraded one, which disables checkpointing.
+        self._tainted = False
 
     # -- pool lifecycle -----------------------------------------------------
 
@@ -288,24 +305,6 @@ class ShardSupervisor:
                 continue
         return pids
 
-    def _kill_pool(self) -> None:
-        """Tear down a pool that holds a hung worker.
-
-        ``shutdown(cancel_futures=True)`` alone cannot stop a task that
-        is already running, so the workers are SIGKILLed first.  Beyond
-        the pool's own process table (which ``_teardown_pool`` handles),
-        this also sweeps the per-generation heartbeat spool, catching a
-        worker the pool has already dropped from its table but that is
-        still running user code.  Only processes this supervisor
-        spawned are ever signalled.
-        """
-        for pid in self._registered_pids():
-            try:
-                os.kill(pid, signal.SIGKILL)
-            except (ProcessLookupError, PermissionError):
-                continue
-        self._teardown_pool()
-
     def _teardown_pool(self) -> None:
         if self._pool is None:
             return
@@ -316,8 +315,21 @@ class ShardSupervisor:
         # SIGTERMs workers it knows about, and a spawn worker still in
         # interpreter bootstrap can miss that entirely (observed blocked
         # forever on its startup pipe), which would wedge the
-        # ``wait=True`` join below.
-        for pid in list(self._pool._processes or {}):
+        # ``wait=True`` join below.  It is equally load-bearing for hang
+        # recovery: ``shutdown(cancel_futures=True)`` cannot stop a task
+        # that is already running.
+        #
+        # The heartbeat spool (workers register on their first task) is
+        # the primary pid source; ``_processes`` is the pool's own
+        # process table — a private CPython attribute, so it is read
+        # through ``getattr`` and covers workers that never served a
+        # task.  ``test_pool_process_table_assumption`` pins the
+        # attribute so an interpreter upgrade that drops it fails
+        # loudly instead of silently weakening this path.  Only
+        # processes this supervisor spawned are ever signalled.
+        pids = set(self._registered_pids())
+        pids.update(getattr(self._pool, "_processes", None) or {})
+        for pid in pids:
             try:
                 os.kill(pid, signal.SIGKILL)
             except (ProcessLookupError, PermissionError):
@@ -353,7 +365,13 @@ class ShardSupervisor:
     # -- checkpoints --------------------------------------------------------
 
     def _checkpointing(self) -> bool:
-        return self.cache is not None and bool(self.fingerprint)
+        # A tainted stage (downstream of a degraded one) must neither
+        # store nor load checkpoints: its shard inputs differ from a
+        # clean run's — e.g. ``gaps`` items carry ``[]`` where reboots
+        # were quarantined — with the same shard *sizes*, which is all
+        # the partition digest in the checkpoint key can see.
+        return (self.cache is not None and bool(self.fingerprint)
+                and not self._tainted)
 
     def _shard_key(self, stage: str, index: int, partition: str) -> str:
         return ArtifactCache.key(
@@ -413,26 +431,33 @@ class ShardSupervisor:
                                partition_digest=partition, keys=keys))
 
     def _store_checkpoint(self, stage: str, partition: str,
-                          envelope: workers.ShardResult) -> None:
+                          envelope: workers.ShardResult) -> bool:
+        """Persist one verified envelope; True only if it was written."""
         if not self._checkpointing():
-            return
+            return False
         self.cache.store(
             self._shard_key(stage, envelope.shard_index, partition),
             envelope)
+        return True
 
     # -- the supervision loop -----------------------------------------------
 
     def run_stage(self, stage: str, task_name: str,
                   shards: list[list],
-                  probe_of: Callable[[object], int] = lambda item: item
-                  ) -> StageOutcome:
+                  probe_of: Callable[[object], int] = lambda item: item,
+                  tainted: bool = False) -> StageOutcome:
         """Run one fan-out stage under supervision.
 
         ``probe_of`` extracts the probe id from one shard item (identity
         for probe-id shards, first element for the ``gaps`` stage's
         ``(probe_id, reboots)`` tuples) — it is only used to account
         quarantined probes for abandoned shards.
+
+        ``tainted`` marks a stage computed downstream of a degraded one:
+        its inputs are missing quarantined work, so its checkpoints are
+        neither stored nor loaded (see :meth:`_checkpointing`).
         """
+        self._tainted = bool(tainted)
         partition = partition_digest(stage, shards)
         row = StageResilience(
             stage=stage, shards=len(shards),
@@ -482,15 +507,31 @@ class ShardSupervisor:
                    ) -> dict[int, workers.ShardResult]:
         """Dispatch-and-recover until every shard resolves or abandons.
 
+        At most ``jobs`` shards are in flight at once; the rest wait in
+        a ready queue.  The pool has no backlog to hide tasks in, so a
+        dispatch-time deadline measures *execution* (a shard queued
+        behind slow siblings can never be declared hung without having
+        run), and a pool break can only implicate the in-flight set.
+
         Returns the verified envelopes (for deterministic span/metric
         absorption in index order); payloads land in ``resolved``.
         """
         failures: list[ShardFailure] = []
         envelopes: dict[int, workers.ShardResult] = {}
         abandoned: set[int] = set()
+        #: Shards with at least one individually-attributable failure:
+        #: a hang, a corrupt envelope, a kernel exception, or a pool
+        #: break while they were the only shard in flight.
+        solo_failed: set[int] = set()
         attempts = {index: 0 for index in range(len(shards))
                     if index not in resolved}
         pending: dict[Future, _Pending] = {}
+        ready: deque[int] = deque(sorted(attempts))
+        #: Shards over their retry budget on ambiguous (blast-radius)
+        #: charges alone.  Each gets one more attempt *in isolation* —
+        #: dispatched only into an otherwise-empty pool — so its next
+        #: failure, if any, is individually attributable.
+        suspects: deque[int] = deque()
         dispatched = 0
 
         def dispatch(index: int) -> None:
@@ -515,7 +556,7 @@ class ShardSupervisor:
                 # generation was still releasing.  The pool is unusable
                 # but no worker ran anything, so treat it exactly like a
                 # broken pool: the recovery branch respawns and charges
-                # at most ``jobs`` shards.
+                # the in-flight shards.
                 future = Future()
                 future.set_exception(BrokenProcessPool(
                     "worker spawn failed; pool replaced"))
@@ -525,26 +566,51 @@ class ShardSupervisor:
                 seq=dispatched)
             dispatched += 1
 
-        def fail(entry: _Pending, cause: str, detail: str = "") -> None:
+        def fail(entry: _Pending, cause: str, detail: str = "",
+                 ambiguous: bool = False) -> None:
             failures.append(ShardFailure(
                 stage=stage, shard_index=entry.shard_index,
                 attempt=entry.attempt, cause=cause, detail=detail))
             obs.count("runtime.shard.failures.%s" % cause)
             attempts[entry.shard_index] += 1
-            if attempts[entry.shard_index] > self.policy.max_retries:
+            if not ambiguous:
+                solo_failed.add(entry.shard_index)
+            if (attempts[entry.shard_index] > self.policy.max_retries
+                    and entry.shard_index in solo_failed):
+                # Quarantine requires both an exhausted budget and at
+                # least one failure that is provably the shard's own —
+                # a blast-radius charge alone never abandons a shard
+                # that may simply have shared a pool with the culprit.
                 abandoned.add(entry.shard_index)
                 obs.count("runtime.quarantined_shards")
             else:
                 row.retries += 1
                 obs.count("runtime.retries")
 
-        for index in sorted(attempts):
-            dispatch(index)
+        def requeue(index: int) -> None:
+            """Queue a failed shard's next attempt (unless abandoned)."""
+            if index in abandoned:
+                return
+            if attempts[index] > self.policy.max_retries:
+                suspects.append(index)
+            else:
+                ready.append(index)
 
-        while pending:
+        def fill() -> None:
+            while ready and len(pending) < self.jobs:
+                dispatch(ready.popleft())
+            if not pending and suspects:
+                dispatch(suspects.popleft())
+
+        while True:
+            fill()
+            if not pending:
+                break
             now = time.monotonic()
-            timeout = max(min((entry.deadline for entry in pending.values()),
-                              default=now) - now, _POLL_S)
+            upcoming = [entry.deadline for entry in pending.values()
+                        if entry.deadline > now]
+            timeout = max(min(upcoming, default=now + _POLL_S) - now,
+                          _POLL_S)
             done, _ = wait(set(pending), timeout=timeout,
                            return_when=FIRST_COMPLETED)
 
@@ -556,6 +622,7 @@ class ShardSupervisor:
                     resolved[entry.shard_index] = envelope.open_payload()
                 except EnvelopeCorruptError as error:
                     fail(entry, CAUSE_CORRUPT, str(error))
+                    requeue(entry.shard_index)
                 except BrokenProcessPool:
                     broken.append(entry)
                 # The whole point of supervision is that NO task failure
@@ -564,68 +631,69 @@ class ShardSupervisor:
                 except Exception as error:  # repro: noqa[RPR004]
                     fail(entry, CAUSE_CRASH,
                          "%s: %s" % (type(error).__name__, error))
+                    requeue(entry.shard_index)
                 else:
                     envelopes[entry.shard_index] = envelope
-                    self._store_checkpoint(stage, partition, envelope)
-                    row.checkpoints_stored += 1
+                    if self._store_checkpoint(stage, partition, envelope):
+                        row.checkpoints_stored += 1
 
             if broken:
                 # A dead worker breaks the whole pool: every in-flight
-                # future resolves to BrokenProcessPool at once, so the
+                # future resolves to BrokenProcessPool at once, and the
                 # exception does not say which shard was actually running
-                # on the dead process.  At most ``jobs`` tasks run at a
-                # time and the pool hands tasks out in submission order,
-                # so charge a failed attempt to the ``jobs``
-                # earliest-dispatched survivors (culprit necessarily
-                # among them) and reassign the rest without penalty.
-                survivors = sorted(broken + list(pending.values()),
-                                   key=lambda entry: entry.seq)
+                # on the dead process.  With dispatch bounded to ``jobs``
+                # the in-flight set is exactly the suspect set: charge
+                # them all (culprit necessarily among them), but mark the
+                # charge ambiguous unless the set has one member — an
+                # ambiguous charge can exhaust a budget, never quarantine
+                # (see ``fail``/``suspects``).
+                charged = sorted(broken + list(pending.values()),
+                                 key=lambda entry: entry.seq)
                 pending.clear()
-                culprits = survivors[:self.jobs]
-                spared = survivors[self.jobs:]
-                for entry in culprits:
-                    fail(entry, CAUSE_CRASH, "worker pool broke")
+                ambiguous = len(charged) > 1
+                for entry in charged:
+                    fail(entry, CAUSE_CRASH, "worker pool broke",
+                         ambiguous=ambiguous)
                 self._respawn()
-                row.reassignments += len(spared)
-                obs.count("runtime.reassignments", len(spared))
-                for entry in spared:
-                    dispatch(entry.shard_index)
-                for entry in culprits:
-                    if entry.shard_index not in abandoned:
-                        dispatch(entry.shard_index)
+                requeued = [entry for entry in charged
+                            if entry.shard_index not in abandoned]
+                if requeued:
+                    # Re-dispatched onto the respawned pool generation.
+                    row.reassignments += len(requeued)
+                    obs.count("runtime.reassignments", len(requeued))
+                for entry in requeued:
+                    requeue(entry.shard_index)
                 continue
 
-            overdue = [entry for entry in pending.values()
-                       if time.monotonic() >= entry.deadline]
-            if overdue:
-                overdue_shards = {entry.shard_index for entry in overdue}
-                for entry in overdue:
+            # A hung worker wedges its slot until SIGKILL, but killing
+            # it costs the *whole* pool (any worker death breaks a
+            # ProcessPoolExecutor), destroying every innocent in-flight
+            # shard's work and restarting its deadline from zero.  So
+            # teardown waits until NO pending shard is healthy: a shard
+            # is declared hung only by individually exceeding its own
+            # execution deadline (bounded dispatch: the clock never
+            # covers queue time), healthy shards keep completing — and
+            # new ones keep dispatching — on the remaining live workers
+            # meanwhile, and co-hung shards batch into one wave, each
+            # paying one deadline instead of one teardown apiece.
+            moment = time.monotonic()
+            if pending and all(moment >= entry.deadline
+                               for entry in pending.values()):
+                wave = sorted(pending.values(),
+                              key=lambda entry: entry.seq)
+                pending.clear()
+                for entry in wave:
                     fail(entry, CAUSE_HANG,
                          "no result within %.1fs"
                          % self.policy.shard_deadline_s)
-                survivors = [entry for entry in pending.values()
-                             if entry.shard_index not in overdue_shards]
-                pending.clear()
-                self._kill_pool()
                 self._respawn()
-                row.reassignments += len(survivors)
-                obs.count("runtime.reassignments", len(survivors))
-                for entry in survivors:
-                    dispatch(entry.shard_index)
-                for entry in overdue:
-                    if entry.shard_index not in abandoned:
-                        dispatch(entry.shard_index)
-                continue
-
-            # Re-dispatch shards that failed softly (corrupt envelopes)
-            # and are neither pending nor resolved nor abandoned.
-            for index in sorted(attempts):
-                if index in resolved or index in abandoned:
-                    continue
-                if any(entry.shard_index == index
-                       for entry in pending.values()):
-                    continue
-                dispatch(index)
+                requeued = [entry for entry in wave
+                            if entry.shard_index not in abandoned]
+                if requeued:
+                    row.reassignments += len(requeued)
+                    obs.count("runtime.reassignments", len(requeued))
+                for entry in requeued:
+                    requeue(entry.shard_index)
 
         row.failures = tuple(failures)
         return envelopes

@@ -11,12 +11,15 @@ completed shard checkpoint and matches the uninterrupted digest.
 
 from __future__ import annotations
 
+import os
 import pickle
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.faults.injectors import FaultKind
 from repro.faults.process import ProcessFaultPlan, reconcile
 from repro.runtime import (
     RuntimeConfig,
@@ -98,6 +101,21 @@ def test_slow_workers_are_not_failures(world, serial_digest):
         assert row.retries == 0
 
 
+def test_queued_shards_are_not_falsely_hung(world, serial_digest):
+    """Only in-flight shards carry deadlines.  Eight slow shards over
+    two workers run ~1.6s per worker chain — well past the 1.2s
+    deadline — but each individual shard finishes comfortably inside
+    it, so a deadline that measured time-in-queue (instead of
+    execution) would falsely declare the tail shards hung."""
+    plan = ProcessFaultPlan(seed=31, worker_slow=1.0, slow_delay_s=0.4)
+    runner, results = _faulted_run(world, plan, shards=8,
+                                   shard_deadline_s=1.2)
+    assert results_digest(results) == serial_digest
+    for row in runner.report.resilience:
+        assert row.failures == ()
+        assert row.retries == 0
+
+
 def test_mixed_faults_keep_digest_identical(world, serial_digest):
     plan = ProcessFaultPlan(seed=23, worker_crash=0.25,
                             envelope_corrupt=0.25, worker_slow=0.25,
@@ -105,6 +123,38 @@ def test_mixed_faults_keep_digest_identical(world, serial_digest):
     runner, results = _faulted_run(world, plan)
     assert results_digest(results) == serial_digest
     assert reconcile(plan, runner.report.resilience).reconciled
+
+
+def test_pool_break_with_zero_retries_spares_unattributed_shards(world):
+    """A multi-shard pool break cannot say which in-flight shard killed
+    the worker, so even at --max-retries 0 an ambiguously-charged shard
+    is not quarantined: it retries once in isolation and recovers.  Only
+    a shard whose break was individually attributable (sole in-flight —
+    necessarily one the plan actually crashed) may be abandoned."""
+    plan = ProcessFaultPlan(seed=13, worker_crash=0.2)
+    runner, _ = _faulted_run(world, plan, max_retries=0)
+    report = reconcile(plan, runner.report.resilience)
+    assert report.reconciled
+    assert report.total(report.injected) > 0
+    for row in runner.report.resilience:
+        placed = plan.placements(row.stage, row.shards)
+        for index in row.abandoned:
+            assert placed.get(index) == FaultKind.WORKER_CRASH
+
+
+def test_persistent_crash_quarantines_only_the_crashing_shards(world):
+    """Blast-radius charging must never abandon an innocent co-in-flight
+    shard: with zero retries and a *persistent* crasher, every abandoned
+    shard is one the plan actually placed a crash on."""
+    plan = ProcessFaultPlan(seed=13, worker_crash=0.2, persistent=True)
+    runner, _ = _faulted_run(world, plan, max_retries=0)
+    report = runner.report
+    assert report.degraded
+    assert reconcile(plan, report.resilience).reconciled
+    for row in report.resilience:
+        placed = plan.placements(row.stage, row.shards)
+        for index in row.abandoned:
+            assert placed.get(index) == FaultKind.WORKER_CRASH
 
 
 # -- retries exhausted: graceful degradation, exact accounting ---------------
@@ -163,6 +213,41 @@ def test_degraded_stage_artifact_is_not_cached(world, tmp_path):
         jobs=1, cache_dir=tmp_path / "cache"))
     warm.run()
     assert degraded <= set(warm.report.computed_stages)
+
+
+def test_stages_downstream_of_degradation_are_not_cached(
+        world, serial_digest, tmp_path):
+    """Degradation poisons everything computed after it: a stage fed a
+    degraded artifact runs clean yet produces incomplete outputs, so
+    neither its artifact nor its shard checkpoints may be stored under
+    keys a non-degraded run would hit."""
+    plan = ProcessFaultPlan(seed=5, envelope_corrupt=0.25, persistent=True)
+    runner, _ = _faulted_run(world, plan, max_retries=0,
+                             cache_dir=tmp_path / "cache")
+    report = runner.report
+    assert report.degraded
+    order = [timing.name for timing in report.timings]
+    first = min(order.index(row.stage) for row in report.resilience
+                if row.degraded)
+    for row in report.resilience:
+        if order.index(row.stage) > first:
+            assert row.checkpoints_stored == 0
+    # The warm run may inherit only artifacts computed *before* the
+    # first degradation, and must end bit-identical to a clean run.
+    warm = runner_for_world(world, RuntimeConfig(
+        jobs=1, cache_dir=tmp_path / "cache"))
+    results = warm.run()
+    assert set(warm.report.cached_stages) <= set(order[:first])
+    assert results_digest(results) == serial_digest
+
+
+def test_cacheless_runs_store_no_checkpoints(world):
+    runner = runner_for_world(world, RuntimeConfig(jobs=2))
+    runner.run()
+    rows = runner.report.resilience
+    assert rows
+    assert all(row.checkpoints_stored == 0 for row in rows)
+    assert all(row.checkpoints_loaded == 0 for row in rows)
 
 
 # -- checkpoint / resume -----------------------------------------------------
@@ -248,6 +333,23 @@ def test_partition_digest_pins_the_cut():
         "spans", shards)
     assert partition_digest("filter", shards) != partition_digest(
         "filter", [[1, 2, 3], [4], [5]])
+
+
+def test_pool_process_table_assumption():
+    """``ShardSupervisor._teardown_pool`` SIGKILLs workers via the
+    private ``ProcessPoolExecutor._processes`` table (guarded with
+    getattr, the heartbeat spool being the primary pid source).  Pin
+    the internal so an interpreter upgrade that drops or reshapes it
+    fails here instead of silently weakening pool teardown."""
+    pool = ProcessPoolExecutor(max_workers=1)
+    try:
+        worker_pid = pool.submit(os.getpid).result(timeout=60)
+        table = getattr(pool, "_processes", None)
+        assert isinstance(table, dict)
+        assert worker_pid in table
+        assert all(isinstance(pid, int) for pid in table)
+    finally:
+        pool.shutdown()
 
 
 # -- merge-order property ----------------------------------------------------
