@@ -4,12 +4,15 @@ Writes ``BENCH_runtime.json`` (at the repo root by default) recording
 end-to-end analysis wall time over the paper scenario for:
 
 * ``serial``    — ``jobs=1``, no cache (the pre-runtime pipeline path);
-* ``parallel``  — ``jobs=N`` (default 4), no cache;
+* ``parallel``  — ``jobs=N`` (default 4), no cache; skipped outright on
+  a single-cpu host, where the number would measure time-slicing;
 * ``cold_cache``— ``jobs=N`` with an empty artifact cache (prime cost);
-* ``warm_cache``— ``jobs=1`` re-run against the primed cache.
+* ``warm_cache``— ``jobs=1`` re-run against the primed cache;
+* ``distributed`` — loopback coordinator plus 2 socket workers
+  (``repro-dist``), recorded in its own section.
 
-All four runs must produce the same canonical results digest — the
-harness asserts it — so the recorded speedups are for *identical* output.
+Every run must produce the same canonical results digest — the harness
+asserts it — so the recorded speedups are for *identical* output.
 
 Usage::
 
@@ -49,6 +52,25 @@ def _timed_run(bundle, config: RuntimeConfig) -> tuple[float, str, object]:
     return time.perf_counter() - started, results_digest(results), runner
 
 
+def _timed_dist_run(bundle, workers: int = 2):
+    """Time the full pipeline through loopback sockets (repro-dist)."""
+    from repro.dist.coordinator import DistConfig, dist_runner_for_bundle
+    from repro.dist.loopback import run_loopback
+    from repro.runtime.workers import WorkerContext
+
+    started = time.perf_counter()
+    runner = dist_runner_for_bundle(bundle, DistConfig(workers=workers))
+    context = WorkerContext(
+        connlog=bundle.connlog, archive=bundle.archive,
+        ip2as=bundle.ip2as, kroot=bundle.kroot, uptime=bundle.uptime,
+        min_connected=runner._min_connected)
+    run = run_loopback(runner, context, worker_count=workers)
+    if run.worker_errors:
+        raise AssertionError("distributed bench workers died: %r"
+                             % (run.worker_errors,))
+    return time.perf_counter() - started, run.digest, run
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Record the serial / sharded / warm-cache analysis "
@@ -76,9 +98,23 @@ def main(argv: list[str] | None = None) -> int:
         print("timing serial (jobs=1)...", file=sys.stderr)
         serial_s, serial_digest, _ = _timed_run(bundle, RuntimeConfig())
 
-        print("timing parallel (jobs=%d)..." % args.jobs, file=sys.stderr)
-        parallel_s, parallel_digest, _ = _timed_run(
-            bundle, RuntimeConfig(jobs=args.jobs))
+        cpu_count = os.cpu_count() or 1
+        if cpu_count == 1:
+            # One cpu: a "parallel" wall time measures fork/IPC and
+            # time-slicing, not parallelism — skip rather than record a
+            # number someone could mistake for a speedup.
+            print("skipping parallel: single cpu (oversubscribed)",
+                  file=sys.stderr)
+            parallel_s, parallel_digest = None, serial_digest
+        else:
+            print("timing parallel (jobs=%d)..." % args.jobs,
+                  file=sys.stderr)
+            parallel_s, parallel_digest, _ = _timed_run(
+                bundle, RuntimeConfig(jobs=args.jobs))
+
+        print("timing distributed (loopback, 2 socket workers)...",
+              file=sys.stderr)
+        dist_s, dist_digest, dist_run_result = _timed_dist_run(bundle)
 
         cache_dir = Path(tmp) / "cache"
         print("timing cold cache (jobs=%d)..." % args.jobs, file=sys.stderr)
@@ -89,7 +125,8 @@ def main(argv: list[str] | None = None) -> int:
         warm_s, warm_digest, warm_runner = _timed_run(
             bundle, RuntimeConfig(jobs=1, cache_dir=cache_dir))
 
-        digests = {serial_digest, parallel_digest, cold_digest, warm_digest}
+        digests = {serial_digest, parallel_digest, cold_digest,
+                   warm_digest, dist_digest}
         if len(digests) != 1:
             raise AssertionError(
                 "execution modes disagree on results: %r" % (digests,))
@@ -98,11 +135,21 @@ def main(argv: list[str] | None = None) -> int:
                 "warm run recomputed stages: %r"
                 % (warm_runner.report.computed_stages,))
 
-        oversubscribed = (os.cpu_count() or 1) < args.jobs
+        oversubscribed = cpu_count < args.jobs
         # Throughput normalizes wall time by input size (probes plus
         # connection-log entries), making runs at different --scale
         # comparable where raw seconds are not.
         records = len(world.archive) + world.connlog.entry_count()
+        if parallel_s is None:
+            parallel_entry = {"seconds": None,
+                              "skipped": "oversubscribed (cpu_count=1)"}
+        else:
+            # On an oversubscribed host this wall time measures
+            # time-slicing, not parallelism; the tag travels with the
+            # raw number so downstream readers cannot mistake one for
+            # the other.
+            parallel_entry = {"seconds": round(parallel_s, 3),
+                              "oversubscribed": oversubscribed}
         payload = {
             "scenario": {"scale": args.scale, "seed": args.seed,
                          "probes": len(world.archive),
@@ -115,14 +162,18 @@ def main(argv: list[str] | None = None) -> int:
             "results_digest": serial_digest,
             "jobs": args.jobs,
             "seconds": {"serial": round(serial_s, 3),
-                        # On an oversubscribed host this wall time
-                        # measures time-slicing, not parallelism; the
-                        # tag travels with the raw number so downstream
-                        # readers cannot mistake one for the other.
-                        "parallel": {"seconds": round(parallel_s, 3),
-                                     "oversubscribed": oversubscribed},
+                        "parallel": parallel_entry,
                         "cold_cache": round(cold_s, 3),
                         "warm_cache": round(warm_s, 3)},
+            "distributed": {
+                "mode": "loopback",
+                "workers": 2,
+                "seconds": round(dist_s, 3),
+                "records_per_sec": round(records / dist_s, 1),
+                "leases_served": sum(
+                    summary.leases_served
+                    for summary in dist_run_result.summaries.values()),
+                "digest_matches_serial": dist_digest == serial_digest},
             "records_per_sec": {
                 "records": records,
                 "serial": round(records / serial_s, 1),
@@ -130,26 +181,33 @@ def main(argv: list[str] | None = None) -> int:
             "speedup_vs_serial": {
                 # An oversubscribed "speedup" only measures time-slicing
                 # overhead; publish null rather than a misleading number.
-                "parallel": (None if oversubscribed
+                "parallel": (None if parallel_s is None or oversubscribed
                              else round(serial_s / parallel_s, 2)),
                 "warm_cache": round(serial_s / warm_s, 2)},
             "metrics": obs.metrics_snapshot(),
         }
-        if oversubscribed:
+        if parallel_s is None:
+            payload["notes"] = (
+                "seconds.parallel skipped: cpu_count=1, so worker "
+                "processes would time-slice a single core and the wall "
+                "time would measure fork/IPC overhead, not parallelism")
+        elif oversubscribed:
             payload["notes"] = (
                 "speedup_vs_serial.parallel is null: jobs=%d exceeds "
                 "cpu_count=%d, so worker processes time-slice a single "
                 "core and the ratio would measure fork/IPC overhead, "
-                "not parallelism" % (args.jobs, os.cpu_count() or 1))
+                "not parallelism" % (args.jobs, cpu_count))
 
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload["seconds"]), file=sys.stderr)
     parallel_x = payload["speedup_vs_serial"]["parallel"]
-    print("wrote %s (parallel %s, warm cache %.2fx vs serial)"
+    print("wrote %s (parallel %s, warm cache %.2fx vs serial, "
+          "distributed %.3fs loopback x2)"
           % (args.out,
              "n/a (oversubscribed)" if parallel_x is None
              else "%.2fx" % parallel_x,
-             payload["speedup_vs_serial"]["warm_cache"]))
+             payload["speedup_vs_serial"]["warm_cache"],
+             payload["distributed"]["seconds"]))
     return 0
 
 

@@ -38,6 +38,14 @@ layer or a lower one:
                                                    │    worker path stays
                                                    │    plan-duck-typed)
                                                    └─ experiments  (rank 11)
+                                                        └─ dist    (rank 12:
+                                                             coordinator/
+                                                             worker socket
+                                                             execution tier
+                                                             over the runtime
+                                                             executor; top of
+                                                             the DAG, nothing
+                                                             imports it)
 
 ``repro.devtools`` (this lint framework) sits outside the DAG entirely:
 nothing may import it, and it may import only the leaf layers ``errors``
@@ -75,6 +83,7 @@ LAYER_RANKS = {
     "core": 9,
     "runtime": 10,
     "experiments": 11,
+    "dist": 12,
 }
 
 #: The lint framework: self-contained, outside the runtime DAG.

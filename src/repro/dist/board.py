@@ -1,0 +1,286 @@
+"""The coordinator's lease board: one stage's shard state machine.
+
+A :class:`LeaseBoard` owns every shard of one fan-out stage from grant
+to resolution.  Shards move through::
+
+    ready ──lease()──> active ──submit(verified envelope)──> resolved
+      ^                   │
+      │   expire() / disconnect() / fail_lease() / corrupt submit
+      └────── requeued with a failure charge ──────> (or abandoned
+                                                      once attempts
+                                                      exceed the
+                                                      retry budget)
+
+The board is the pure core of distributed supervision — no sockets, no
+threads, no sleeps.  Time enters only through the injectable ``clock``
+(deadlines, deterministic backoff as *not-before* timestamps instead of
+blocking sleeps), so the hypothesis suite can drive any interleaving of
+out-of-order, duplicate, and stale-retry envelopes against it and
+assert the merge discipline directly:
+
+* the first seal-verified envelope per shard index wins — whoever
+  delivered it, under whatever lease, however late (mirroring
+  :func:`repro.runtime.supervisor.resolve_envelopes`);
+* duplicates and envelopes for abandoned shards are counted and
+  dropped, never merged twice;
+* every failure is individually attributable (a hang, a disconnect, a
+  kernel error, a corrupt envelope — each names its shard), so unlike
+  the process-pool supervisor there is no ambiguous blast-radius
+  machinery: charges exceed the retry budget honestly or not at all.
+
+Thread-safety is the *caller's* job: the board is mutated only under
+the coordinator's cluster lock (it is not internally locked, which is
+what keeps it drivable single-threaded by property tests).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import EnvelopeCorruptError
+from repro.runtime import workers
+from repro.runtime.supervisor import (
+    CAUSE_CORRUPT,
+    CAUSE_CRASH,
+    CAUSE_HANG,
+    ShardFailure,
+    StageOutcome,
+    StageResilience,
+    SupervisionPolicy,
+    payloads_in_order,
+)
+
+#: Failure cause for leases lost to a dropped connection (the dist
+#: counterpart of the pool supervisor's crash/hang/corrupt causes).
+CAUSE_DISCONNECT = "disconnect"
+
+#: ``submit`` verdicts.
+SUBMIT_RESOLVED = "resolved"
+SUBMIT_LATE = "late"  # resolved, but the granting lease had expired
+SUBMIT_DUPLICATE = "duplicate"
+SUBMIT_CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class LeaseRecord:
+    """One granted lease, as the board tracks it."""
+
+    lease_id: int
+    worker_id: str
+    stage: str
+    shard_index: int
+    attempt: int
+    deadline: float  # clock instant after which the lease is hung
+
+
+class LeaseBoard:
+    """Grant, track, and account one stage's shard leases."""
+
+    def __init__(self, stage: str, shards: list[list],
+                 policy: SupervisionPolicy,
+                 resolved: Mapping[int, object] | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.stage = stage
+        self.shards = shards
+        self.policy = policy
+        self.clock = clock
+        #: index -> verified payload (checkpoint loads pre-fill this).
+        self.resolved: dict[int, object] = dict(resolved or {})
+        #: index -> the envelope that resolved it (absent for shards
+        #: resumed from checkpoints, whose spans were absorbed when the
+        #: checkpoint was stored).
+        self.envelopes: dict[int, workers.ShardResult] = {}
+        self.abandoned: set[int] = set()
+        self.failures: list[ShardFailure] = []
+        self.attempts = {index: 0 for index in range(len(shards))
+                         if index not in self.resolved}
+        #: Deterministic backoff as not-before instants: a charged shard
+        #: is requeued immediately but not *grantable* until this time.
+        self.next_ready_at = {index: 0.0 for index in self.attempts}
+        self.ready: deque[int] = deque(sorted(self.attempts))
+        self.active: dict[int, LeaseRecord] = {}
+        self._active_by_shard: dict[int, int] = {}
+        self._next_lease_id = 0
+        self.leases_granted = 0
+        self.retries = 0
+        self.reassignments = 0
+        self.duplicates = 0
+        self.late = 0
+
+    # -- grants --------------------------------------------------------------
+
+    def lease(self, worker_id: str) -> LeaseRecord | None:
+        """Grant the next grantable shard, or ``None`` if nothing is.
+
+        Grant order is queue order (sorted at init, requeues appended),
+        skipping shards that resolved meanwhile, are mid-backoff, or
+        already have an active lease.
+        """
+        now = self.clock()
+        picked: int | None = None
+        keep: deque[int] = deque()
+        while self.ready:
+            index = self.ready.popleft()
+            if index in self.resolved or index in self.abandoned:
+                continue  # resolved by a late envelope while queued
+            if (picked is None and index not in self._active_by_shard
+                    and self.next_ready_at.get(index, 0.0) <= now):
+                picked = index
+                continue
+            keep.append(index)
+        self.ready = keep
+        if picked is None:
+            return None
+        self._next_lease_id += 1
+        record = LeaseRecord(
+            lease_id=self._next_lease_id, worker_id=worker_id,
+            stage=self.stage, shard_index=picked,
+            attempt=self.attempts[picked],
+            deadline=now + self.policy.shard_deadline_s)
+        self.active[record.lease_id] = record
+        self._active_by_shard[picked] = record.lease_id
+        self.leases_granted += 1
+        return record
+
+    def _release(self, lease_id: int) -> LeaseRecord | None:
+        record = self.active.pop(lease_id, None)
+        if record is not None \
+                and self._active_by_shard.get(record.shard_index) \
+                == lease_id:
+            del self._active_by_shard[record.shard_index]
+        return record
+
+    # -- results -------------------------------------------------------------
+
+    def submit(self, lease_id: int, envelope: object) -> str:
+        """Fold one RESULT envelope in; returns a ``SUBMIT_*`` verdict.
+
+        Accepts any seal-verified :class:`~repro.runtime.workers.
+        ShardResult` for a still-unresolved shard — even from an
+        expired or unknown lease (``SUBMIT_LATE``): the payload is a
+        pure function of the shard, so a stale retry's envelope is as
+        good as the freshest one, and accepting it is what makes the
+        merge idempotent under every interleaving.
+        """
+        record = self._release(lease_id)
+        if not isinstance(envelope, workers.ShardResult):
+            if record is not None \
+                    and record.shard_index not in self.resolved:
+                self._charge(record.shard_index, record.attempt,
+                             CAUSE_CORRUPT,
+                             "RESULT carried no envelope")
+            return SUBMIT_CORRUPT
+        index = envelope.shard_index
+        if record is not None and record.shard_index != index \
+                and record.shard_index not in self.resolved:
+            # A confused worker answered lease N with another shard's
+            # envelope: the envelope speaks for its own shard (below),
+            # but the leased shard must not starve — requeue it.
+            self.ready.append(record.shard_index)
+        if index in self.resolved or index in self.abandoned:
+            self.duplicates += 1
+            return SUBMIT_DUPLICATE
+        try:
+            payload = envelope.open_payload()
+        except EnvelopeCorruptError as error:
+            self._charge(index, envelope.attempt, CAUSE_CORRUPT,
+                         str(error))
+            return SUBMIT_CORRUPT
+        self.resolved[index] = payload
+        self.envelopes[index] = envelope
+        if record is None or record.shard_index != index:
+            self.late += 1
+            return SUBMIT_LATE
+        return SUBMIT_RESOLVED
+
+    def fail_lease(self, lease_id: int, detail: str) -> bool:
+        """Charge a worker-reported kernel failure against its lease."""
+        record = self._release(lease_id)
+        if record is None or record.shard_index in self.resolved:
+            return False  # stale report; the shard's fate is settled
+        self._charge(record.shard_index, record.attempt, CAUSE_CRASH,
+                     detail)
+        return True
+
+    # -- recovery ------------------------------------------------------------
+
+    def expire(self, now: float | None = None) -> list[LeaseRecord]:
+        """Charge and requeue every lease past its deadline."""
+        if now is None:
+            now = self.clock()
+        expired = [record for record in self.active.values()
+                   if now >= record.deadline]
+        for record in expired:
+            self._release(record.lease_id)
+            if record.shard_index in self.resolved:
+                continue  # a late envelope already settled it
+            self.reassignments += 1
+            self._charge(record.shard_index, record.attempt, CAUSE_HANG,
+                         "no result within %.1fs lease"
+                         % self.policy.shard_deadline_s)
+        return expired
+
+    def disconnect(self, worker_id: str) -> list[LeaseRecord]:
+        """Charge and requeue every in-flight lease of a lost worker."""
+        lost = [record for record in self.active.values()
+                if record.worker_id == worker_id]
+        for record in lost:
+            self._release(record.lease_id)
+            if record.shard_index in self.resolved:
+                continue
+            self.reassignments += 1
+            self._charge(record.shard_index, record.attempt,
+                         CAUSE_DISCONNECT,
+                         "worker %s disconnected mid-lease" % worker_id)
+        return lost
+
+    def _charge(self, index: int, attempt: int, cause: str,
+                detail: str) -> None:
+        """One individually-attributable failed attempt for one shard."""
+        self.failures.append(ShardFailure(
+            stage=self.stage, shard_index=index, attempt=attempt,
+            cause=cause, detail=detail))
+        # Monotonic, not additive: a straggling charge for an attempt
+        # the board already moved past must not burn extra budget.
+        self.attempts[index] = max(self.attempts.get(index, 0),
+                                   attempt + 1)
+        if self.attempts[index] > self.policy.max_retries:
+            self.abandoned.add(index)
+            return
+        self.retries += 1
+        self.next_ready_at[index] = (
+            self.clock() + self.policy.backoff_s(self.attempts[index]))
+        if index not in self.ready:
+            self.ready.append(index)
+
+    # -- completion ----------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """Every shard resolved or abandoned (stale leases may linger)."""
+        return (len(self.resolved) + len(self.abandoned)
+                == len(self.shards))
+
+    def finish(self, probe_of: Callable[[object], int],
+               checkpoints_loaded: int = 0,
+               checkpoints_stored: int = 0) -> StageOutcome:
+        """The stage's payloads and supervision account, post-``done``."""
+        abandoned = tuple(sorted(self.abandoned))
+        quarantined = tuple(probe_of(item) for index in abandoned
+                            for item in self.shards[index])
+        total = sum(len(shard) for shard in self.shards)
+        row = StageResilience(
+            stage=self.stage, shards=len(self.shards), total_items=total,
+            analyzed_items=total - len(quarantined),
+            quarantined_items=len(quarantined),
+            retries=self.retries, reassignments=self.reassignments,
+            abandoned=abandoned, quarantined_probes=quarantined,
+            failures=tuple(self.failures),
+            checkpoints_loaded=checkpoints_loaded,
+            checkpoints_stored=checkpoints_stored)
+        return StageOutcome(
+            payloads=payloads_in_order(self.resolved, len(self.shards)),
+            resilience=row)

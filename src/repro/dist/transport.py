@@ -1,0 +1,164 @@
+"""Socket channels speaking the framed dist protocol.
+
+:class:`Channel` wraps one connected socket with exact-length framing,
+integrity-checked receive, and a locked ``request`` round-trip (the
+worker's heartbeat thread and its serve loop share one socket, so whole
+conversational turns must interleave, never half-frames).
+
+:class:`FaultyChannel` is the deterministic network saboteur: before
+every send it consults an inert fault plan (duck-typed
+``fault_on(channel_id, direction, msg_type, seq)``, e.g.
+:class:`repro.faults.network.NetworkFaultPlan`) and drops, garbles,
+delays, or disconnects accordingly, logging every injection so
+:func:`repro.faults.network.reconcile_network` can account the run
+exactly.  Faults are injected on the *send* side only — that is where
+one end can deterministically decide a message's fate; the receive side
+then exercises the real recovery paths (timeouts, digest failures,
+reconnects) with no cooperation.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from repro.dist import protocol
+from repro.errors import WireProtocolError
+
+#: Fault-kind strings this module acts on, mirroring the network values
+#: of ``repro.faults.injectors.FaultKind`` (kept as strings so the plan
+#: object stays duck-typed and the faults layer stays below this one).
+FAULT_MSG_DROP = "msg-drop"
+FAULT_MSG_GARBLE = "msg-garble"
+FAULT_MSG_DELAY = "msg-delay"
+FAULT_CONN_DISCONNECT = "conn-disconnect"
+
+
+class Channel:
+    """One framed, request/response conversation over a socket."""
+
+    def __init__(self, sock: socket.socket, channel_id: str = "") -> None:
+        self._sock = sock
+        self.channel_id = channel_id
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self._lock = threading.Lock()
+
+    # -- raw framing ---------------------------------------------------------
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks: list[bytes] = []
+        remaining = count
+        while remaining:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise WireProtocolError(
+                    "connection closed mid-frame (%d of %d bytes)"
+                    % (count - remaining, count))
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        self.bytes_received += count
+        return b"".join(chunks)
+
+    def _send_raw(self, frame: bytes) -> None:
+        self._sock.sendall(frame)
+        self.bytes_sent += len(frame)
+
+    def _send(self, message: object) -> None:
+        self._send_raw(protocol.pack(message))
+
+    def _recv(self) -> object:
+        code, length, digest = protocol.unpack_header(
+            self._recv_exact(protocol.HEADER.size))
+        payload = self._recv_exact(length) if length else b""
+        return protocol.unpack_payload(code, payload, digest)
+
+    # -- public --------------------------------------------------------------
+
+    def send(self, message: object) -> None:
+        """Send one message (reply side: recv/send pairs need no lock)."""
+        with self._lock:
+            self._send(message)
+
+    def recv(self) -> object:
+        """Receive one message."""
+        return self._recv()
+
+    def request(self, message: object) -> object:
+        """One atomic round-trip: send ``message``, return the reply."""
+        with self._lock:
+            self._send(message)
+            return self._recv()
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class FaultyChannel(Channel):
+    """A :class:`Channel` whose sends pass through a fault plan.
+
+    ``seq`` counts this channel's send attempts, so a plan's placements
+    are a pure function of the conversation position; ``injected`` logs
+    what actually fired, per kind, for exact reconciliation.
+    """
+
+    def __init__(self, sock: socket.socket, plan: object,
+                 channel_id: str = "") -> None:
+        super().__init__(sock, channel_id=channel_id)
+        self._plan = plan
+        self._seq = 0
+        self.injected: dict[str, int] = {}
+
+    def _send(self, message: object) -> None:
+        name = protocol.MSG_NAMES.get(
+            protocol.MESSAGE_TYPES.get(type(message), 0), "unknown")
+        seq = self._seq
+        self._seq += 1
+        kind = self._plan.fault_on(self.channel_id, "send", name, seq)
+        if kind is None:
+            super()._send(message)
+            return
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        if kind == FAULT_MSG_DROP:
+            # Swallow the frame: the peer never sees the request, so
+            # this end's recv times out and the worker reconnects.
+            return
+        if kind == FAULT_MSG_GARBLE:
+            frame = bytearray(protocol.pack(message))
+            # Flip the last payload byte; the header (and its digest
+            # field) stays intact so the receiver's integrity check —
+            # not a parse accident — is what catches it.
+            frame[-1] ^= 0xFF
+            self._send_raw(bytes(frame))
+            return
+        if kind == FAULT_MSG_DELAY:
+            time.sleep(float(getattr(self._plan, "delay_s", 0.05)))
+            super()._send(message)
+            return
+        if kind == FAULT_CONN_DISCONNECT:
+            self.close()
+            raise WireProtocolError(
+                "injected disconnect on %s (seq %d)"
+                % (self.channel_id or "channel", seq))
+        # An unrecognized kind is a plan/transport version skew: fail
+        # loudly rather than silently not injecting.
+        raise WireProtocolError(
+            "fault plan placed unknown network fault kind %r" % (kind,))
+
+
+def connect(host: str, port: int, timeout_s: float,
+            channel_id: str = "", plan: object | None = None) -> Channel:
+    """Dial the coordinator; returns a (possibly faulty) channel."""
+    sock = socket.create_connection((host, port), timeout=timeout_s)
+    sock.settimeout(timeout_s)
+    if plan is not None:
+        return FaultyChannel(sock, plan, channel_id=channel_id)
+    return Channel(sock, channel_id=channel_id)

@@ -32,6 +32,14 @@ class EnvelopeCorruptError(SupervisionError):
     """A shard result envelope failed its integrity seal check."""
 
 
+class DistError(ReproError):
+    """The distributed coordinator/worker runtime failed irrecoverably."""
+
+
+class WireProtocolError(DistError):
+    """A dist socket frame violated the length-prefixed wire protocol."""
+
+
 class SimulationError(ReproError):
     """A scenario is invalid or the simulator reached an impossible state."""
 

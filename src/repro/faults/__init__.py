@@ -11,12 +11,21 @@ its :class:`~repro.util.ingest.IngestReport` reconciled fault-by-fault.
 :mod:`repro.faults.injectors` holds the pure line-level corruption
 primitives; :mod:`repro.faults.plan` applies a configurable corruption
 budget to a bundle directory and returns a :class:`FaultReport`
-accounting every injected fault.  The package sits above ``sim`` in the
-layer DAG: it consumes bundle layouts, and only tests and the
-``repro-faults`` CLI consume it.
+accounting every injected fault.  :mod:`repro.faults.process` sabotages
+pool workers (crash/hang/corrupt envelopes) and
+:mod:`repro.faults.network` sabotages the dist transport (dropped,
+garbled, delayed messages and torn connections) — both as inert plan
+objects the runtime consults, so this package never imports what it
+breaks.  The package sits above ``sim`` in the layer DAG: it consumes
+bundle layouts, and only tests and the ``repro-faults`` CLI consume it.
 """
 
 from repro.faults.injectors import FaultKind, InjectedFault
+from repro.faults.network import (
+    NetworkFaultPlan,
+    NetworkFaultReport,
+    reconcile_network,
+)
 from repro.faults.plan import FaultPlan, FaultReport
 from repro.faults.process import (
     ProcessFaultPlan,
@@ -29,7 +38,10 @@ __all__ = [
     "FaultPlan",
     "FaultReport",
     "InjectedFault",
+    "NetworkFaultPlan",
+    "NetworkFaultReport",
     "ProcessFaultPlan",
     "ProcessFaultReport",
     "reconcile",
+    "reconcile_network",
 ]

@@ -26,9 +26,12 @@ class FaultKind(enum.Enum):
     The ``CONNLOG_*`` .. ``BUNDLE_*`` kinds corrupt bundle *data* before
     ingestion; the ``WORKER_*``/``ENVELOPE_*`` kinds are *process*
     faults, acted on inside pool workers during a supervised run
-    (:mod:`repro.faults.process`).  The values double as the wire-level
-    strings the runtime matches on, so they must stay in sync with the
-    ``FAULT_*`` constants in :mod:`repro.runtime.workers`.
+    (:mod:`repro.faults.process`); the ``MSG_*``/``CONN_*`` kinds are
+    *network* faults, acted on by the dist transport during a
+    distributed run (:mod:`repro.faults.network`).  The values double as
+    the wire-level strings the runtime matches on, so they must stay in
+    sync with the ``FAULT_*`` constants in :mod:`repro.runtime.workers`
+    and the ``FAULT_*`` constants in :mod:`repro.dist.transport`.
     """
 
     CONNLOG_GARBLED = "connlog-garbled"
@@ -46,6 +49,10 @@ class FaultKind(enum.Enum):
     WORKER_HANG = "worker-hang"
     WORKER_SLOW = "worker-slow"
     ENVELOPE_CORRUPT = "envelope-corrupt"
+    MSG_DROP = "msg-drop"
+    MSG_GARBLE = "msg-garble"
+    MSG_DELAY = "msg-delay"
+    CONN_DISCONNECT = "conn-disconnect"
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,9 @@ traced run exported:
   max/mean ratio means one shard straggled and capped the speedup);
 * cache effectiveness (hits, misses, stores, evictions, corrupt-entry
   heals, bytes written);
+* distributed-run accounting when the trace came from ``repro-dist``
+  (workers seen, leases granted and reassigned, per-worker lease skew,
+  bytes over the wire);
 * ingest accounting (parsed / repaired / quarantined per dataset, with
   the loss fraction) and injected-fault counts when present.
 
@@ -142,6 +145,55 @@ def _resilience_lines(events: list[dict], counters: dict[str, float],
     return lines
 
 
+def _dist_lines(events: list[dict],
+                counters: dict[str, float]) -> list[str]:
+    """Distributed-run account: workers, leases, skew, wire traffic.
+
+    Fed by the ``dist.*`` counters the coordinator emits plus its
+    ``dist``-category spans (one per stage served over the wire).
+    """
+    served = [event for event in events if event.get("cat") == "dist"]
+    if not served and not any(name.startswith("dist.")
+                              for name in counters):
+        return []
+    lines = ["workers seen %d  leases granted %d  reassignments %d"
+             % (counters.get("dist.workers.seen", 0),
+                counters.get("dist.leases.granted", 0),
+                counters.get("dist.leases.reassigned", 0)),
+             "bytes sent %d  bytes received %d"
+             % (counters.get("dist.bytes.sent", 0),
+                counters.get("dist.bytes.received", 0))]
+    anomalies = []
+    for name, label in (("dist.results.duplicate", "duplicate results"),
+                        ("dist.results.late", "late results"),
+                        ("dist.results.stray", "stray results"),
+                        ("dist.results.cache_hits", "cache-hit leases"),
+                        ("dist.workers.disconnects", "disconnects")):
+        if counters.get(name):
+            anomalies.append("%s %d" % (label, counters[name]))
+    if anomalies:
+        lines.append("  ".join(anomalies))
+    per_worker = {name.split(".", 3)[3]: value
+                  for name, value in counters.items()
+                  if name.startswith("dist.leases.worker.")}
+    if per_worker:
+        granted = sum(per_worker.values()) or 1.0
+        mean = granted / len(per_worker)
+        lines.append("lease skew      " + "  ".join(
+            "%s %d (%.2fx)" % (worker, per_worker[worker],
+                               per_worker[worker] / mean)
+            for worker in sorted(per_worker)))
+    for event in served:
+        args = event.get("args", {})
+        lines.append("%-18s  leases %d  retries %d  reassigned %d  "
+                     "abandoned %d"
+                     % (event.get("name", "?"), args.get("leases", 0),
+                        args.get("retries", 0),
+                        args.get("reassignments", 0),
+                        args.get("abandoned", 0)))
+    return lines
+
+
 def _fault_lines(counters: dict[str, float]) -> list[str]:
     kinds = {name.split(".", 2)[2]: value
              for name, value in counters.items()
@@ -184,6 +236,7 @@ def render_report(payload: dict) -> str:
         ("shard skew", _skew_lines(events)),
         ("cache", _cache_lines(counters, gauges)),
         ("resilience", _resilience_lines(events, counters, gauges)),
+        ("dist", _dist_lines(events, counters)),
         ("ingest", _ingest_lines(counters)),
         ("faults injected", _fault_lines(counters)),
     ]

@@ -33,9 +33,11 @@ from repro.util import fingerprint as fp
 
 #: Packages whose source feeds the code-version hash: everything at or
 #: below ``core`` in the layer DAG that analysis results flow through,
-#: plus this package (executor/merge logic).
+#: plus this package (executor/merge logic) and ``dist`` (the socket
+#: execution tier decides which result envelope resolves each shard, and
+#: its checkpoints must not survive a protocol change).
 CODE_VERSION_PACKAGES = ("errors.py", "util", "net", "atlas", "core",
-                         "runtime")
+                         "runtime", "dist")
 
 #: Default store budget; a paper-scale bundle's artifacts are ~tens of MB.
 DEFAULT_MAX_BYTES = 2 * 1024 ** 3

@@ -192,6 +192,46 @@ def partition_digest(stage: str, shards: list[list]) -> str:
                       *[str(len(shard)) for shard in shards])
 
 
+def shard_checkpoint_key(fingerprint: str, stage: str, index: int,
+                         version: str, params: str, partition: str) -> str:
+    """Cache key of one shard's checkpointed envelope.
+
+    Module-level so every executor that checkpoints shards — the pool
+    supervisor here and the dist coordinator — derives the *same* key
+    from the same identity, which is what lets ``repro-run --resume``
+    pick up checkpoints a distributed run stored and vice versa.
+    """
+    return ArtifactCache.key(
+        fingerprint, "shard:%s:%d" % (stage, index), version,
+        fp.combine(params, partition))
+
+
+def manifest_checkpoint_key(fingerprint: str, stage: str,
+                            version: str, params: str,
+                            partition: str) -> str:
+    """Cache key of one stage's :class:`CheckpointManifest`."""
+    return ArtifactCache.key(
+        fingerprint, "manifest:%s" % stage, version,
+        fp.combine(params, partition))
+
+
+def validate_manifest(manifest: object, stage: str, partition: str,
+                      shard_count: int) -> None:
+    """Reject a manifest recorded for a differently-cut partition.
+
+    The content-addressed keys already embed the partition digest, so
+    foreign checkpoints can never silently match — this check exists to
+    *surface* the mismatch instead of quietly recomputing everything.
+    """
+    if isinstance(manifest, CheckpointManifest) and (
+            manifest.partition_digest != partition
+            or manifest.shard_count != shard_count):
+        raise SupervisionError(
+            "checkpoint manifest for stage %r does not match the "
+            "current shard partition; clear the cache or rerun "
+            "without --resume" % (stage,))
+
+
 def resolve_envelopes(envelopes: Iterable[workers.ShardResult]
                       ) -> dict[int, object]:
     """First verified payload per shard index, whatever the arrival order.
@@ -374,14 +414,12 @@ class ShardSupervisor:
                 and not self._tainted)
 
     def _shard_key(self, stage: str, index: int, partition: str) -> str:
-        return ArtifactCache.key(
-            self.fingerprint, "shard:%s:%d" % (stage, index), self.version,
-            fp.combine(self.params, partition))
+        return shard_checkpoint_key(self.fingerprint, stage, index,
+                                    self.version, self.params, partition)
 
     def _manifest_key(self, stage: str, partition: str) -> str:
-        return ArtifactCache.key(
-            self.fingerprint, "manifest:%s" % stage, self.version,
-            fp.combine(self.params, partition))
+        return manifest_checkpoint_key(self.fingerprint, stage,
+                                       self.version, self.params, partition)
 
     def _load_checkpoints(self, stage: str, partition: str,
                           shard_count: int) -> dict[int, object]:
@@ -399,13 +437,8 @@ class ShardSupervisor:
         hit, manifest = self.cache.load(
             self._manifest_key(stage, partition),
             stage="manifest:%s" % stage)
-        if hit and isinstance(manifest, CheckpointManifest) and (
-                manifest.partition_digest != partition
-                or manifest.shard_count != shard_count):
-            raise SupervisionError(
-                "checkpoint manifest for stage %r does not match the "
-                "current shard partition; clear the cache or rerun "
-                "without --resume" % (stage,))
+        if hit:
+            validate_manifest(manifest, stage, partition, shard_count)
         resolved: dict[int, object] = {}
         for index in range(shard_count):
             hit, envelope = self.cache.load(

@@ -35,6 +35,24 @@ BACKOFF_BASE_S = 0.05 * SECOND
 #: retry knobs so none of them is a magic number at the call site.
 MAX_SHARD_RETRIES = 3
 
+#: Wall-clock budget one distributed lease gets before the coordinator
+#: declares it hung and reassigns the shard (:mod:`repro.dist`).  The
+#: same execution-only semantics as :data:`SHARD_DEADLINE_S`: the clock
+#: starts at grant time, and a shard waiting ungranted never ages.
+LEASE_DEADLINE_S = SHARD_DEADLINE_S
+#: How often the coordinator's stage loop sweeps for expired leases and
+#: how long a worker sleeps on an empty-handed DRAIN before re-pulling.
+DIST_POLL_S = 0.05 * SECOND
+#: Socket receive timeout on the worker side of the dist protocol; a
+#: reply that never arrives (dropped by a faulty transport) surfaces as
+#: a timeout and triggers a reconnect instead of wedging the worker.
+DIST_SOCKET_TIMEOUT_S = 30 * SECOND
+#: Delay between a worker's connection attempts to the coordinator.
+DIST_RECONNECT_DELAY_S = 0.1 * SECOND
+#: How long the coordinator keeps answering DRAIN(done) after the run
+#: completes, so connected workers learn the run is over and exit.
+DIST_DRAIN_GRACE_S = 5 * SECOND
+
 #: Inclusive start of the study window (2015-01-01 00:00:00 UTC).
 YEAR_2015_START = float(
     calendar.timegm(_dt.datetime(2015, 1, 1, tzinfo=_dt.timezone.utc).timetuple())

@@ -1,0 +1,63 @@
+"""Shared fixtures for the dist suite: one small world plus dist helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dist.coordinator import DistConfig, dist_runner_for_bundle
+from repro.dist.loopback import run_loopback
+from repro.experiments.scenarios import small_world
+from repro.runtime.digest import results_digest
+from repro.runtime.executor import RuntimeConfig, runner_for_bundle
+from repro.runtime.workers import WorkerContext
+from repro.sim.io import load_bundle, write_world
+
+
+@pytest.fixture(scope="session")
+def world():
+    """A compact simulated world (built once per session)."""
+    return small_world(seed=11, days=40)
+
+
+@pytest.fixture(scope="session")
+def bundle_dir(world, tmp_path_factory):
+    """The world written to disk as a dataset bundle."""
+    return write_world(world, tmp_path_factory.mktemp("bundle"))
+
+
+@pytest.fixture(scope="session")
+def bundle(bundle_dir):
+    """The bundle loaded back, fingerprint stamped."""
+    return load_bundle(bundle_dir)
+
+
+@pytest.fixture(scope="session")
+def serial_digest(bundle):
+    """The jobs=1 reference digest every distributed run must match."""
+    return results_digest(runner_for_bundle(bundle,
+                                            RuntimeConfig(jobs=1)).run())
+
+
+def context_for(bundle, runner) -> WorkerContext:
+    """The worker context a loopback run installs for ``bundle``."""
+    return WorkerContext(
+        connlog=bundle.connlog, archive=bundle.archive,
+        ip2as=bundle.ip2as, kroot=bundle.kroot, uptime=bundle.uptime,
+        min_connected=runner._min_connected)
+
+
+@pytest.fixture
+def dist_run(bundle):
+    """Run the pipeline through loopback sockets; returns (run, runner)."""
+
+    def run(worker_count: int = 2, config: DistConfig | None = None,
+            fault_plans: dict | None = None, **kwargs):
+        if config is None:
+            config = DistConfig(workers=worker_count)
+        runner = dist_runner_for_bundle(bundle, config)
+        result = run_loopback(runner, context_for(bundle, runner),
+                              worker_count=worker_count,
+                              fault_plans=fault_plans, **kwargs)
+        return result, runner
+
+    return run

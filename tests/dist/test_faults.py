@@ -1,0 +1,84 @@
+"""Network-faulted distributed runs: sabotage the transport, keep the
+digest.
+
+Each test runs the full loopback pipeline with a deterministic
+:class:`~repro.faults.network.NetworkFaultPlan` on the worker channels
+and asserts the two-part contract: the ``results_digest`` still equals
+the serial reference, and :func:`~repro.faults.network.
+reconcile_network` accounts the run exactly (injected faults logged,
+disruptions attributed, ``analyzed + quarantined == total``).
+
+Deadlines and socket timeouts are small here on purpose: a dropped
+message heals via lease expiry or a receive timeout, and the defaults
+(minutes) would turn each recovery into a stall.
+"""
+
+import pytest
+
+from repro.dist.coordinator import DistConfig
+from repro.faults.network import NetworkFaultPlan, reconcile_network
+
+pytestmark = [pytest.mark.dist, pytest.mark.faults, pytest.mark.slow]
+
+
+def _faulted(dist_run, plan, workers=2, lease_deadline=5.0,
+             socket_timeout=2.0):
+    config = DistConfig(workers=workers, lease_deadline_s=lease_deadline,
+                        backoff_base_s=0.01)
+    run, runner = dist_run(
+        worker_count=workers, config=config,
+        fault_plans={"w%d" % i: plan for i in range(workers)},
+        socket_timeout_s=socket_timeout)
+    report = reconcile_network(
+        plan, [summary.injected for summary in run.summaries.values()],
+        runner.report.resilience)
+    return run, runner, report
+
+
+def test_garbled_messages_cost_retries_never_the_digest(dist_run,
+                                                        serial_digest):
+    plan = NetworkFaultPlan(seed=13, msg_garble=0.05)
+    run, runner, report = _faulted(dist_run, plan)
+    assert run.worker_errors == {}
+    assert run.digest == serial_digest
+    assert not runner.report.degraded
+    assert report.accounted
+    assert report.injected.get("msg-garble", 0) > 0
+
+
+def test_disconnects_reassign_leases_and_keep_the_digest(dist_run,
+                                                         serial_digest):
+    plan = NetworkFaultPlan(seed=23, conn_disconnect=0.04)
+    run, runner, report = _faulted(dist_run, plan)
+    assert run.digest == serial_digest
+    assert report.accounted
+    assert report.injected.get("conn-disconnect", 0) > 0
+    reconnects = sum(summary.reconnects
+                     for summary in run.summaries.values())
+    assert reconnects > 0
+
+
+def test_mixed_fault_soup_reconciles_exactly(dist_run, serial_digest):
+    plan = NetworkFaultPlan(seed=3, msg_drop=0.02, msg_garble=0.03,
+                            msg_delay=0.05, conn_disconnect=0.02,
+                            delay_s=0.01)
+    run, runner, report = _faulted(dist_run, plan)
+    assert run.digest == serial_digest
+    assert report.accounted
+    assert sum(report.injected.values()) > 0
+    # The channel logs and the worker summaries are the same account.
+    logged = {}
+    for summary in run.summaries.values():
+        for kind, count in summary.injected.items():
+            logged[kind] = logged.get(kind, 0) + count
+    assert report.injected == logged
+    assert report.total_items > 0
+    assert report.analyzed_items == report.total_items
+
+
+def test_faulted_run_report_renders(dist_run):
+    plan = NetworkFaultPlan(seed=13, msg_garble=0.05)
+    _, _, report = _faulted(dist_run, plan)
+    text = report.render()
+    assert "network faults (seed 13)" in text
+    assert "UNRECONCILED" not in text

@@ -1,0 +1,137 @@
+"""Tests for repro.faults.network (deterministic network-fault plans).
+
+These cover the plan in isolation — placement determinism, kind-draw
+independence, rate validation, and exact reconciliation against
+synthetic channel logs and supervision rows.  End-to-end faulted
+distributed runs live in ``tests/dist/test_faults.py`` (the plan is
+inert; the transport is what interprets it).
+"""
+
+import pytest
+
+from repro.faults.injectors import FaultKind
+from repro.faults.network import (
+    NETWORK_FAULT_KINDS,
+    NetworkFaultPlan,
+    NetworkFaultReport,
+    reconcile_network,
+)
+
+pytestmark = pytest.mark.faults
+
+MESSAGES = ("hello", "lease", "result", "heartbeat")
+
+
+def test_fault_on_is_deterministic():
+    plan = NetworkFaultPlan(seed=42, msg_drop=0.3, msg_garble=0.3,
+                            msg_delay=0.3, conn_disconnect=0.3)
+    for seq in range(64):
+        first = plan.fault_on("w0#0", "send", "lease", seq)
+        assert all(plan.fault_on("w0#0", "send", "lease", seq) == first
+                   for _ in range(3))
+
+
+def test_zero_rates_place_nothing():
+    plan = NetworkFaultPlan(seed=7)
+    assert not plan.any_rate()
+    assert all(plan.fault_on("w0#0", "send", msg, seq) is None
+               for msg in MESSAGES for seq in range(64))
+
+
+def test_rate_one_fires_everywhere_first_kind_wins():
+    plan = NetworkFaultPlan(seed=7, msg_drop=1.0, conn_disconnect=1.0)
+    placed = {plan.fault_on("w0#0", "send", "lease", seq)
+              for seq in range(16)}
+    # msg_drop precedes conn_disconnect in the fixed draw order, so at
+    # most one kind fires and it is always the earlier one.
+    assert placed == {FaultKind.MSG_DROP.value}
+
+
+def test_placement_keys_on_channel_and_seq_not_message_type():
+    """Same position, different message text: same fault — the schedule
+    is a pure function of the conversation position; different channel:
+    a different schedule (this is what makes reconnects draw fresh)."""
+    plan = NetworkFaultPlan(seed=9, msg_garble=0.5)
+    for seq in range(32):
+        kinds = {plan.fault_on("w0#0", "send", msg, seq)
+                 for msg in MESSAGES}
+        assert len(kinds) == 1
+    schedules = [
+        tuple(plan.fault_on(channel, "send", "lease", seq)
+              for seq in range(64))
+        for channel in ("w0#0", "w0#1", "w1#0")
+    ]
+    assert len(set(schedules)) == 3
+
+
+def test_kind_draws_are_independent():
+    """Adding a later kind's rate never moves an earlier kind's
+    placements."""
+    garble_only = NetworkFaultPlan(seed=11, msg_garble=0.4)
+    with_delay = NetworkFaultPlan(seed=11, msg_garble=0.4, msg_delay=1.0)
+    baseline = {seq for seq in range(64)
+                if garble_only.fault_on("w0#0", "send", "lease", seq)
+                == FaultKind.MSG_GARBLE.value}
+    combined = {seq: with_delay.fault_on("w0#0", "send", "lease", seq)
+                for seq in range(64)}
+    garbled = {seq for seq, kind in combined.items()
+               if kind == FaultKind.MSG_GARBLE.value}
+    assert garbled == baseline
+    # Every other message got the delay (rate 1.0), none got lost.
+    assert set(combined.values()) <= {FaultKind.MSG_GARBLE.value,
+                                      FaultKind.MSG_DELAY.value}
+    assert all(kind is not None for kind in combined.values())
+
+
+def test_draw_order_is_pinned():
+    assert NETWORK_FAULT_KINDS == (
+        FaultKind.MSG_DROP, FaultKind.MSG_GARBLE, FaultKind.MSG_DELAY,
+        FaultKind.CONN_DISCONNECT)
+
+
+@pytest.mark.parametrize("field", ["msg_drop", "msg_garble", "msg_delay",
+                                   "conn_disconnect"])
+def test_rates_validated(field):
+    with pytest.raises(ValueError):
+        NetworkFaultPlan(seed=1, **{field: 1.5})
+    with pytest.raises(ValueError):
+        NetworkFaultPlan(seed=1, **{field: -0.1})
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        NetworkFaultPlan(seed=1, delay_s=-1.0)
+
+
+class _Row:
+    def __init__(self, total, analyzed, quarantined, causes):
+        self.total_items = total
+        self.analyzed_items = analyzed
+        self.quarantined_items = quarantined
+        self.failures = [type("F", (), {"cause": cause})()
+                         for cause in causes]
+
+
+def test_reconcile_folds_logs_and_resilience():
+    plan = NetworkFaultPlan(seed=5, msg_drop=0.1)
+    report = reconcile_network(
+        plan,
+        [{"msg-drop": 2}, {"msg-drop": 1, "msg-garble": 3}],
+        [_Row(100, 100, 0, ["hang"]),
+         _Row(50, 40, 10, ["disconnect", "disconnect"])])
+    assert report.injected == {"msg-drop": 3, "msg-garble": 3}
+    assert report.disruptions == {"hang": 1, "disconnect": 2}
+    assert report.total_items == 150
+    assert report.analyzed_items == 140
+    assert report.quarantined_items == 10
+    assert report.accounted
+    assert report.degraded
+    assert "network faults" in report.render()
+
+
+def test_reconcile_flags_unaccounted_items():
+    report = NetworkFaultReport(seed=1, total_items=10, analyzed_items=5,
+                                quarantined_items=1)
+    assert not report.accounted
+    assert "UNRECONCILED" in report.render()
+    assert report.to_dict()["accounted"] is False
