@@ -156,6 +156,9 @@ class FileSummary:
     imports: tuple[str, ...] = ()
     functions: dict[str, FunctionSummary] = field(default_factory=dict)
     classes: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: Class name -> env-resolved dotted base refs (RPR011 walks these
+    #: so typed method resolution honours inheritance).
+    class_bases: dict[str, tuple[str, ...]] = field(default_factory=dict)
     module_names: frozenset[str] = frozenset()
     stage_decls: tuple[StageDecl, ...] = ()
     #: ``(package entries, line)`` of a ``CODE_VERSION_PACKAGES`` binding.
@@ -168,6 +171,10 @@ class FileSummary:
     #: Wire-contract declarations (RPR010);
     #: :class:`~repro.devtools.wire.WireDecl` tuples.
     wire_decls: tuple = ()
+    #: Non-trivial concurrency/lifecycle summaries (RPR011/RPR012),
+    #: keyed like ``functions``; values are :class:`~repro.devtools.\
+    #: concurrency.FunctionConcurrencySummary`.
+    concurrency: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -178,6 +185,8 @@ class FileSummary:
                           for name, fn in self.functions.items()},
             "classes": {name: list(methods)
                         for name, methods in self.classes.items()},
+            "class_bases": {name: list(bases)
+                            for name, bases in self.class_bases.items()},
             "module_names": sorted(self.module_names),
             "stage_decls": [decl.to_dict() for decl in self.stage_decls],
             "code_version_decl": (
@@ -188,10 +197,13 @@ class FileSummary:
             "order": {name: summary.to_dict()
                       for name, summary in self.order.items()},
             "wire_decls": [decl.to_dict() for decl in self.wire_decls],
+            "concurrency": {name: summary.to_dict()
+                            for name, summary in self.concurrency.items()},
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FileSummary":
+        from repro.devtools.concurrency import FunctionConcurrencySummary
         from repro.devtools.ordering import FunctionOrderSummary
         from repro.devtools.wire import WireDecl
 
@@ -204,6 +216,9 @@ class FileSummary:
                        for name, fn in payload.get("functions", {}).items()},
             classes={name: tuple(methods)
                      for name, methods in payload.get("classes", {}).items()},
+            class_bases={
+                name: tuple(bases)
+                for name, bases in payload.get("class_bases", {}).items()},
             module_names=frozenset(payload.get("module_names", ())),
             stage_decls=tuple(StageDecl.from_dict(entry)
                               for entry in payload.get("stage_decls", ())),
@@ -215,6 +230,9 @@ class FileSummary:
                    for name, entry in payload.get("order", {}).items()},
             wire_decls=tuple(WireDecl.from_dict(entry)
                              for entry in payload.get("wire_decls", ())),
+            concurrency={
+                name: FunctionConcurrencySummary.from_dict(entry)
+                for name, entry in payload.get("concurrency", {}).items()},
         )
 
 
@@ -473,14 +491,16 @@ class _FunctionAnalyzer:
 def summarize_source(tree: ast.Module, module: str, path: str,
                      is_package: bool = False) -> FileSummary:
     """Compress one parsed file into a :class:`FileSummary`."""
-    # Function-level imports: ordering/wire import helpers from this
-    # module, so a top-level import would be a cycle.
+    # Function-level imports: ordering/wire/concurrency import helpers
+    # from this module, so a top-level import would be a cycle.
+    from repro.devtools.concurrency import concurrency_summary
     from repro.devtools.ordering import order_summary
     from repro.devtools.wire import extract_wire_decls
 
     env, targets = _import_env(tree, module, is_package)
 
     module_names: set[str] = set(env)
+    data_names: set[str] = set()
     for node in tree.body:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
                              ast.ClassDef)):
@@ -489,15 +509,20 @@ def summarize_source(tree: ast.Module, module: str, path: str,
             for target in node.targets:
                 if isinstance(target, ast.Name):
                     module_names.add(target.id)
+                    data_names.add(target.id)
         elif isinstance(node, ast.AnnAssign):
             if isinstance(node.target, ast.Name):
                 module_names.add(node.target.id)
+                data_names.add(node.target.id)
     frozen_names = frozenset(module_names)
+    frozen_data = frozenset(data_names)
 
     functions: dict[str, FunctionSummary] = {}
     classes: dict[str, tuple[str, ...]] = {}
+    class_bases: dict[str, tuple[str, ...]] = {}
     pool_sites: list[PoolSite] = []
     order: dict = {}
+    concurrency: dict = {}
 
     def analyze(node, qualname: str, class_name: str | None) -> None:
         analyzer = _FunctionAnalyzer(node, qualname, class_name, env,
@@ -507,6 +532,10 @@ def summarize_source(tree: ast.Module, module: str, path: str,
         flow = order_summary(node, qualname, env)
         if flow is not None:
             order[qualname] = flow
+        facts = concurrency_summary(node, qualname, class_name, env,
+                                    module, frozen_data)
+        if facts is not None:
+            concurrency[qualname] = facts
 
     for node in tree.body:
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -520,17 +549,25 @@ def summarize_source(tree: ast.Module, module: str, path: str,
                     analyze(item, "%s.%s" % (node.name, item.name),
                             node.name)
             classes[node.name] = tuple(methods)
+            bases = []
+            for base in node.bases:
+                ref = _resolve_ref(base, env, module)
+                if ref is not None and not ref.startswith("<"):
+                    bases.append(ref)
+            class_bases[node.name] = tuple(bases)
 
     stage_decls = _find_stage_decls(tree, env, module)
     code_version_decl = _find_code_version_decl(tree)
 
     return FileSummary(
         module=module, path=path, imports=tuple(targets),
-        functions=functions, classes=classes, module_names=frozen_names,
+        functions=functions, classes=classes, class_bases=class_bases,
+        module_names=frozen_names,
         stage_decls=tuple(stage_decls),
         code_version_decl=code_version_decl,
         pool_sites=tuple(pool_sites), order=order,
-        wire_decls=tuple(extract_wire_decls(tree, module)))
+        wire_decls=tuple(extract_wire_decls(tree, module)),
+        concurrency=concurrency)
 
 
 def _find_stage_decls(tree: ast.Module, env: dict[str, str],

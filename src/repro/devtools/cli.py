@@ -12,6 +12,7 @@ Usage::
     repro-lint --contracts wire-contracts.json src/repro  # pin RPR010 file
     repro-lint --contracts wire-contracts.json --update-contracts src/repro
     repro-lint --list-rules                  # print the rule catalog
+    repro-lint --explain RPR011              # one rule's full documentation
 
 Exits 0 when no (non-baselined) error-severity diagnostics were produced,
 1 otherwise, and 2 on usage errors (e.g. an unknown rule id).
@@ -44,7 +45,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Static analysis for the repro codebase "
                     "(determinism, time units, layering, errors, dataclasses, "
                     "stage purity, cache soundness, worker state, order "
-                    "taint, wire contracts).",
+                    "taint, wire contracts, thread-role races, resource "
+                    "lifecycles).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src/repro"],
@@ -92,7 +94,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--explain", default=None, metavar="RPR0NN",
+        help="print one rule's full documentation (what it flags, why, "
+             "and how to fix or suppress findings) and exit",
+    )
     return parser
+
+
+def _explain(rule: str) -> int:
+    """Print the documentation of ``rule``'s checker module."""
+    import importlib
+
+    rule = rule.strip().upper()
+    for checker in all_checkers():
+        if checker.rule != rule:
+            continue
+        module = importlib.import_module(type(checker).__module__)
+        doc = (module.__doc__ or "").strip()
+        print("%s  %s" % (checker.rule, checker.summary))
+        if doc:
+            print()
+            print(doc)
+        return 0
+    print("repro-lint: unknown rule %r; --list-rules shows the catalog"
+          % rule, file=sys.stderr)
+    return 2
 
 
 def _update_contracts(paths: Sequence[str], contracts: str) -> int:
@@ -135,6 +162,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         for checker in all_checkers():
             print("%s  %s" % (checker.rule, checker.summary))
         return 0
+
+    if options.explain is not None:
+        return _explain(options.explain)
 
     if options.update_baseline and options.baseline is None:
         print("repro-lint: --update-baseline requires --baseline FILE",

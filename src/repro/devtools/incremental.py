@@ -6,7 +6,7 @@ interprocedural pass consumes — depends only on one file's bytes.  So
 each analyzed file is cached under its content fingerprint
 (:func:`repro.util.fingerprint.hash_text`), and a warm run re-analyzes
 only files whose fingerprint moved, rebuilding the project graph from
-cached summaries for the rest.  The whole-project pass (RPR006–010) is
+cached summaries for the rest.  The whole-project pass (RPR006–012) is
 cheap relative to parsing and always re-runs, so interprocedural
 findings stay correct even when *other* files changed.
 
@@ -31,7 +31,7 @@ from repro.devtools.diagnostics import Diagnostic
 
 #: Bump when the entry layout changes shape (distinct from
 #: ``analysis_version``, which tracks analyzer *behaviour*).
-CACHE_FORMAT = 1
+CACHE_FORMAT = 2
 
 
 def analysis_version() -> str:

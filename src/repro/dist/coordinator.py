@@ -262,29 +262,37 @@ class LeaseServer:
                         stored = serving.checkpoints_stored
                         break
                 time.sleep(self.config.poll_s)
-            outcome = board.finish(probe_of,
-                                   checkpoints_loaded=len(resolved),
-                                   checkpoints_stored=stored)
-            # Absorb worker spans/metrics in shard-index order: the
-            # merged trace is deterministic whatever the wire order was.
-            for index in sorted(board.envelopes):
-                envelope = board.envelopes[index]
-                obs.absorb_spans(span.with_attrs(shard=index)
-                                 for span in envelope.spans)
-                obs.metrics().absorb(envelope.metrics)
-            handle.set(leases=board.leases_granted,
-                       retries=board.retries,
-                       reassignments=board.reassignments,
-                       abandoned=len(board.abandoned),
-                       duplicates=board.duplicates, late=board.late,
-                       checkpoints_loaded=len(resolved),
-                       checkpoints_stored=stored)
-            if board.reassignments:
-                obs.count("dist.leases.reassigned", board.reassignments)
-            if board.duplicates:
-                obs.count("dist.results.duplicate", board.duplicates)
-            if board.late:
-                obs.count("dist.results.late", board.late)
+            # The board is only safe under the cluster lock; handler
+            # threads may still be draining a late RESULT, so the final
+            # accounting reads hold it too.
+            with self._lock:
+                outcome = board.finish(probe_of,
+                                       checkpoints_loaded=len(resolved),
+                                       checkpoints_stored=stored)
+                # Absorb worker spans/metrics in shard-index order: the
+                # merged trace is deterministic whatever the wire order
+                # was.
+                for index in sorted(board.envelopes):
+                    envelope = board.envelopes[index]
+                    obs.absorb_spans(span.with_attrs(shard=index)
+                                     for span in envelope.spans)
+                    obs.metrics().absorb(envelope.metrics)
+                handle.set(leases=board.leases_granted,
+                           retries=board.retries,
+                           reassignments=board.reassignments,
+                           abandoned=len(board.abandoned),
+                           duplicates=board.duplicates, late=board.late,
+                           checkpoints_loaded=len(resolved),
+                           checkpoints_stored=stored)
+                reassigned = board.reassignments
+                duplicates = board.duplicates
+                late = board.late
+            if reassigned:
+                obs.count("dist.leases.reassigned", reassigned)
+            if duplicates:
+                obs.count("dist.results.duplicate", duplicates)
+            if late:
+                obs.count("dist.results.late", late)
             if len(resolved):
                 obs.count("runtime.checkpoints.loaded", len(resolved))
             if stored:

@@ -58,12 +58,15 @@ class Channel:
                     % (count - remaining, count))
             chunks.append(chunk)
             remaining -= len(chunk)
-        self.bytes_received += count
+        # Each Channel belongs to one conversation: the only cross-thread
+        # sharing is the worker's heartbeat, serialized by ``request``'s
+        # lock, so the byte counters never race in practice.
+        self.bytes_received += count  # repro: noqa[RPR011] -- per-connection counter; heartbeat/serve sharing is serialized by self._lock in request()
         return b"".join(chunks)
 
     def _send_raw(self, frame: bytes) -> None:
         self._sock.sendall(frame)
-        self.bytes_sent += len(frame)
+        self.bytes_sent += len(frame)  # repro: noqa[RPR011] -- per-connection counter; heartbeat/serve sharing is serialized by self._lock in request()
 
     def _send(self, message: object) -> None:
         self._send_raw(protocol.pack(message))
@@ -158,7 +161,14 @@ def connect(host: str, port: int, timeout_s: float,
             channel_id: str = "", plan: object | None = None) -> Channel:
     """Dial the coordinator; returns a (possibly faulty) channel."""
     sock = socket.create_connection((host, port), timeout=timeout_s)
-    sock.settimeout(timeout_s)
-    if plan is not None:
-        return FaultyChannel(sock, plan, channel_id=channel_id)
-    return Channel(sock, channel_id=channel_id)
+    try:
+        sock.settimeout(timeout_s)
+        if plan is not None:
+            return FaultyChannel(sock, plan, channel_id=channel_id)
+        return Channel(sock, channel_id=channel_id)
+    # Cleanup-only handler: the raw socket must not leak when channel
+    # construction fails (including KeyboardInterrupt); the exception is
+    # re-raised untouched.
+    except BaseException:  # repro: noqa[RPR004]
+        sock.close()
+        raise

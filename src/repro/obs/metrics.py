@@ -20,48 +20,62 @@ a leaf layer and must not import the layers it observes.
 from __future__ import annotations
 
 import os
+import threading
 from dataclasses import dataclass, field
 
 
 @dataclass
 class MetricsRegistry:
-    """Flat name -> value stores for counters and gauges."""
+    """Flat name -> value stores for counters and gauges.
+
+    Counted from coordinator handler threads and worker serve loops
+    alike, so every store access holds ``_lock`` (an RLock: ``drain``
+    re-enters through ``snapshot``).
+    """
 
     pid: int = field(default_factory=os.getpid)
     _counters: dict[str, float] = field(default_factory=dict)
     _gauges: dict[str, float] = field(default_factory=dict)
+    _lock: threading.RLock = field(default_factory=threading.RLock,
+                                   repr=False, compare=False)
 
     def count(self, name: str, amount: float = 1) -> None:
         """Add ``amount`` to a counter (created at zero)."""
-        self._counters[name] = self._counters.get(name, 0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
 
     def gauge(self, name: str, value: float) -> None:
         """Set a gauge to ``value`` (last write wins)."""
-        self._gauges[name] = float(value)
+        with self._lock:
+            self._gauges[name] = float(value)
 
     def counters(self) -> dict[str, float]:
         """Copy of the counter store."""
-        return dict(self._counters)
+        with self._lock:
+            return dict(self._counters)
 
     def gauges(self) -> dict[str, float]:
         """Copy of the gauge store."""
-        return dict(self._gauges)
+        with self._lock:
+            return dict(self._gauges)
 
     def snapshot(self) -> dict[str, dict[str, float]]:
         """JSON-friendly view of both stores (sorted for stable output)."""
-        return {
-            "counters": {name: self._counters[name]
-                         for name in sorted(self._counters)},
-            "gauges": {name: self._gauges[name]
-                       for name in sorted(self._gauges)},
-        }
+        with self._lock:
+            return {
+                "counters": {name: self._counters[name]
+                             for name in sorted(self._counters)},
+                "gauges": {name: self._gauges[name]
+                           for name in sorted(self._gauges)},
+            }
 
     def drain(self) -> dict[str, dict[str, float]]:
         """Snapshot then clear (worker-side shipping)."""
-        snapshot = self.snapshot()
-        self._counters.clear()
-        self._gauges.clear()
-        return snapshot
+        with self._lock:
+            snapshot = self.snapshot()
+            self._counters.clear()
+            self._gauges.clear()
+            return snapshot
 
     def absorb(self, snapshot: dict[str, dict[str, float]]) -> None:
         """Merge a shipped snapshot: counters add, gauges overwrite."""
@@ -72,14 +86,16 @@ class MetricsRegistry:
 
 
 _registry: MetricsRegistry | None = None
+_registry_lock = threading.Lock()
 
 
 def metrics() -> MetricsRegistry:
     """The process-local registry, fork/spawn-safe (see module doc)."""
     global _registry
-    if _registry is None or _registry.pid != os.getpid():
-        _registry = MetricsRegistry()
-    return _registry
+    with _registry_lock:
+        if _registry is None or _registry.pid != os.getpid():
+            _registry = MetricsRegistry()
+        return _registry
 
 
 def count(name: str, amount: float = 1) -> None:

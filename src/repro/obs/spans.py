@@ -26,6 +26,7 @@ stage function calling into this module stops inferring PURE).
 from __future__ import annotations
 
 import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
@@ -84,36 +85,49 @@ class SpanHandle:
 
     def set(self, **attrs: object) -> None:
         """Attach attributes to the span being recorded."""
-        self.attrs.update(attrs)
+        # A handle never leaves the ``with span(...)`` body that created
+        # it, so only the thread that opened the span mutates it.
+        self.attrs.update(attrs)  # repro: noqa[RPR011] -- handle is confined to the opening thread's with-block; it is sealed into an immutable Span before crossing threads
 
 
 @dataclass
 class SpanCollector:
-    """Process-local span sink (create via :func:`collector`)."""
+    """Process-local span sink (create via :func:`collector`).
+
+    Coordinator handler threads and the driver's main thread record
+    into the same collector, so every ``_spans`` access holds ``_lock``.
+    """
 
     pid: int = field(default_factory=os.getpid)
     _spans: list[Span] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def record(self, span: Span) -> None:
         """Append one completed span."""
-        self._spans.append(span)
+        with self._lock:
+            self._spans.append(span)
 
     def absorb(self, spans: Iterable[Span]) -> None:
         """Append spans shipped from elsewhere (a worker, a sub-run)."""
-        self._spans.extend(spans)
+        with self._lock:
+            self._spans.extend(spans)
 
     def spans(self) -> tuple[Span, ...]:
         """Everything recorded so far, in record order."""
-        return tuple(self._spans)
+        with self._lock:
+            return tuple(self._spans)
 
     def drain(self) -> list[Span]:
         """Return all recorded spans and clear the collector."""
-        drained = list(self._spans)
-        self._spans.clear()
-        return drained
+        with self._lock:
+            drained = list(self._spans)
+            self._spans.clear()
+            return drained
 
 
 _collector: SpanCollector | None = None
+_collector_lock = threading.Lock()
 
 
 def collector() -> SpanCollector:
@@ -125,9 +139,10 @@ def collector() -> SpanCollector:
     parent already holds.
     """
     global _collector
-    if _collector is None or _collector.pid != os.getpid():
-        _collector = SpanCollector()
-    return _collector
+    with _collector_lock:
+        if _collector is None or _collector.pid != os.getpid():
+            _collector = SpanCollector()
+        return _collector
 
 
 @contextmanager

@@ -188,7 +188,11 @@ class ArtifactCache:
             total -= stat.st_size
             path.unlink(missing_ok=True)
             removed += 1
-        self.stats.evicted += removed
+        # Each runner owns a private cache handle: ShardedRunner touches
+        # it from the main thread only, and in dist mode every access is
+        # inside LeaseServer._on_result, which holds the cluster RLock —
+        # the two roles never share one instance.
+        self.stats.evicted += removed  # repro: noqa[RPR011] -- per-handle accounting; dist accesses are serialized by the coordinator's cluster lock, runtime handles are main-thread-only
         return removed
 
     def clear(self) -> int:
