@@ -22,11 +22,12 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.atlas.archive import ProbeArchive
+from repro.atlas.columnar import ColumnarConnlog, ColumnarUptime
 from repro.atlas.connlog import ConnectionLog
 from repro.atlas.kroot import KRootDataset
 from repro.atlas.sosuptime import UptimeDataset
 from repro.atlas.types import ProbeVersion
-from repro.core import geography
+from repro.core import colkernels, geography
 from repro.core.association import GapEvent, associate_probe_gaps
 from repro.core.changes import (
     AddressChange,
@@ -43,7 +44,11 @@ from repro.core.conditional import (
     probe_outage_stats,
     stats_for_asn,
 )
-from repro.core.filtering import FilterReport, ProbeFilter
+from repro.core.filtering import (
+    FilterReport,
+    ProbeFilter,
+    report_from_verdicts,
+)
 from repro.core.hourofday import hour_histogram, periodic_change_hours
 from repro.core.outage_buckets import DurationBucket, bucket_outages
 from repro.core.periodicity import (
@@ -62,6 +67,8 @@ from repro.core.reboots import (
 from repro.core.timefraction import DEFAULT_BIN
 from repro.net.pfx2as import IpToAsDataset
 from repro.util import timeutil
+from repro.util.colpack import HAVE_NUMPY
+from repro.util.ordering import ordered, ordered_items
 from repro.util.stats import CdfPoint
 
 
@@ -321,7 +328,9 @@ def stage_gaps(filter_report: FilterReport, kroot: KRootDataset,
                ) -> dict[int, list[GapEvent]]:
     """Stage ``gaps``: associate connection gaps with observed outages."""
     gap_events_by_probe: dict[int, list[GapEvent]] = {}
-    for probe_id in filter_report.analyzable_as():
+    # analyzable_as() is sorted already; the explicit barrier lets
+    # RPR009 prove the output's key order without trusting that.
+    for probe_id in ordered(filter_report.analyzable_as()):
         if not kroot.has_probe(probe_id):
             continue
         gap_events_by_probe[probe_id] = probe_gap_events(
@@ -332,9 +341,15 @@ def stage_gaps(filter_report: FilterReport, kroot: KRootDataset,
 
 def stage_stats(gap_events_by_probe: Mapping[int, list[GapEvent]]
                 ) -> dict[int, ProbeOutageStats]:
-    """Stage ``stats``: per-probe conditional outage statistics."""
+    """Stage ``stats``: per-probe conditional outage statistics.
+
+    Iterates in sorted-key order rather than insertion order: the input
+    mapping is sorted however it was produced (serial loop, shard
+    merge, columnar kernel), but this stage's output feeds the digest,
+    so its order must not *depend* on that (RPR009).
+    """
     return {probe_id: probe_outage_stats(probe_id, events)
-            for probe_id, events in gap_events_by_probe.items()}
+            for probe_id, events in ordered_items(gap_events_by_probe)}
 
 
 def stage_v3(asn_by_probe: Mapping[int, int],
@@ -352,6 +367,56 @@ def stage_v3(asn_by_probe: Mapping[int, int],
     ))
 
 
+# -- columnar stage variants --------------------------------------------------
+#
+# Vectorized drop-ins for the four hot stages, over the array-backed views
+# (DESIGN.md §16).  Both execution tiers (AnalysisPipeline below and the
+# sharded runtime executor) call these same wrappers, and each is pinned
+# bit-identical to its record-kernel twin by the differential suite; the
+# legacy functions above remain the oracle (``--legacy-kernels``).
+
+def stage_filter_col(col: ColumnarConnlog, connlog: ConnectionLog,
+                     archive: ProbeArchive, ip2as: IpToAsDataset,
+                     min_connected: float = 30 * timeutil.DAY
+                     ) -> FilterReport:
+    """Columnar :func:`stage_filter`."""
+    return report_from_verdicts(colkernels.classify_probes(
+        col, connlog, archive, ip2as, min_connected))
+
+
+def stage_spans_col(col: ColumnarConnlog, connlog: ConnectionLog,
+                    filter_report: FilterReport
+                    ) -> tuple[dict[int, list[AddressSpan]],
+                               dict[int, list[float]]]:
+    """Columnar :func:`stage_spans`."""
+    payload = colkernels.probe_spans_col(col, connlog,
+                                         filter_report.analyzable_geo())
+    spans_by_probe: dict[int, list[AddressSpan]] = {}
+    durations_by_probe: dict[int, list[float]] = {}
+    for probe_id, (spans, durations) in payload.items():
+        spans_by_probe[probe_id] = spans
+        if durations:
+            durations_by_probe[probe_id] = durations
+    return spans_by_probe, durations_by_probe
+
+
+def stage_reboots_col(colup: ColumnarUptime
+                      ) -> tuple[dict[int, int], list[int], dict[int, list]]:
+    """Columnar :func:`stage_reboots`."""
+    return aggregate_reboots(colkernels.detect_reboots_col(colup))
+
+
+def stage_gaps_col(col: ColumnarConnlog, kroot: KRootDataset,
+                   filter_report: FilterReport,
+                   filtered_reboots: Mapping[int, list]
+                   ) -> dict[int, list[GapEvent]]:
+    """Columnar :func:`stage_gaps`."""
+    items = [(probe_id, filtered_reboots.get(probe_id, []))
+             for probe_id in ordered(filter_report.analyzable_as())
+             if kroot.has_probe(probe_id)]
+    return colkernels.gap_events_col(col, kroot, items)
+
+
 class AnalysisPipeline:
     """Runs the full analysis over one set of input datasets.
 
@@ -362,6 +427,12 @@ class AnalysisPipeline:
     absent from SOS-uptime simply has no reboots; a probe absent from
     the archive is skipped by geography and the v3 power analysis.
     Only the connection log decides which probes exist at all.
+
+    ``columnar`` selects the vectorized kernels: ``None`` (the default)
+    auto-enables them when numpy is importable, ``False`` forces the
+    legacy record kernels (the differential oracle), ``True`` insists —
+    and still degrades to legacy on a numpy-free host.  Both paths are
+    bit-identical by contract.
     """
 
     def __init__(self, connlog: ConnectionLog, archive: ProbeArchive,
@@ -369,7 +440,8 @@ class AnalysisPipeline:
                  ip2as: IpToAsDataset,
                  as_names: Mapping[int, str] | None = None,
                  as_countries: Mapping[int, str] | None = None,
-                 min_connected: float = 30 * timeutil.DAY) -> None:
+                 min_connected: float = 30 * timeutil.DAY,
+                 columnar: bool | None = None) -> None:
         self._connlog = connlog
         self._archive = archive
         self._kroot = kroot
@@ -378,18 +450,33 @@ class AnalysisPipeline:
         self._as_names = dict(as_names or {})
         self._as_countries = dict(as_countries or {})
         self._min_connected = min_connected
+        self._columnar = (HAVE_NUMPY if columnar is None
+                          else columnar and HAVE_NUMPY)
 
     def run(self) -> AnalysisResults:
         """Execute all stages serially and return the results object."""
-        filter_report = stage_filter(self._connlog, self._archive,
-                                     self._ip2as,
-                                     min_connected=self._min_connected)
-        spans_by_probe, durations_by_probe = stage_spans(filter_report)
-        changes_by_probe, asn_by_probe = stage_changes(filter_report)
-        day_counts, firmware_days, filtered_reboots = stage_reboots(
-            self._uptime)
-        gap_events_by_probe = stage_gaps(filter_report, self._kroot,
-                                         filtered_reboots)
+        if self._columnar:
+            col = ColumnarConnlog.from_connlog(self._connlog)
+            filter_report = stage_filter_col(
+                col, self._connlog, self._archive, self._ip2as,
+                min_connected=self._min_connected)
+            spans_by_probe, durations_by_probe = stage_spans_col(
+                col, self._connlog, filter_report)
+            changes_by_probe, asn_by_probe = stage_changes(filter_report)
+            day_counts, firmware_days, filtered_reboots = stage_reboots_col(
+                ColumnarUptime.from_uptime(self._uptime))
+            gap_events_by_probe = stage_gaps_col(
+                col, self._kroot, filter_report, filtered_reboots)
+        else:
+            filter_report = stage_filter(self._connlog, self._archive,
+                                         self._ip2as,
+                                         min_connected=self._min_connected)
+            spans_by_probe, durations_by_probe = stage_spans(filter_report)
+            changes_by_probe, asn_by_probe = stage_changes(filter_report)
+            day_counts, firmware_days, filtered_reboots = stage_reboots(
+                self._uptime)
+            gap_events_by_probe = stage_gaps(filter_report, self._kroot,
+                                             filtered_reboots)
         stats_by_probe = stage_stats(gap_events_by_probe)
         v3_probes = stage_v3(asn_by_probe, self._archive)
 

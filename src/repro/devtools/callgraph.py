@@ -44,8 +44,10 @@ class CallSite:
 
     ``kind`` is ``dotted`` (rooted in an import, target is the expanded
     dotted path), ``local`` (a bare name), ``method`` (attribute dispatch
-    on an object, target is the method name), or ``dynamic`` (the callee
-    itself is computed and nothing useful is known).  Keyword names are
+    on an object, target is the method name), ``super`` (a
+    ``super().meth()`` call, resolved against the calling class's
+    recorded bases), or ``dynamic`` (the callee itself is computed and
+    nothing useful is known).  Keyword names are
     recorded so the effect catalog can distinguish calls whose purity
     depends on an argument (``datetime.fromtimestamp(ts, tz=utc)``).
     """
@@ -320,6 +322,14 @@ def _call_site(call: ast.Call, env: dict[str, str]) -> CallSite:
     line = call.lineno
     kwargs = tuple(keyword.arg for keyword in call.keywords
                    if keyword.arg is not None)
+    func = call.func
+    if (isinstance(func, ast.Attribute) and isinstance(func.value, ast.Call)
+            and isinstance(func.value.func, ast.Name)
+            and func.value.func.id == "super"):
+        # ``super().meth()``: dispatch is up the recorded base chain, not
+        # open class-hierarchy analysis — the effect fixpoint resolves it
+        # against ``FileSummary.class_bases``.
+        return CallSite("super", func.attr, line, kwargs)
     if rooted:
         if len(parts) == 1:
             name = parts[0]

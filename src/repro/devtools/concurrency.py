@@ -765,9 +765,18 @@ class _ConcurrencyExtractor:
                                               _root_name)
 
         site = _call_site(call, self.env)
-        if site.kind in ("dotted", "local", "method"):
+        if site.kind in ("dotted", "local", "method", "super"):
             recv = ""
-            if site.kind == "method" and isinstance(call.func, ast.Attribute):
+            kind = site.kind
+            if site.kind == "super":
+                # ``super().meth()`` dispatches up the MRO; base-class
+                # methods are analyzed directly, so don't let the bare
+                # name smear across unrelated classes via CHA.  Recorded
+                # as a method call so stored facts keep one vocabulary.
+                kind = "method"
+                recv = "<super>"
+            elif site.kind == "method" \
+                    and isinstance(call.func, ast.Attribute):
                 base = call.func.value
                 if isinstance(base, ast.Name):
                     recv = ("<self>" if base.id == "self"
@@ -776,15 +785,8 @@ class _ConcurrencyExtractor:
                         and isinstance(base.value, ast.Name)
                         and base.value.id == "self"):
                     recv = "<attr:%s>" % base.attr
-                elif (isinstance(base, ast.Call)
-                        and isinstance(base.func, ast.Name)
-                        and base.func.id == "super"):
-                    # ``super().meth()`` dispatches up the MRO; base-class
-                    # methods are analyzed directly, so don't let the bare
-                    # name smear across unrelated classes via CHA.
-                    recv = "<super>"
             self.calls.append(GuardedCall(
-                kind=site.kind, target=site.target, line=call.lineno,
+                kind=kind, target=site.target, line=call.lineno,
                 guards=tuple(self._guards), owner=self._owner, recv=recv))
 
         last = site.target.rsplit(".", 1)[-1] if site.target else ""

@@ -95,6 +95,8 @@ IMPURE_SUFFIXES: dict[tuple[str, ...], Effect] = {
 }
 
 #: Module prefixes whose entire call surface carries one effect.
+#: ``numpy.random`` and numpy's file I/O entry points are listed before
+#: the blanket ``numpy.`` pure prefix below catches the rest.
 IMPURE_PREFIXES: dict[str, Effect] = {
     "random.": Effect.NONDETERMINISTIC,
     "secrets.": Effect.NONDETERMINISTIC,
@@ -104,6 +106,14 @@ IMPURE_PREFIXES: dict[str, Effect] = {
     "logging.": Effect.IO,
     "tempfile.": Effect.IO,
     "platform.": Effect.READS_ENV,
+    "numpy.random.": Effect.NONDETERMINISTIC,
+    "numpy.load": Effect.IO,
+    "numpy.save": Effect.IO,
+    "numpy.loadtxt": Effect.IO,
+    "numpy.savetxt": Effect.IO,
+    "numpy.genfromtxt": Effect.IO,
+    "numpy.fromfile": Effect.IO,
+    "numpy.memmap": Effect.IO,
 }
 
 #: Exceptions to the prefix rules, checked first: a seeded
@@ -132,6 +142,11 @@ PURE_PREFIXES = (
     "hashlib.", "struct.", "binascii.", "json.", "pickle.", "abc.",
     "typing.", "ipaddress.", "array.", "difflib.", "unicodedata.",
     "datetime.", "calendar.", "zoneinfo.",
+    # The columnar kernels (DESIGN.md §16) are built on numpy's array
+    # calculus, which is deterministic value computation; the
+    # nondeterministic (numpy.random) and file-I/O entry points are
+    # carved out by IMPURE_PREFIXES above, which win by catalog order.
+    "numpy.",
 )
 
 #: Calls whose purity hinges on an argument.  ``datetime.fromtimestamp``
@@ -222,6 +237,17 @@ PURE_METHODS = frozenset({
     "is_absolute",
     # sorting conveniences
     "total_seconds",
+    # numpy ndarray value computation (the columnar kernels' working
+    # vocabulary; numpy file I/O goes through module-level functions
+    # catalogued impure, not array methods)
+    "tolist", "astype", "searchsorted", "cumsum", "nonzero", "reshape",
+    "tobytes", "newbyteorder", "item", "argsort", "ravel", "clip",
+    "take", "repeat", "fill", "view", "any", "all", "min", "max", "sum",
+    "mean",
+    # seeded random.Random drawing methods (the unseeded constructor is
+    # RPR001's job, mirroring the random.Random prefix exemption)
+    "shuffle", "choice", "sample", "randint", "randrange", "uniform",
+    "random", "gauss", "betavariate", "expovariate",
 })
 
 #: Decorators that preserve the decorated function's effect verdict.
@@ -397,6 +423,15 @@ class EffectAnalysis:
                                 site.line)
             return Evidence(Effect.NONDETERMINISTIC,
                             "unresolvable call '%s()'" % name, site.line)
+        if site.kind == "super":
+            # ``super().meth()``: resolve against the recorded base chain
+            # for a precise edge; an external (non-project) base falls
+            # through to the class-hierarchy fallback below.
+            resolved_up = self._super_methods(module, function.class_name,
+                                              site.target)
+            if resolved_up:
+                edges.extend(resolved_up)
+                return None
         # method dispatch: class-hierarchy fallback over project classes
         # visible from the calling module's import closure, else the
         # builtin-method vocabulary, else unknown -> impure.
@@ -410,6 +445,38 @@ class EffectAnalysis:
             return Evidence(Effect.IO, ".%s()" % site.target, site.line)
         return Evidence(Effect.NONDETERMINISTIC,
                         "unresolved method '.%s()'" % site.target, site.line)
+
+    def _super_methods(self, module: str, class_name: str | None,
+                       method: str, _depth: int = 0) -> list[str]:
+        """Qualnames a ``super().<method>()`` call can dispatch to.
+
+        Walks the recorded base-class refs upward (bounded, so a base
+        cycle terminates), collecting the nearest definition of
+        ``method`` along each branch.  Returns ``[]`` when no project
+        base defines it — the caller then falls back to plain
+        class-hierarchy dispatch.
+        """
+        if class_name is None or _depth > 10:
+            return []
+        summary = self.project.summaries.get(module)
+        if summary is None:
+            return []
+        found: list[str] = []
+        for base in summary.class_bases.get(class_name, ()):
+            resolved = self.project.resolve_callable(base)
+            if resolved is None or resolved[0] != "class":
+                continue
+            base_module, _, base_class = resolved[1].rpartition(".")
+            base_summary = self.project.summaries.get(base_module)
+            if base_summary is None:
+                continue
+            name = "%s.%s" % (base_class, method)
+            if name in base_summary.functions:
+                found.append("%s.%s" % (base_module, name))
+            else:
+                found.extend(self._super_methods(
+                    base_module, base_class, method, _depth + 1))
+        return found
 
     def _classify_decorator(self, decorator: str, function,
                             edges: list[str]) -> Evidence | None:

@@ -162,13 +162,26 @@ class AddressSpaceAllocator:
         the simulated ISPs do not renumber their announcements.  Stability
         is itself the paper's observation for all but one ISP (Section 8
         found a single administrative renumbering event all year).
+
+        Sessions in flight at the window edge can produce connection-log
+        entries that start at or after ``end`` (a segment is cut at the
+        session boundary, not the observation boundary), and an address
+        change timed by such an entry resolves its origin AS in the month
+        *containing* ``end``.  The dataset therefore covers every month
+        touching the closed interval ``[start, end]``, not just the
+        half-open observation window.
         """
         dataset = IpToAsDataset()
         snapshot = Pfx2AsSnapshot()
         for asn, prefixes in self._allocated.items():
             for prefix in prefixes:
                 snapshot.add(AsMapping(prefix, asn))
-        for year, month, _ in timeutil.iter_month_starts(start, end):
+        months = [(year, month) for year, month, _
+                  in timeutil.iter_month_starts(start, end)]
+        final = timeutil.month_of(end)
+        if final not in months:
+            months.append(final)
+        for year, month in months:
             monthly = Pfx2AsSnapshot(snapshot.mappings())
             dataset.add_snapshot(year, month, monthly)
         return dataset

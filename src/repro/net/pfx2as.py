@@ -18,6 +18,10 @@ from repro.errors import DatasetError, ParseError
 from repro.net.ipv4 import IPv4Address, IPv4Prefix
 from repro.net.trie import PrefixTrie
 from repro.util import timeutil
+from repro.util.colpack import HAVE_NUMPY
+
+if HAVE_NUMPY:
+    import numpy as np
 from repro.util.ingest import (
     IngestReport,
     ReadPolicy,
@@ -40,11 +44,17 @@ class AsMapping:
             raise ParseError("ASN must be positive, got %r" % (self.asn,))
 
 
+#: Sentinel ASN in flattened stab tables for unrouted address space.
+UNROUTED = -1
+
+
 class Pfx2AsSnapshot:
     """A single month's prefix-to-AS table with longest-prefix lookup."""
 
     def __init__(self, mappings: Iterable[AsMapping] = ()) -> None:
         self._trie: PrefixTrie[AsMapping] = PrefixTrie()
+        self._stab: tuple[list[int], list[int]] | None = None
+        self._stab_arrays: tuple | None = None
         for mapping in mappings:
             self.add(mapping)
 
@@ -54,6 +64,8 @@ class Pfx2AsSnapshot:
     def add(self, mapping: AsMapping) -> None:
         """Insert a mapping, replacing any previous entry for the prefix."""
         self._trie.insert(mapping.prefix, mapping)
+        self._stab = None  # flattened table (and its arrays) are stale
+        self._stab_arrays = None
 
     def origin_asn(self, address: IPv4Address) -> int | None:
         """Return the origin ASN for ``address`` or None when unrouted."""
@@ -72,6 +84,71 @@ class Pfx2AsSnapshot:
         """Yield all mappings in address order."""
         for _prefix, mapping in self._trie.items():
             yield mapping
+
+    def stab_table(self) -> tuple[list[int], list[int]]:
+        """The trie flattened into a longest-prefix-match stab table.
+
+        Returns ``(bounds, asns)``: ``bounds`` is a sorted list of
+        segment start addresses beginning at 0, and ``asns[i]`` is the
+        origin ASN covering ``[bounds[i], bounds[i+1])`` —
+        :data:`UNROUTED` where no prefix covers the segment.  Lookup is
+        ``asns[bisect_right(bounds, addr) - 1]``, equivalent to
+        :meth:`origin_asn` for every address (the vectorized kernels
+        batch exactly this with ``numpy.searchsorted``).
+
+        Built lazily from the pre-order :meth:`PrefixTrie.items` walk —
+        parents arrive before children and siblings in address order, so
+        one stack sweep paints most-specific-wins segments.  Cached
+        until the next :meth:`add` invalidates it.
+        """
+        if self._stab is not None:
+            return self._stab
+        bounds: list[int] = [0]
+        asns: list[int] = [UNROUTED]
+
+        def paint(start: int, asn: int) -> None:
+            # Segments arrive with non-decreasing starts; drop zero-width
+            # segments and merge equal-valued neighbours.
+            if bounds[-1] == start:
+                if len(bounds) > 1 and asns[-2] == asn:
+                    bounds.pop()
+                    asns.pop()
+                else:
+                    asns[-1] = asn
+            elif asns[-1] != asn:
+                bounds.append(start)
+                asns.append(asn)
+
+        stack: list[tuple[int, int]] = []  # (end address, asn), nested
+        for prefix, mapping in self._trie.items():
+            start = prefix.network
+            end = start + (1 << (32 - prefix.length))
+            while stack and stack[-1][0] <= start:
+                resumed, _ = stack.pop()
+                paint(resumed, stack[-1][1] if stack else UNROUTED)
+            paint(start, mapping.asn)
+            stack.append((end, mapping.asn))
+        while stack:
+            resumed, _ = stack.pop()
+            paint(resumed, stack[-1][1] if stack else UNROUTED)
+        self._stab = (bounds, asns)
+        return self._stab
+
+    def stab_arrays(self):
+        """:meth:`stab_table` as a pair of int64 numpy arrays.
+
+        The vectorized kernels call this per batch, so the conversion is
+        memoized next to the table itself and invalidated by the same
+        :meth:`add` — a mutated snapshot can never serve stale arrays.
+        """
+        if not HAVE_NUMPY:
+            raise RuntimeError("stab_arrays requires numpy; gate callers "
+                               "on repro.util.colpack.HAVE_NUMPY")
+        if self._stab_arrays is None:
+            bounds, asns = self.stab_table()
+            self._stab_arrays = (np.asarray(bounds, dtype=np.int64),
+                                 np.asarray(asns, dtype=np.int64))
+        return self._stab_arrays
 
     def write(self, stream: TextIO) -> None:
         """Serialize in pfx2as text format."""

@@ -71,6 +71,11 @@ def add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-supervise", action="store_true",
                         help="use the legacy unsupervised pool (no "
                              "crash/hang recovery, no checkpoints)")
+    parser.add_argument("--legacy-kernels", action="store_true",
+                        help="run the record-at-a-time stage kernels "
+                             "instead of the vectorized columnar ones "
+                             "(the differential-testing oracle; results "
+                             "are bit-identical either way)")
 
 
 def resolve_jobs(jobs: int) -> int:
@@ -147,7 +152,8 @@ def runtime_config(args: argparse.Namespace) -> RuntimeConfig:
         shard_deadline_s=getattr(args, "shard_deadline",
                                  timeutil.SHARD_DEADLINE_S),
         resume=getattr(args, "resume", False),
-        fault_plan=fault_plan)
+        fault_plan=fault_plan,
+        columnar=not getattr(args, "legacy_kernels", False))
 
 
 def write_run_trace(path: str, runner, digest: str) -> None:

@@ -27,12 +27,27 @@ from pathlib import Path
 from typing import Mapping
 
 from repro import obs
+from repro.atlas.columnar import ColumnarConnlog, ColumnarUptime
+from repro.core import colartifact
+from repro.core.colartifact import (
+    ColumnarFilterArtifact,
+    ColumnarFloatMap,
+    ColumnarGapEventMap,
+    ColumnarSpanMap,
+)
 from repro.core.pipeline import (
     AnalysisResults,
     aggregate_reboots,
-    stage_filter,
+    stage_filter_col,
+    stage_gaps_col,
+    stage_reboots_col,
+    stage_spans_col,
 )
-from repro.core.filtering import FilterReport, report_from_verdicts
+from repro.core.filtering import (
+    FilterReport,
+    report_from_verdicts,
+    restore_entries,
+)
 from repro.runtime import workers
 from repro.runtime.cache import DEFAULT_MAX_BYTES, ArtifactCache, code_version
 from repro.runtime.sharding import partition, shard_count
@@ -42,6 +57,7 @@ from repro.runtime.supervisor import (
     SupervisionPolicy,
 )
 from repro.runtime.stages import STAGES, StageSpec, topological_order
+from repro.util import colpack
 from repro.util import fingerprint as fp
 from repro.util import timeutil
 from repro.util.ordering import ordered_merge
@@ -103,6 +119,12 @@ class RuntimeConfig:
     #: type, e.g. :class:`repro.faults.process.ProcessFaultPlan`),
     #: installed into supervised workers.  ``None`` = no injection.
     fault_plan: object | None = None
+    #: Vectorized columnar kernels and columnar cache artifacts
+    #: (DESIGN.md §16).  Auto-disabled on numpy-free hosts; ``False``
+    #: (``repro-run --legacy-kernels``) forces the record kernels — the
+    #: differential-testing oracle.  Outputs are bit-identical either
+    #: way.
+    columnar: bool = True
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -278,6 +300,9 @@ class ShardedRunner:
         self._supervisor: ShardSupervisor | None = None
         self._version = ""
         self._params = ""
+        self._use_columnar = self.config.columnar and colpack.HAVE_NUMPY
+        self._colconn: ColumnarConnlog | None = None
+        self._colup: ColumnarUptime | None = None
 
     def _new_report(self) -> RunReport:
         cpus = os.cpu_count() or 1
@@ -351,17 +376,22 @@ class ShardedRunner:
     def _run_stage(self, spec: StageSpec, artifacts: dict, version: str,
                    params: str) -> tuple[dict, bool, bool]:
         key = None
-        if self.cache is not None and self.fingerprint:
+        if self.cache is not None and self.fingerprint and spec.cacheable:
             key = ArtifactCache.key(self.fingerprint, spec.name, version,
                                     params)
             hit, value = self.cache.load(key, stage=spec.name)
             if hit:
-                return value, True, False
+                return self._revive(value), True, False
         sharded = self.config.jobs > 1 and spec.fan_out
-        if not sharded and spec.name in ("spans", "gaps"):
+        if not sharded and not self._use_columnar \
+                and spec.name in ("spans", "gaps"):
+            # Only the legacy record kernels read verdict entries; the
+            # columnar kernels work off the array views directly.
             self._ensure_full_filter_report(artifacts)
         if sharded:
             outputs = self._compute_sharded(spec, artifacts)
+        elif self._use_columnar and spec.fan_out:
+            outputs = self._compute_columnar(spec, artifacts)
         else:
             result = spec.func(*(artifacts[name] for name in spec.inputs))
             values = result if len(spec.outputs) > 1 else (result,)
@@ -376,8 +406,43 @@ class ShardedRunner:
             self.cache.store(key, self._cacheable(spec, outputs))
         return outputs, False, sharded
 
-    @staticmethod
-    def _cacheable(spec: StageSpec, outputs: dict) -> dict:
+    def _columnar_connlog(self) -> ColumnarConnlog:
+        """The connlog's array view, built once per runner."""
+        if self._colconn is None:
+            self._colconn = ColumnarConnlog.from_connlog(self._connlog)
+        return self._colconn
+
+    def _columnar_uptime(self) -> ColumnarUptime:
+        if self._colup is None:
+            self._colup = ColumnarUptime.from_uptime(self._uptime)
+        return self._colup
+
+    def _compute_columnar(self, spec: StageSpec, artifacts: dict) -> dict:
+        """Run one hot stage through the vectorized kernels, inline."""
+        if spec.name == "filter":
+            return {"filter_report": stage_filter_col(
+                self._columnar_connlog(), self._connlog, self._archive,
+                self._ip2as, self._min_connected)}
+        if spec.name == "spans":
+            spans_by_probe, durations_by_probe = stage_spans_col(
+                self._columnar_connlog(), self._connlog,
+                artifacts["filter_report"])
+            return {"spans_by_probe": spans_by_probe,
+                    "durations_by_probe": durations_by_probe}
+        if spec.name == "reboots":
+            day_counts, firmware_days, filtered = stage_reboots_col(
+                self._columnar_uptime())
+            return {"reboot_day_counts": day_counts,
+                    "firmware_days": firmware_days,
+                    "filtered_reboots": filtered}
+        if spec.name == "gaps":
+            return {"gap_events_by_probe": stage_gaps_col(
+                self._columnar_connlog(), self._kroot,
+                artifacts["filter_report"],
+                artifacts["filtered_reboots"])}
+        raise ValueError("stage %r has no columnar kernel" % (spec.name,))
+
+    def _cacheable(self, spec: StageSpec, outputs: dict) -> dict:
         """What actually goes to disk for one stage's outputs.
 
         The filter report's per-probe connlog entries are a pure
@@ -386,40 +451,77 @@ class ShardedRunner:
         re-derive them from the raw datasets anyway when sharded).
         Stripping them keeps warm-cache loads fast; the serial compute
         path restores them on demand via
-        :meth:`_ensure_full_filter_report`.
+        :meth:`_ensure_full_filter_report`.  In columnar mode the fat
+        object-graph artifacts (filter report, span/duration and
+        gap-event maps) are stored in their columnar forms — the cache
+        writes each to a memory-mappable ``.col`` sidecar instead of a
+        pickle graph.
         """
-        if spec.name != "filter":
-            return outputs
-        report: FilterReport = outputs["filter_report"]
-        slim = FilterReport(
-            verdicts={pid: replace(verdict, entries=[])
-                      for pid, verdict in report.verdicts.items()},
-            total=report.total)
-        slim.entries_stripped = True  # type: ignore[attr-defined]
-        return {"filter_report": slim}
+        if spec.name == "filter":
+            report: FilterReport = outputs["filter_report"]
+            if self._use_columnar:
+                return {"filter_report":
+                        ColumnarFilterArtifact.from_report(report)}
+            slim = FilterReport(
+                verdicts={pid: replace(verdict, entries=[])
+                          for pid, verdict in report.verdicts.items()},
+                total=report.total)
+            slim.entries_stripped = True  # type: ignore[attr-defined]
+            return {"filter_report": slim}
+        if spec.name == "spans" and self._use_columnar:
+            return {"spans_by_probe":
+                    ColumnarSpanMap.from_map(outputs["spans_by_probe"]),
+                    "durations_by_probe":
+                    ColumnarFloatMap.from_map(outputs["durations_by_probe"])}
+        if spec.name == "gaps" and self._use_columnar:
+            return {"gap_events_by_probe": ColumnarGapEventMap.from_map(
+                outputs["gap_events_by_probe"])}
+        return outputs
+
+    @staticmethod
+    def _revive(outputs: object) -> object:
+        """Decode columnar cache artifacts back into stage outputs.
+
+        Decoding is by value type, not by the runner's own kernel mode:
+        a legacy-kernel run can warm from a columnar-mode cache and vice
+        versa (stage keys don't encode the mode — the kernels are
+        digest-identical).
+        """
+        if isinstance(outputs, dict):
+            revived = None
+            for name, item in outputs.items():
+                decoded = colartifact.decode_value(item)
+                if decoded is not item:
+                    if revived is None:
+                        revived = dict(outputs)
+                    revived[name] = decoded
+            if revived is not None:
+                return revived
+        return outputs
 
     def _ensure_full_filter_report(self, artifacts: dict) -> None:
-        """Recompute the filter report when a cached slim copy is about
-        to feed a serial per-probe stage that needs raw entries.
+        """Restore verdict entries when a cached slim report is about
+        to feed a serial per-probe record kernel that needs them.
 
         Only reachable on a *partial* cache hit (filter cached, a later
         stage evicted or corrupted): all stage keys share the same
         fingerprint/version/params, so a normal warm run hits every
-        stage and never lands here.
+        stage and never lands here.  Entries are a pure function of the
+        connection log, so :func:`restore_entries` rebuilds the fat
+        report without re-running classification.
         """
         report = artifacts.get("filter_report")
         if report is not None and getattr(report, "entries_stripped",
                                           False):
-            artifacts["filter_report"] = stage_filter(
-                self._connlog, self._archive, self._ip2as,
-                self._min_connected)
+            restore_entries(report, self._connlog)
 
     def _start_pool(self) -> None:
         """Create the worker pool under the resolved start method."""
         context = workers.WorkerContext(
             connlog=self._connlog, archive=self._archive,
             ip2as=self._ip2as, kroot=self._kroot, uptime=self._uptime,
-            min_connected=self._min_connected)
+            min_connected=self._min_connected,
+            columnar=self._use_columnar)
         mp_context = multiprocessing.get_context(self.start_method)
         if self.start_method == "fork":
             # Install the context parent-side: forked workers inherit
@@ -461,7 +563,8 @@ class ShardedRunner:
                 connlog=self._connlog, archive=self._archive,
                 ip2as=self._ip2as, kroot=self._kroot, uptime=self._uptime,
                 min_connected=self._min_connected,
-                fault_plan=self.config.fault_plan)
+                fault_plan=self.config.fault_plan,
+                columnar=self._use_columnar)
             self._supervisor = ShardSupervisor(
                 context, jobs=self.config.jobs,
                 start_method=self.start_method,

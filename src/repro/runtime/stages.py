@@ -37,6 +37,11 @@ class StageSpec:
     ``fan_out`` marks stages whose dominant cost is an independent
     per-probe kernel; only these are dispatched to the process pool.
     The remaining stages are cheap aggregations the parent runs inline.
+
+    ``cacheable=False`` marks stages whose output is a near-free
+    projection of an earlier artifact: re-running the stage function on
+    a warm run is cheaper than deserializing its (fat) output, so the
+    executor neither looks such a stage up in the cache nor stores it.
     """
 
     name: str
@@ -45,6 +50,7 @@ class StageSpec:
     fan_out: bool
     #: Whole-input implementation (the serial path).
     func: Callable
+    cacheable: bool = True
 
 
 #: The pipeline's stages in execution (topological) order.
@@ -69,6 +75,10 @@ STAGES: tuple[StageSpec, ...] = (
         outputs=("changes_by_probe", "asn_by_probe"),
         fan_out=False,
         func=_pipeline.stage_changes,
+        # Pure reshaping of verdicts the filter artifact already holds:
+        # storing it duplicated megabytes of AddressChange pickle that
+        # cost more to load than stage_changes costs to re-run.
+        cacheable=False,
     ),
     StageSpec(
         name="reboots",
@@ -99,6 +109,12 @@ STAGES: tuple[StageSpec, ...] = (
         func=_pipeline.stage_v3,
     ),
 )
+
+
+def cacheable_stages(stages: tuple[StageSpec, ...] = STAGES
+                     ) -> tuple[StageSpec, ...]:
+    """The stages whose outputs the artifact cache persists."""
+    return tuple(spec for spec in stages if spec.cacheable)
 
 
 def stage_by_name(name: str) -> StageSpec:
@@ -145,6 +161,8 @@ def render_graph(stages: tuple[StageSpec, ...] = STAGES) -> str:
     lines = []
     for spec in stages:
         mode = "per-probe" if spec.fan_out else "aggregate"
+        if not spec.cacheable:
+            mode += ", uncached"
         lines.append("%-8s (%s)" % (spec.name, mode))
         lines.append("  in:  %s" % ", ".join(spec.inputs))
         lines.append("  out: %s" % ", ".join(spec.outputs))

@@ -42,12 +42,15 @@ from pathlib import Path
 
 from repro import obs
 from repro.atlas.archive import ProbeArchive
+from repro.atlas.columnar import ColumnarConnlog, ColumnarUptime
 from repro.atlas.connlog import ConnectionLog
 from repro.atlas.kroot import KRootDataset
 from repro.atlas.sosuptime import UptimeDataset
+from repro.core import colkernels
 from repro.core.association import GapEvent
 from repro.core.filtering import ProbeFilter, ProbeVerdict
 from repro.core.pipeline import probe_gap_events, probe_spans
+from repro.util.colpack import HAVE_NUMPY
 from repro.core.reboots import Reboot, detect_reboots
 from repro.errors import EnvelopeCorruptError
 from repro.net.pfx2as import IpToAsDataset
@@ -84,6 +87,10 @@ class WorkerContext:
     min_connected: float
     heartbeat_dir: str | None = None
     fault_plan: object | None = None
+    #: Serve shard tasks through the vectorized columnar kernels
+    #: (DESIGN.md §16).  Ignored on numpy-free hosts; payloads are
+    #: bit-identical either way, so mixed fleets stay coherent.
+    columnar: bool = False
 
 
 @dataclass(frozen=True)
@@ -160,6 +167,8 @@ _context: WorkerContext | None = None
 _filter: ProbeFilter | None = None
 _verdicts: dict[int, ProbeVerdict] = {}
 _heartbeat_pid: int | None = None
+_colconn: ColumnarConnlog | None = None
+_colup: ColumnarUptime | None = None
 
 
 def init_worker(context: WorkerContext) -> None:
@@ -173,11 +182,19 @@ def init_worker(context: WorkerContext) -> None:
     started parent-side would not survive the fork, so workers register
     lazily on their first task instead.)
     """
-    global _context, _filter, _heartbeat_pid
+    global _context, _filter, _heartbeat_pid, _colconn, _colup
     _context = context
     _filter = ProbeFilter(context.connlog, context.archive, context.ip2as,
                           min_connected=context.min_connected)
     _verdicts.clear()
+    # Build the columnar views eagerly: under fork this runs in the
+    # parent, so every worker inherits the arrays by page sharing
+    # instead of rebuilding them per process.
+    _colconn = None
+    _colup = None
+    if context.columnar and HAVE_NUMPY:
+        _colconn = ColumnarConnlog.from_connlog(context.connlog)
+        _colup = ColumnarUptime.from_uptime(context.uptime)
     # Heartbeat registration state is initializer-owned like the rest of
     # the per-process globals; actual registration happens lazily on the
     # first task (a thread started here would not survive fork).
@@ -186,10 +203,12 @@ def init_worker(context: WorkerContext) -> None:
 
 def reset_worker() -> None:
     """Drop the installed context (parent-side cleanup after a run)."""
-    global _context, _filter, _heartbeat_pid
+    global _context, _filter, _heartbeat_pid, _colconn, _colup
     _context = None
     _filter = None
     _heartbeat_pid = None
+    _colconn = None
+    _colup = None
     _verdicts.clear()
 
 
@@ -292,23 +311,44 @@ def _inject_envelope(envelope: ShardResult, stage: str, shard_index: int,
 
 # -- shard kernels (payload = exactly what the serial path computes) ---------
 
+def _columnar_active() -> bool:
+    """Whether this process serves shards via the columnar kernels."""
+    return _colconn is not None
+
+
 def _filter_payload(probe_ids: list[int]) -> dict:
+    context = _require_context()
+    if _columnar_active():
+        # Slim verdicts (no entry lists) cross the process boundary;
+        # consumers restore entries from the connlog when they need
+        # them (repro.core.filtering.restore_entries).
+        return colkernels.classify_probes(
+            _colconn, context.connlog, context.archive, context.ip2as,
+            context.min_connected, probe_ids, with_entries=False)
     return {probe_id: _verdict(probe_id) for probe_id in probe_ids}
 
 
 def _spans_payload(probe_ids: list[int]) -> dict:
+    context = _require_context()
+    if _columnar_active():
+        return colkernels.probe_spans_col(_colconn, context.connlog,
+                                          probe_ids)
     return {probe_id: probe_spans(_verdict(probe_id).entries)
             for probe_id in probe_ids}
 
 
 def _reboots_payload(probe_ids: list[int]) -> dict:
     context = _require_context()
+    if _columnar_active():
+        return colkernels.detect_reboots_col(_colup, probe_ids)
     return {probe_id: detect_reboots(context.uptime.records(probe_id))
             for probe_id in probe_ids}
 
 
 def _gaps_payload(items: list[tuple[int, list[Reboot]]]) -> dict:
     context = _require_context()
+    if _columnar_active():
+        return colkernels.gap_events_col(_colconn, context.kroot, items)
     return {
         probe_id: probe_gap_events(_verdict(probe_id).entries,
                                    context.kroot.series(probe_id),

@@ -105,8 +105,33 @@ class TestBuildDataset:
         prefixes = allocator.allocate(3320, plan)
         dataset = allocator.build_dataset(timeutil.YEAR_2015_START,
                                           timeutil.YEAR_2015_END)
-        assert len(dataset.months()) == 12
+        # Twelve observation months plus the month containing the end
+        # instant (entries in flight at the edge can start there).
+        assert len(dataset.months()) == 13
+        assert dataset.months()[-1] == (2016, 1)
         addr = prefixes[0].first_address()
         for month in range(1, 13):
             stamp = timeutil.epoch(2015, month, 10)
             assert dataset.origin_asn(addr, stamp) == 3320
+
+    def test_end_boundary_month_resolves_lookups(self):
+        """Regression: a change timed by an entry starting at/after the
+        window end must resolve, not raise ``DatasetError`` (seen at
+        paper scale 8, where a session segment crosses the year edge)."""
+        allocator = AddressSpaceAllocator(seed=7)
+        plan = AddressSpacePlan(num_prefixes=1, slash16_groups=1)
+        prefixes = allocator.allocate(64500, plan)
+        dataset = allocator.build_dataset(timeutil.YEAR_2015_START,
+                                          timeutil.YEAR_2015_END)
+        addr = prefixes[0].first_address()
+        for stamp in (timeutil.YEAR_2015_END,
+                      timeutil.YEAR_2015_END + 3600.0):
+            assert dataset.origin_asn(addr, stamp) == 64500
+
+    def test_mid_month_end_adds_no_extra_month(self):
+        allocator = AddressSpaceAllocator(seed=8)
+        allocator.allocate(64501,
+                           AddressSpacePlan(num_prefixes=1, slash16_groups=1))
+        dataset = allocator.build_dataset(timeutil.epoch(2015, 1, 1),
+                                          timeutil.epoch(2015, 3, 15))
+        assert dataset.months() == [(2015, 1), (2015, 2), (2015, 3)]

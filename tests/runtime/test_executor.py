@@ -21,7 +21,7 @@ from repro.runtime import (
     runner_for_bundle,
     runner_for_world,
 )
-from repro.runtime.stages import STAGES
+from repro.runtime.stages import cacheable_stages
 from repro.sim.io import load_bundle
 
 pytestmark = pytest.mark.runtime
@@ -52,16 +52,18 @@ def test_warm_cache_run_identical_and_computes_nothing(
     config = RuntimeConfig(jobs=4, cache_dir=tmp_path / "cache")
     cold = runner_for_bundle(bundle, config)
     cold_results = cold.run()
-    # One store per stage artifact, plus the supervisor's per-shard
-    # checkpoints and manifests for the fan-out stages.
-    assert cold.cache.stats.stores >= len(STAGES)
+    # One store per cacheable stage artifact, plus the supervisor's
+    # per-shard checkpoints and manifests for the fan-out stages.
+    assert cold.cache.stats.stores >= len(cacheable_stages())
     assert cold.report.cached_stages == []
 
     warm = runner_for_bundle(bundle, RuntimeConfig(
         jobs=1, cache_dir=tmp_path / "cache"))
     warm_results = warm.run()
-    # Every stage served from cache: nothing computed on the warm run.
-    assert warm.report.cached_stages == [spec.name for spec in STAGES]
+    # Every cacheable stage served from cache; the uncacheable ones
+    # (cheap projections) recompute by design.
+    assert warm.report.cached_stages == [
+        spec.name for spec in cacheable_stages()]
     assert warm.cache.stats.misses == 0
     assert results_digest(warm_results) == results_digest(serial_results)
     assert results_digest(cold_results) == results_digest(serial_results)
@@ -73,7 +75,7 @@ def test_mutated_connlog_changes_fingerprint_and_reruns_stages(
     cache_dir = tmp_path / "cache"
     primer = runner_for_bundle(bundle, RuntimeConfig(cache_dir=cache_dir))
     primer.run()
-    assert primer.cache.stats.stores == len(STAGES)
+    assert primer.cache.stats.stores == len(cacheable_stages())
 
     mutated_dir = tmp_path / "mutated"
     shutil.copytree(bundle_dir, mutated_dir)
@@ -91,12 +93,13 @@ def test_mutated_connlog_changes_fingerprint_and_reruns_stages(
     rerun.run()
     # Nothing under the old fingerprint applies: every stage recomputes.
     assert rerun.report.cached_stages == []
-    assert rerun.cache.stats.misses == len(STAGES)
+    assert rerun.cache.stats.misses == len(cacheable_stages())
 
     # The untouched bundle still warm-hits the original artifacts.
     unchanged = runner_for_bundle(bundle, RuntimeConfig(cache_dir=cache_dir))
     unchanged.run()
-    assert unchanged.report.cached_stages == [spec.name for spec in STAGES]
+    assert unchanged.report.cached_stages == [
+        spec.name for spec in cacheable_stages()]
 
 
 def test_world_runner_parallel_matches_serial(world):

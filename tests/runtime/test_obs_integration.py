@@ -26,7 +26,7 @@ from repro.runtime import (
     runner_for_bundle,
 )
 from repro.runtime.cli import main, resolve_jobs
-from repro.runtime.stages import STAGES, topological_order
+from repro.runtime.stages import STAGES, cacheable_stages, topological_order
 
 pytestmark = pytest.mark.runtime
 
@@ -78,9 +78,10 @@ def test_stage_spans_mark_cache_hits(bundle, tmp_path):
         jobs=1, cache_dir=tmp_path / "cache"))
     warm.run()
     stage_spans = [s for s in obs.current_spans() if s.category == "stage"]
-    assert all(s.attr("cached") for s in stage_spans)
+    cached = {s.name: s.attr("cached") for s in stage_spans}
+    assert all(cached[spec.name] for spec in cacheable_stages())
     counters = obs.metrics_snapshot()["counters"]
-    assert counters["cache.hits"] == len(STAGES)
+    assert counters["cache.hits"] == len(cacheable_stages())
     assert counters["cache.misses"] == 0
 
 
